@@ -1,0 +1,155 @@
+//! Criterion wall-clock benchmarks of the EnGarde pipeline's stages.
+//!
+//! The paper reports *simulated* cycles (the OpenSGX cost model), which
+//! the `fig3_*`/`fig4_*`/`fig5_*` binaries regenerate. These benches
+//! measure the reproduction's real wall-clock performance per stage,
+//! which is useful when hacking on the decoder or the policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use engarde_bench::{policies_for, run_pipeline};
+use engarde_core::loader::{load, LoaderConfig};
+use engarde_core::policy::run_policies;
+use engarde_crypto::sha256::Sha256;
+use engarde_sgx::epc::{PagePerms, PAGE_SIZE};
+use engarde_sgx::instr::SgxVersion;
+use engarde_sgx::machine::{EnclaveId, MachineConfig, SgxMachine};
+use engarde_workloads::bench_suite::{PaperBenchmark, PolicyFigure};
+use engarde_x86::decode::decode_all;
+
+fn machine_with_enclave() -> (SgxMachine, EnclaveId) {
+    let mut m = SgxMachine::new(MachineConfig {
+        epc_pages: 4_096,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed: 9,
+    });
+    let id = m.ecreate(0x10000, PAGE_SIZE as u64).expect("ecreate");
+    m.eadd(id, 0x10000, b"bench", PagePerms::RWX).expect("eadd");
+    m.eextend(id, 0x10000).expect("eextend");
+    m.einit(id).expect("einit");
+    m.eenter(id).expect("enter");
+    (m, id)
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1 << 20];
+    let mut g = c.benchmark_group("crypto");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha256_1MiB", |b| b.iter(|| Sha256::digest(&data)));
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
+    let w = mcf.generate(PolicyFigure::Fig3LibraryLinking);
+    let elf = engarde_elf::parse::ElfFile::parse(&w.image).expect("parses");
+    let text = elf.section(".text").expect(".text").clone();
+    let mut g = c.benchmark_group("disassembly");
+    g.throughput(Throughput::Bytes(text.data.len() as u64));
+    g.bench_function("decode_mcf_text", |b| {
+        b.iter(|| decode_all(&text.data, text.header.sh_addr).expect("decodes"))
+    });
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
+    let mut g = c.benchmark_group("policy_checking");
+    for figure in [
+        PolicyFigure::Fig3LibraryLinking,
+        PolicyFigure::Fig4StackProtection,
+        PolicyFigure::Fig5Ifcc,
+    ] {
+        let w = mcf.generate(figure);
+        let (mut m, id) = machine_with_enclave();
+        let loaded = load(&mut m, id, &w.image, &LoaderConfig::default()).expect("loads");
+        let policies = policies_for(figure);
+        g.bench_with_input(
+            BenchmarkId::new("mcf", format!("{figure:?}")),
+            &figure,
+            |b, _| {
+                b.iter(|| {
+                    run_policies(&policies, &loaded, m.counter_mut()).expect("compliant")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rewriter(c: &mut Criterion) {
+    use engarde_core::rewrite::StackProtectorRewriter;
+    let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
+    let w = mcf.generate(PolicyFigure::Fig3LibraryLinking); // plain build
+    let (mut m, id) = machine_with_enclave();
+    let loaded = load(&mut m, id, &w.image, &LoaderConfig::default()).expect("loads");
+    let mut g = c.benchmark_group("rewriter");
+    g.throughput(Throughput::Elements(loaded.insns.len() as u64));
+    g.bench_function("instrument_mcf", |b| {
+        b.iter(|| StackProtectorRewriter::new().rewrite(&loaded).expect("rewrites"))
+    });
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    use engarde_core::exec::{ExecConfig, Executor};
+    use engarde_core::relocate::map_and_relocate;
+    use engarde_workloads::generator::{generate, WorkloadSpec};
+    let w = generate(&WorkloadSpec {
+        target_instructions: 4_000,
+        libc_functions_used: 10,
+        avg_app_fn_insns: 30,
+        calls_per_app_fn: 1,
+        ..WorkloadSpec::default()
+    });
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(20);
+    g.bench_function("run_4k_insn_workload", |b| {
+        b.iter(|| {
+            let mut m = SgxMachine::new(MachineConfig {
+                epc_pages: 512,
+                version: SgxVersion::V2,
+                device_key_bits: 512,
+                seed: 3,
+            });
+            let base = 0x100000u64;
+            let region_base = base + PAGE_SIZE as u64;
+            let id = m.ecreate(base, (97 * PAGE_SIZE) as u64).expect("ecreate");
+            m.eadd(id, base, b"bootstrap", PagePerms::RWX).expect("eadd");
+            m.eextend(id, base).expect("eextend");
+            for p in 0..96usize {
+                let va = region_base + (p * PAGE_SIZE) as u64;
+                m.eadd(id, va, &[], PagePerms::RWX).expect("region");
+                m.eextend(id, va).expect("eextend");
+            }
+            m.einit(id).expect("einit");
+            m.eenter(id).expect("enter");
+            let loaded = load(&mut m, id, &w.image, &LoaderConfig::default()).expect("loads");
+            let mapping = map_and_relocate(&mut m, id, &loaded, region_base, 96).expect("maps");
+            let mut exec = Executor::new(&mut m, id, None);
+            exec.run(mapping.entry, &ExecConfig::default()).expect("runs")
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
+    let mut g = c.benchmark_group("full_pipeline");
+    g.sample_size(10);
+    g.bench_function("mcf_fig5_end_to_end", |b| {
+        b.iter(|| run_pipeline(mcf, PolicyFigure::Fig5Ifcc, None, None).expect("compliant"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_decode,
+    bench_policies,
+    bench_rewriter,
+    bench_executor,
+    bench_full_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Regenerates Fig. 2: sizes of EnGarde's components.
+//!
+//! The paper counts lines of code per component (loader pieces, the
+//! three policy modules, the client program, and the crypto libraries
+//! it links). This binary counts the reproduction's components the same
+//! way — non-blank lines of Rust source — and prints both tables.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn count_lines(path: &Path) -> usize {
+    match fs::read_to_string(path) {
+        Ok(content) => content.lines().filter(|l| !l.trim().is_empty()).count(),
+        Err(_) => 0,
+    }
+}
+
+fn count_tree(dir: &Path) -> usize {
+    let mut total = 0;
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            total += count_tree(&p);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            total += count_lines(&p);
+        }
+    }
+    total
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate lives at crates/bench")
+        .to_path_buf()
+}
+
+fn main() {
+    let root = repo_root();
+    let core = root.join("crates/core/src");
+
+    let ours: Vec<(&str, usize)> = vec![
+        (
+            "Code provisioning (protocol + provision + provider + client)",
+            ["protocol.rs", "provision.rs", "provider.rs", "client.rs"]
+                .iter()
+                .map(|f| count_lines(&core.join(f)))
+                .sum(),
+        ),
+        (
+            "Loading and relocating (loader + relocate + symbols)",
+            ["loader.rs", "relocate.rs", "symbols.rs"]
+                .iter()
+                .map(|f| count_lines(&core.join(f)))
+                .sum(),
+        ),
+        (
+            "Checking executables linked against musl-libc",
+            count_lines(&core.join("policy/library_linking.rs")),
+        ),
+        (
+            "Checking executables compiled with stack protection",
+            count_lines(&core.join("policy/stack_protection.rs")),
+        ),
+        (
+            "Checking executables containing indirect function-call checks",
+            count_lines(&core.join("policy/ifcc.rs")),
+        ),
+        (
+            "Synthetic musl-libc (substitute for musl 1.0.5)",
+            count_lines(&root.join("crates/workloads/src/libc.rs")),
+        ),
+        (
+            "Crypto substrate (substitute for OpenSSL libcrypto+libssl)",
+            count_tree(&root.join("crates/crypto/src")),
+        ),
+        (
+            "x86-64 disassembler/validator (substitute for NaCl)",
+            count_tree(&root.join("crates/x86/src")),
+        ),
+        (
+            "SGX machine (substitute for OpenSGX)",
+            count_tree(&root.join("crates/sgx/src")),
+        ),
+    ];
+
+    // Paper Figure 2 (lines of C).
+    let paper: Vec<(&str, usize)> = vec![
+        ("Code Provisioning", 270),
+        ("Loading and Relocating", 188),
+        ("Checking Executables linked against musl-libc", 1_949),
+        ("Checking Executables Compiled with Stack Protection", 109),
+        ("Checking Executables Containing Indirect Function-Call Checks", 129),
+        ("Client's side program", 349),
+        ("Musl-libc", 90_728),
+        ("Lib crypto (openssl)", 287_985),
+        ("Lib ssl (openssl)", 63_566),
+        ("Total", 453_349),
+    ];
+
+    println!("Fig. 2 — Component sizes\n");
+    println!("This reproduction (non-blank lines of Rust, tests included):");
+    let mut total = 0;
+    for (name, loc) in &ours {
+        println!("  {loc:>7}  {name}");
+        total += loc;
+    }
+    println!("  {total:>7}  Total (EnGarde + substrates)\n");
+
+    println!("The paper (lines of C):");
+    for (name, loc) in &paper {
+        println!("  {loc:>7}  {name}");
+    }
+    println!(
+        "\nNote: the paper links stock musl-libc and OpenSSL (442 KLoC of \
+         third-party C);\nthe reproduction implements purpose-built \
+         substitutes, so its totals are smaller\nwhile covering the same \
+         functional surface."
+    );
+}

@@ -1,0 +1,131 @@
+//! The EnGarde error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any failure during enclave provisioning and inspection.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum EngardeError {
+    /// The client binary is not acceptable ELF.
+    Elf(engarde_elf::ElfError),
+    /// The client code could not be disassembled or failed NaCl-style
+    /// structural validation.
+    Disasm(engarde_x86::DisasmError),
+    /// The SGX machine or host refused an operation.
+    Sgx(engarde_sgx::SgxError),
+    /// A cryptographic operation failed (channel, attestation keys).
+    Crypto(engarde_crypto::CryptoError),
+    /// A page mixes code and data (EnGarde rejects such pages, §3).
+    MixedPage {
+        /// Index of the offending page within the client content.
+        page: usize,
+    },
+    /// A policy requires symbols but the binary is stripped
+    /// ("binaries that do not contain this information are auto-rejected
+    /// by EnGarde", §6).
+    StrippedBinary,
+    /// The code violates an agreed-upon policy.
+    PolicyViolation {
+        /// Name of the violated policy module.
+        policy: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A protocol message arrived out of order or malformed.
+    Protocol {
+        /// What went wrong.
+        what: String,
+    },
+    /// The enclave's working memory cannot hold the content (the paper's
+    /// motivation for raising OpenSGX's EPC to 32,000 pages).
+    OutOfEnclaveMemory {
+        /// What allocation failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for EngardeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngardeError::Elf(e) => write!(f, "ELF rejected: {e}"),
+            EngardeError::Disasm(e) => write!(f, "disassembly rejected: {e}"),
+            EngardeError::Sgx(e) => write!(f, "SGX failure: {e}"),
+            EngardeError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+            EngardeError::MixedPage { page } => {
+                write!(f, "page {page} mixes code and data")
+            }
+            EngardeError::StrippedBinary => {
+                write!(f, "binary is stripped but the policy requires symbols")
+            }
+            EngardeError::PolicyViolation { policy, reason } => {
+                write!(f, "policy '{policy}' violated: {reason}")
+            }
+            EngardeError::Protocol { what } => write!(f, "protocol violation: {what}"),
+            EngardeError::OutOfEnclaveMemory { what } => {
+                write!(f, "enclave memory exhausted: {what}")
+            }
+        }
+    }
+}
+
+impl Error for EngardeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngardeError::Elf(e) => Some(e),
+            EngardeError::Disasm(e) => Some(e),
+            EngardeError::Sgx(e) => Some(e),
+            EngardeError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<engarde_elf::ElfError> for EngardeError {
+    fn from(e: engarde_elf::ElfError) -> Self {
+        EngardeError::Elf(e)
+    }
+}
+
+impl From<engarde_x86::DisasmError> for EngardeError {
+    fn from(e: engarde_x86::DisasmError) -> Self {
+        EngardeError::Disasm(e)
+    }
+}
+
+impl From<engarde_sgx::SgxError> for EngardeError {
+    fn from(e: engarde_sgx::SgxError) -> Self {
+        EngardeError::Sgx(e)
+    }
+}
+
+impl From<engarde_crypto::CryptoError> for EngardeError {
+    fn from(e: engarde_crypto::CryptoError) -> Self {
+        EngardeError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error as _;
+        let e: EngardeError = engarde_elf::ElfError::BadMagic.into();
+        assert!(e.to_string().contains("ELF"));
+        assert!(e.source().is_some());
+        let p = EngardeError::PolicyViolation {
+            policy: "library-linking",
+            reason: "strlen hash mismatch".into(),
+        };
+        assert!(p.to_string().contains("strlen"));
+        assert!(p.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngardeError>();
+    }
+}

@@ -1,0 +1,242 @@
+//! The cloud provider: enclave creation, message transport, and the
+//! host-side enforcement component.
+//!
+//! The provider creates a fresh enclave provisioned with EnGarde, proves
+//! to the client (via the quoting enclave) that it was created securely,
+//! shuttles the client's encrypted blocks into the enclave — which it
+//! cannot read — and, once EnGarde reports the verdict, locks page
+//! permissions and prevents further extension (§3).
+//!
+//! What the provider *learns* is exactly the paper's contract: the
+//! compliance verdict and the virtual addresses of the client's code
+//! pages ([`ProviderView`]) — nothing else crosses the boundary.
+
+use crate::error::EngardeError;
+use crate::policy::PolicyModule;
+use crate::protocol::SignedVerdict;
+use crate::provision::{BootstrapSpec, EngardeEnclave, StageCycles, DEFAULT_ENCLAVE_BASE};
+use engarde_crypto::channel::SealedBlock;
+use engarde_crypto::rsa::RsaPublicKey;
+use engarde_sgx::attest::{Quote, QuotingEnclave};
+use engarde_sgx::epc::{PagePerms, PAGE_SIZE};
+use engarde_sgx::host::HostOs;
+use engarde_sgx::machine::{EnclaveId, MachineConfig, SgxMachine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Everything the provider is allowed to learn from an inspection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProviderView {
+    /// Whether the client's content is policy-compliant.
+    pub compliant: bool,
+    /// Virtual addresses of the client's executable pages (needed to set
+    /// page permissions). Empty on rejection.
+    pub exec_pages: Vec<u64>,
+    /// Provisioning-stage cycle costs (observable by the provider anyway
+    /// through timing).
+    pub stages: StageCycles,
+    /// Instructions inspected (proportional to content size, which the
+    /// provider already sees as ciphertext volume).
+    pub instructions: usize,
+}
+
+/// The cloud provider's machine, host OS, and active EnGarde sessions.
+pub struct CloudProvider {
+    host: HostOs,
+    sessions: HashMap<EnclaveId, EngardeEnclave>,
+    verdicts: HashMap<EnclaveId, SignedVerdict>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for CloudProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CloudProvider({} sessions)", self.sessions.len())
+    }
+}
+
+impl CloudProvider {
+    /// Boots a provider on a fresh SGX machine.
+    pub fn new(machine_config: MachineConfig) -> Self {
+        let seed = machine_config.seed ^ 0x00F0_0D5E;
+        CloudProvider {
+            host: HostOs::new(SgxMachine::new(machine_config)),
+            sessions: HashMap::new(),
+            verdicts: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The host OS (inspection and tests).
+    pub fn host(&self) -> &HostOs {
+        &self.host
+    }
+
+    /// Mutable host access (attack simulations in tests).
+    pub fn host_mut(&mut self) -> &mut HostOs {
+        &mut self.host
+    }
+
+    /// The machine's device public key — what remote clients pin to
+    /// verify quotes.
+    pub fn device_public_key(&self) -> RsaPublicKey {
+        self.host.machine().device_key().public().clone()
+    }
+
+    /// Creates and initializes a fresh EnGarde enclave from the agreed
+    /// spec and policy modules.
+    ///
+    /// The provider audits that the modules match the spec's descriptors
+    /// (both parties can inspect EnGarde's code, §3); a mismatch is
+    /// refused before any enclave is built.
+    ///
+    /// # Errors
+    ///
+    /// Fails on descriptor mismatch or SGX build errors.
+    pub fn create_engarde_enclave(
+        &mut self,
+        spec: BootstrapSpec,
+        policies: Vec<Box<dyn PolicyModule>>,
+    ) -> Result<EnclaveId, EngardeError> {
+        let actual: Vec<(String, Vec<u8>)> = policies
+            .iter()
+            .map(|p| (p.name().to_string(), p.descriptor()))
+            .collect();
+        if actual != spec.policy_descriptors {
+            return Err(EngardeError::Protocol {
+                what: "policy modules do not match the agreed bootstrap spec".into(),
+            });
+        }
+
+        let base = DEFAULT_ENCLAVE_BASE;
+        let id = self.host.create_enclave(base, spec.enclave_size())?;
+        // Bootstrap pages: EnGarde's code + policy configuration.
+        let bytes = spec.to_bootstrap_bytes();
+        let mut chunks: Vec<&[u8]> = bytes.chunks(PAGE_SIZE).collect();
+        while chunks.len() < spec.bootstrap_pages() {
+            chunks.push(&[]);
+        }
+        for (i, chunk) in chunks.iter().enumerate() {
+            self.host
+                .add_page(id, base + (i * PAGE_SIZE) as u64, chunk, PagePerms::RX)?;
+        }
+        // Client region: zero pages, writable until finalization.
+        let region_base = spec.client_region_base(base);
+        for p in 0..spec.client_region_pages {
+            self.host
+                .add_page(id, region_base + (p * PAGE_SIZE) as u64, &[], PagePerms::RWX)?;
+        }
+        self.host.machine_mut().einit(id)?;
+        self.host.machine_mut().eenter(id)?;
+
+        let engarde = EngardeEnclave::boot(&mut self.rng, id, base, spec, policies);
+        self.sessions.insert(id, engarde);
+        Ok(id)
+    }
+
+    fn session(&self, id: EnclaveId) -> Result<&EngardeEnclave, EngardeError> {
+        self.sessions.get(&id).ok_or_else(|| EngardeError::Protocol {
+            what: format!("no EnGarde session for enclave {id}"),
+        })
+    }
+
+    fn session_mut(&mut self, id: EnclaveId) -> Result<&mut EngardeEnclave, EngardeError> {
+        self.sessions
+            .get_mut(&id)
+            .ok_or_else(|| EngardeError::Protocol {
+                what: format!("no EnGarde session for enclave {id}"),
+            })
+    }
+
+    /// Answers a client's attestation challenge: the quoting enclave
+    /// signs the enclave's measurement with the channel public key bound
+    /// into the report data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quoting failures.
+    pub fn attest(&mut self, id: EnclaveId, nonce: [u8; 32]) -> Result<Quote, EngardeError> {
+        let report_data = self.session(id)?.public_key_digest();
+        Ok(QuotingEnclave::quote(
+            self.host.machine_mut(),
+            id,
+            report_data,
+            nonce,
+        )?)
+    }
+
+    /// The enclave's ephemeral public key (forwarded to the client; its
+    /// digest is already bound into the quote).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown enclaves.
+    pub fn enclave_public_key(&self, id: EnclaveId) -> Result<RsaPublicKey, EngardeError> {
+        Ok(self.session(id)?.public_key().clone())
+    }
+
+    /// Forwards the client's wrapped session key into the enclave.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures.
+    pub fn open_channel(&mut self, id: EnclaveId, wrapped_key: &[u8]) -> Result<(), EngardeError> {
+        self.session_mut(id)?.open_channel(wrapped_key)
+    }
+
+    /// Forwards one encrypted content block into the enclave. The
+    /// provider never sees the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel and protocol failures from inside the enclave.
+    pub fn deliver(&mut self, id: EnclaveId, block: &SealedBlock) -> Result<(), EngardeError> {
+        let mut session = self.sessions.remove(&id).ok_or_else(|| EngardeError::Protocol {
+            what: format!("no EnGarde session for enclave {id}"),
+        })?;
+        let result = session.receive(self.host.machine_mut(), block);
+        self.sessions.insert(id, session);
+        result
+    }
+
+    /// Runs EnGarde's inspection over the delivered content. On
+    /// compliance, applies the host-side enforcement: executable pages
+    /// become X-not-W, the rest W-not-X, and the enclave is locked
+    /// against extension. On rejection, the enclave is torn down (the
+    /// provider "can prevent the client from creating the enclave").
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors (incomplete content) and SGX failures.
+    pub fn inspect_and_provision(&mut self, id: EnclaveId) -> Result<ProviderView, EngardeError> {
+        let mut session = self.sessions.remove(&id).ok_or_else(|| EngardeError::Protocol {
+            what: format!("no EnGarde session for enclave {id}"),
+        })?;
+        if !session.content_complete() {
+            self.sessions.insert(id, session);
+            return Err(EngardeError::Protocol {
+                what: "content transfer incomplete".into(),
+            });
+        }
+        let outcome = session.inspect(self.host.machine_mut());
+        self.sessions.insert(id, session);
+        let outcome = outcome?;
+        self.verdicts.insert(id, outcome.verdict.clone());
+        if outcome.compliant {
+            self.host
+                .finalize_provisioned_enclave(id, &outcome.exec_pages)?;
+        }
+        Ok(ProviderView {
+            compliant: outcome.compliant,
+            exec_pages: outcome.exec_pages,
+            stages: outcome.stages,
+            instructions: outcome.instructions,
+        })
+    }
+
+    /// The signed verdict for the client to fetch and verify — the
+    /// provider cannot forge or flip it.
+    pub fn signed_verdict(&self, id: EnclaveId) -> Option<&SignedVerdict> {
+        self.verdicts.get(&id)
+    }
+}

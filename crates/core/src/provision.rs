@@ -1,0 +1,527 @@
+//! The in-enclave EnGarde component and its bootstrap description.
+//!
+//! EnGarde "primarily consists of in-enclave components that are loaded
+//! when an enclave is created" (§3): the crypto channel endpoint, the
+//! loader/disassembler, and the agreed-upon policy modules. The
+//! [`BootstrapSpec`] serialises that configuration into the bootstrap
+//! pages, so the enclave measurement — verified by *both* the provider
+//! and the client through attestation — pins the exact EnGarde build and
+//! policy set. [`EngardeEnclave`] is the running in-enclave state
+//! machine: it receives encrypted page chunks, reassembles and inspects
+//! the content, and produces a signed verdict plus the executable-page
+//! list for the host.
+
+use crate::error::EngardeError;
+use crate::loader::{load, LoaderConfig};
+use crate::policy::{run_policies, PolicyModule, PolicyReport};
+use crate::protocol::{
+    classify_pages, section_extents, ContentManifest, PagePayload, SignedVerdict,
+};
+use crate::relocate::{map_and_relocate, MappedSegments};
+use engarde_crypto::channel::{ChannelServer, SealedBlock, Session};
+use engarde_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use engarde_crypto::sha256::{Digest, Sha256};
+use engarde_sgx::epc::{PagePerms, PAGE_SIZE};
+use engarde_sgx::machine::{EnclaveId, MeasurementLog, SgxMachine};
+use engarde_sgx::perf::costs;
+use rand::Rng;
+
+/// Default enclave base linear address.
+pub const DEFAULT_ENCLAVE_BASE: u64 = 0x0010_0000;
+
+/// The agreed EnGarde build: version, loader settings, policy set, and
+/// memory layout. Both parties derive the expected enclave measurement
+/// from this.
+#[derive(Clone, Debug)]
+pub struct BootstrapSpec {
+    /// EnGarde version string.
+    pub version: String,
+    /// Loader configuration (heap size, allocation strategy).
+    pub loader: LoaderConfig,
+    /// `(name, descriptor)` of each agreed policy module, in run order.
+    pub policy_descriptors: Vec<(String, Vec<u8>)>,
+    /// Pages committed for the client's code/data/bss.
+    pub client_region_pages: usize,
+    /// Modulus size of the enclave's ephemeral RSA key (2048 in the
+    /// paper; tests use smaller for speed).
+    pub rsa_bits: usize,
+    /// The runtime-instrumentation extension (paper §1): when a binary
+    /// fails the stack-protection policy, rewrite it with canary
+    /// instrumentation and re-inspect instead of rejecting. Bound into
+    /// the measurement like every other configuration bit.
+    pub rewrite_non_compliant: bool,
+}
+
+impl BootstrapSpec {
+    /// Builds the spec from the actual policy modules (descriptors are
+    /// taken from the modules, so spec and behaviour cannot drift).
+    pub fn new(
+        version: &str,
+        loader: LoaderConfig,
+        policies: &[Box<dyn PolicyModule>],
+        client_region_pages: usize,
+        rsa_bits: usize,
+    ) -> Self {
+        BootstrapSpec {
+            version: version.to_string(),
+            loader,
+            policy_descriptors: policies
+                .iter()
+                .map(|p| (p.name().to_string(), p.descriptor()))
+                .collect(),
+            client_region_pages,
+            rsa_bits,
+            rewrite_non_compliant: false,
+        }
+    }
+
+    /// Enables the runtime-instrumentation (rewriting) extension.
+    pub fn with_rewriting(mut self) -> Self {
+        self.rewrite_non_compliant = true;
+        self
+    }
+
+    /// Serialises the spec into the bootstrap page contents. These bytes
+    /// stand in for EnGarde's code: they are what gets measured.
+    pub fn to_bootstrap_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"ENGARDE-BOOTSTRAP-V1\n");
+        out.extend_from_slice(self.version.as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(&(self.loader.heap_pages as u64).to_be_bytes());
+        out.push(matches!(
+            self.loader.allocation,
+            crate::loader::AllocationStrategy::PagePerCall
+        ) as u8);
+        out.push(self.loader.validate as u8);
+        out.push(self.loader.recover_stripped_symbols as u8);
+        out.extend_from_slice(&(self.client_region_pages as u64).to_be_bytes());
+        out.extend_from_slice(&(self.rsa_bits as u64).to_be_bytes());
+        out.push(self.rewrite_non_compliant as u8);
+        out.extend_from_slice(&(self.policy_descriptors.len() as u64).to_be_bytes());
+        for (name, descriptor) in &self.policy_descriptors {
+            out.extend_from_slice(&(name.len() as u64).to_be_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(descriptor.len() as u64).to_be_bytes());
+            out.extend_from_slice(descriptor);
+        }
+        out
+    }
+
+    /// Number of bootstrap pages the serialised spec occupies.
+    pub fn bootstrap_pages(&self) -> usize {
+        self.to_bootstrap_bytes().len().div_ceil(PAGE_SIZE).max(1)
+    }
+
+    /// Total enclave size in bytes (bootstrap + client region).
+    pub fn enclave_size(&self) -> u64 {
+        ((self.bootstrap_pages() + self.client_region_pages) * PAGE_SIZE) as u64
+    }
+
+    /// The client-region base for an enclave at `base`.
+    pub fn client_region_base(&self, base: u64) -> u64 {
+        base + (self.bootstrap_pages() * PAGE_SIZE) as u64
+    }
+
+    /// Predicts the measurement of an enclave built from this spec at
+    /// `base` — what the remote client compares the attestation quote
+    /// against.
+    pub fn expected_measurement(&self, base: u64) -> Digest {
+        let mut log = MeasurementLog::new(base, self.enclave_size());
+        let bytes = self.to_bootstrap_bytes();
+        for (i, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
+            let offset = (i * PAGE_SIZE) as u64;
+            log.eadd(offset, PagePerms::RX);
+            log.eextend_page(offset, chunk);
+        }
+        let region_off = (self.bootstrap_pages() * PAGE_SIZE) as u64;
+        for p in 0..self.client_region_pages {
+            let offset = region_off + (p * PAGE_SIZE) as u64;
+            log.eadd(offset, PagePerms::RWX);
+            log.eextend_page(offset, &[]);
+        }
+        log.finalize()
+    }
+}
+
+/// Per-stage cycle totals — the columns of the paper's Figs. 3–5 plus
+/// the (unreported) receive/decrypt stage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StageCycles {
+    /// Channel decryption and reassembly of the client content.
+    pub receive_decrypt: u64,
+    /// Disassembly (the "Disassembly" column).
+    pub disassembly: u64,
+    /// Policy checking (the "Policy Checking" column).
+    pub policy_checking: u64,
+    /// Loading and relocation (the "Loading and Relocation" column).
+    pub loading_relocation: u64,
+}
+
+impl StageCycles {
+    /// Sum of all stages.
+    pub fn total(&self) -> u64 {
+        self.receive_decrypt + self.disassembly + self.policy_checking + self.loading_relocation
+    }
+}
+
+/// The outcome of an inspection, as produced inside the enclave.
+#[derive(Clone, Debug)]
+pub struct InspectionOutcome {
+    /// Whether every policy passed.
+    pub compliant: bool,
+    /// Per-policy reports (empty on rejection).
+    pub policy_reports: Vec<PolicyReport>,
+    /// The signed verdict for the client.
+    pub verdict: SignedVerdict,
+    /// Executable pages for the host (empty on rejection).
+    pub exec_pages: Vec<u64>,
+    /// Mapped-segment details (None on rejection).
+    pub mapping: Option<MappedSegments>,
+    /// Stage cycle accounting.
+    pub stages: StageCycles,
+    /// Instructions disassembled.
+    pub instructions: usize,
+}
+
+/// The in-enclave EnGarde state machine.
+pub struct EngardeEnclave {
+    enclave: EnclaveId,
+    base: u64,
+    spec: BootstrapSpec,
+    policies: Vec<Box<dyn PolicyModule>>,
+    channel: ChannelServer,
+    session: Option<Session>,
+    manifest: Option<ContentManifest>,
+    pages: Vec<Option<Vec<u8>>>,
+    receive_cycles: u64,
+}
+
+impl std::fmt::Debug for EngardeEnclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EngardeEnclave(id={}, pages_received={}/{})",
+            self.enclave,
+            self.pages.iter().filter(|p| p.is_some()).count(),
+            self.pages.len()
+        )
+    }
+}
+
+impl EngardeEnclave {
+    /// Boots EnGarde inside enclave `enclave` at `base`: generates the
+    /// ephemeral RSA key pair (2048-bit in the paper's deployment).
+    pub fn boot<R: Rng + ?Sized>(
+        rng: &mut R,
+        enclave: EnclaveId,
+        base: u64,
+        spec: BootstrapSpec,
+        policies: Vec<Box<dyn PolicyModule>>,
+    ) -> Self {
+        let keypair = RsaKeyPair::generate(rng, spec.rsa_bits);
+        EngardeEnclave {
+            enclave,
+            base,
+            spec,
+            policies,
+            channel: ChannelServer::new(keypair),
+            session: None,
+            manifest: None,
+            pages: Vec::new(),
+            receive_cycles: 0,
+        }
+    }
+
+    /// The enclave id EnGarde runs in.
+    pub fn enclave_id(&self) -> EnclaveId {
+        self.enclave
+    }
+
+    /// The ephemeral public key advertised to the client (also bound
+    /// into the attestation quote).
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.channel.public_key()
+    }
+
+    /// Digest of the public key, bound into the quote's report data.
+    pub fn public_key_digest(&self) -> [u8; 64] {
+        let mut h = Sha256::new();
+        h.update(&self.channel.public_key().modulus_be());
+        h.update(&self.channel.public_key().exponent_be());
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(h.finalize().as_bytes());
+        out
+    }
+
+    /// Accepts the client's wrapped AES-256 session key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures.
+    pub fn open_channel(&mut self, wrapped_key: &[u8]) -> Result<(), EngardeError> {
+        self.session = Some(self.channel.accept(wrapped_key)?);
+        Ok(())
+    }
+
+    /// Receives one sealed block (the manifest first, then page chunks),
+    /// charging decryption work to the machine's counter.
+    ///
+    /// # Errors
+    ///
+    /// Channel authentication, ordering, and protocol-format failures.
+    pub fn receive(
+        &mut self,
+        machine: &mut SgxMachine,
+        block: &SealedBlock,
+    ) -> Result<(), EngardeError> {
+        let session = self.session.as_mut().ok_or_else(|| EngardeError::Protocol {
+            what: "content before channel establishment".into(),
+        })?;
+        let decrypt_cost = block.ciphertext.len() as u64 * costs::DECRYPT_PER_BYTE;
+        machine.counter_mut().charge_native(decrypt_cost);
+        self.receive_cycles += decrypt_cost;
+        let plaintext = session.open(block)?;
+        match self.manifest {
+            None => {
+                let manifest = ContentManifest::from_bytes(&plaintext)?;
+                self.pages = vec![None; manifest.page_count()];
+                self.manifest = Some(manifest);
+            }
+            Some(ref manifest) => {
+                let payload = PagePayload::from_bytes(&plaintext)?;
+                if payload.index >= manifest.page_count() {
+                    return Err(EngardeError::Protocol {
+                        what: format!("page index {} out of range", payload.index),
+                    });
+                }
+                self.pages[payload.index] = Some(payload.data);
+            }
+        }
+        Ok(())
+    }
+
+    /// True once the manifest and every declared page have arrived.
+    pub fn content_complete(&self) -> bool {
+        self.manifest.is_some() && self.pages.iter().all(|p| p.is_some())
+    }
+
+    fn reassemble(&self) -> Result<Vec<u8>, EngardeError> {
+        let manifest = self.manifest.as_ref().ok_or_else(|| EngardeError::Protocol {
+            what: "no manifest received".into(),
+        })?;
+        let mut image = Vec::with_capacity(manifest.total_len);
+        for (i, page) in self.pages.iter().enumerate() {
+            let page = page.as_ref().ok_or_else(|| EngardeError::Protocol {
+                what: format!("page {i} missing"),
+            })?;
+            image.extend_from_slice(page);
+        }
+        if image.len() != manifest.total_len {
+            return Err(EngardeError::Protocol {
+                what: format!(
+                    "reassembled {} bytes, manifest declared {}",
+                    image.len(),
+                    manifest.total_len
+                ),
+            });
+        }
+        Ok(image)
+    }
+
+    /// Runs the full inspection pipeline over the received content:
+    /// page-kind verification (mixed pages rejected), disassembly,
+    /// policy checking, and — if compliant — loading/relocation into
+    /// the client region.
+    ///
+    /// Always produces a signed verdict; structural and policy failures
+    /// yield `compliant = false` rather than an `Err` (errors are
+    /// reserved for protocol-level problems such as missing content).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the content is incomplete or the
+    /// verdict cannot be signed.
+    pub fn inspect(&mut self, machine: &mut SgxMachine) -> Result<InspectionOutcome, EngardeError> {
+        let image = self.reassemble()?;
+        let content_digest = Sha256::digest(&image);
+        let manifest = self.manifest.as_ref().expect("reassemble checked this");
+        let mut stages = StageCycles {
+            receive_decrypt: self.receive_cycles,
+            ..Default::default()
+        };
+
+        let run = |machine: &mut SgxMachine,
+                       stages: &mut StageCycles|
+         -> Result<(Vec<PolicyReport>, MappedSegments, usize, String), EngardeError> {
+            // ---- page-kind verification --------------------------------
+            let pre_parse = engarde_elf::parse::ElfFile::parse(&image)?;
+            let kinds = classify_pages(&section_extents(&pre_parse), image.len())?;
+            if kinds != manifest.page_kinds {
+                return Err(EngardeError::Protocol {
+                    what: "client-declared page kinds do not match the content".into(),
+                });
+            }
+
+            // ---- disassembly ---------------------------------------------
+            let snap = *machine.counter();
+            let mut loaded = load(machine, self.enclave, &image, &self.spec.loader)?;
+            stages.disassembly = machine.counter().since(&snap);
+
+            // ---- policy checking -------------------------------------------
+            let snap = *machine.counter();
+            let mut rewritten = false;
+            let reports = match run_policies(&self.policies, &loaded, machine.counter_mut()) {
+                Ok(reports) => reports,
+                // The runtime-instrumentation extension: a missing
+                // stack-protector is fixable by rewriting; anything
+                // else stays a rejection.
+                Err(EngardeError::PolicyViolation {
+                    policy: "stack-protection",
+                    ..
+                }) if self.spec.rewrite_non_compliant => {
+                    let (new_image, _report) =
+                        crate::rewrite::StackProtectorRewriter::new().rewrite(&loaded)?;
+                    loaded = load(machine, self.enclave, &new_image, &self.spec.loader)?;
+                    rewritten = true;
+                    run_policies(&self.policies, &loaded, machine.counter_mut())?
+                }
+                Err(e) => return Err(e),
+            };
+            stages.policy_checking = machine.counter().since(&snap);
+
+            // ---- loading & relocation ----------------------------------------
+            let snap = *machine.counter();
+            let region_base = self.spec.client_region_base(self.base);
+            let mapping = map_and_relocate(
+                machine,
+                self.enclave,
+                &loaded,
+                region_base,
+                self.spec.client_region_pages,
+            )?;
+            stages.loading_relocation = machine.counter().since(&snap);
+            let mut summary = reports
+                .iter()
+                .map(|r| format!("{}: {} items", r.policy, r.items_checked))
+                .collect::<Vec<_>>()
+                .join("; ");
+            if rewritten {
+                summary = format!("rewritten with canary instrumentation; {summary}");
+            }
+            Ok((reports, mapping, loaded.insns.len(), summary))
+        };
+
+        match run(machine, &mut stages) {
+            Ok((reports, mapping, instructions, summary)) => {
+                let verdict = self.sign_verdict(true, &summary, &content_digest)?;
+                Ok(InspectionOutcome {
+                    compliant: true,
+                    policy_reports: reports,
+                    verdict,
+                    exec_pages: mapping.exec_pages.clone(),
+                    mapping: Some(mapping),
+                    stages,
+                    instructions,
+                })
+            }
+            Err(e @ (EngardeError::Protocol { .. } | EngardeError::Sgx(_))) => Err(e),
+            Err(reason) => {
+                let detail = reason.to_string();
+                let verdict = self.sign_verdict(false, &detail, &content_digest)?;
+                Ok(InspectionOutcome {
+                    compliant: false,
+                    policy_reports: Vec::new(),
+                    verdict,
+                    exec_pages: Vec::new(),
+                    mapping: None,
+                    stages,
+                    instructions: 0,
+                })
+            }
+        }
+    }
+
+    fn sign_verdict(
+        &self,
+        compliant: bool,
+        detail: &str,
+        content_digest: &Digest,
+    ) -> Result<SignedVerdict, EngardeError> {
+        let msg = SignedVerdict::message(compliant, detail, content_digest);
+        let signature = self.channel.sign(&msg)?;
+        Ok(SignedVerdict {
+            compliant,
+            detail: detail.to_string(),
+            content_digest: *content_digest,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LibraryLinkingPolicy;
+    use engarde_workloads::libc::{Instrumentation, LibcLibrary};
+
+    fn policies() -> Vec<Box<dyn PolicyModule>> {
+        let lib = LibcLibrary::build(Instrumentation::None);
+        vec![Box::new(LibraryLinkingPolicy::new(
+            "musl-libc",
+            lib.function_hashes(),
+        ))]
+    }
+
+    fn spec() -> BootstrapSpec {
+        BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &policies(), 64, 512)
+    }
+
+    #[test]
+    fn bootstrap_bytes_are_deterministic_and_policy_sensitive() {
+        let a = spec().to_bootstrap_bytes();
+        let b = spec().to_bootstrap_bytes();
+        assert_eq!(a, b);
+        let no_policy = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &[], 64, 512);
+        assert_ne!(a, no_policy.to_bootstrap_bytes());
+    }
+
+    #[test]
+    fn expected_measurement_is_layout_sensitive() {
+        let s = spec();
+        let m1 = s.expected_measurement(DEFAULT_ENCLAVE_BASE);
+        let m2 = s.expected_measurement(DEFAULT_ENCLAVE_BASE);
+        assert_eq!(m1, m2);
+        assert_ne!(m1, s.expected_measurement(DEFAULT_ENCLAVE_BASE + 0x1000));
+        let bigger = BootstrapSpec {
+            client_region_pages: 65,
+            ..s
+        };
+        assert_ne!(m1, bigger.expected_measurement(DEFAULT_ENCLAVE_BASE));
+    }
+
+    #[test]
+    fn bootstrap_page_count_scales_with_descriptors() {
+        let s = spec();
+        assert!(s.bootstrap_pages() >= 1);
+        assert_eq!(
+            s.enclave_size(),
+            ((s.bootstrap_pages() + 64) * PAGE_SIZE) as u64
+        );
+        assert_eq!(
+            s.client_region_base(0x100000),
+            0x100000 + (s.bootstrap_pages() * PAGE_SIZE) as u64
+        );
+    }
+
+    #[test]
+    fn stage_cycles_total() {
+        let s = StageCycles {
+            receive_decrypt: 1,
+            disassembly: 2,
+            policy_checking: 3,
+            loading_relocation: 4,
+        };
+        assert_eq!(s.total(), 10);
+    }
+}

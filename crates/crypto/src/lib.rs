@@ -1,0 +1,129 @@
+//! # engarde-crypto
+//!
+//! From-scratch cryptographic substrate for the EnGarde stack.
+//!
+//! The EnGarde paper (§3–4) links OpenSSL's libcrypto/libssl into the
+//! enclave bootstrap to implement its provisioning channel. This crate is
+//! the reproduction's stand-in: everything is implemented in safe Rust on
+//! top of the standard library.
+//!
+//! - [`bignum`] — arbitrary-precision integers (the base of RSA),
+//! - [`sha256`] — FIPS 180-4 SHA-256 (measurement, function-hash DBs),
+//! - [`hmac`] — HMAC-SHA256 and constant-time comparison,
+//! - [`aes`] — AES-128/256 + CTR mode,
+//! - [`rsa`] — 2048-bit key generation, PKCS#1 v1.5 encrypt/sign,
+//! - [`channel`] — the paper's enclave-provisioning channel.
+//!
+//! # Examples
+//!
+//! ```
+//! use engarde_crypto::sha256::Sha256;
+//!
+//! // The measurement primitive the whole stack leans on.
+//! let digest = Sha256::digest(b"enclave page contents");
+//! assert_eq!(digest.as_bytes().len(), 32);
+//! ```
+//!
+//! These primitives are written for clarity and testability, not for
+//! side-channel resistance: the simulated SGX machine never executes them
+//! under a real adversary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod bignum;
+pub mod channel;
+pub mod hmac;
+pub mod rsa;
+pub mod sha256;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// Plaintext exceeds the RSA block capacity.
+    MessageTooLong {
+        /// Actual plaintext length in bytes.
+        len: usize,
+        /// Maximum length the key can wrap.
+        max: usize,
+    },
+    /// RSA decryption failed (wrong length, padding, or key).
+    DecryptionFailed,
+    /// Signature verification failed.
+    SignatureInvalid,
+    /// The RSA modulus is too small for the requested operation.
+    KeyTooSmall {
+        /// Modulus width in bits.
+        bits: usize,
+    },
+    /// A wire message could not be parsed.
+    MalformedMessage,
+    /// A channel block arrived out of order or was replayed.
+    SequenceMismatch {
+        /// The sequence number the receiver expected next.
+        expected: u64,
+        /// The sequence number carried by the block.
+        got: u64,
+    },
+    /// A channel block failed MAC verification.
+    AuthenticationFailed,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MessageTooLong { len, max } => {
+                write!(f, "message of {len} bytes exceeds RSA capacity of {max} bytes")
+            }
+            CryptoError::DecryptionFailed => write!(f, "RSA decryption failed"),
+            CryptoError::SignatureInvalid => write!(f, "signature verification failed"),
+            CryptoError::KeyTooSmall { bits } => {
+                write!(f, "RSA modulus of {bits} bits is too small for this operation")
+            }
+            CryptoError::MalformedMessage => write!(f, "malformed wire message"),
+            CryptoError::SequenceMismatch { expected, got } => {
+                write!(f, "sequence mismatch: expected {expected}, got {got}")
+            }
+            CryptoError::AuthenticationFailed => write!(f, "message authentication failed"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_lowercase_without_period() {
+        let errors: Vec<CryptoError> = vec![
+            CryptoError::MessageTooLong { len: 100, max: 53 },
+            CryptoError::DecryptionFailed,
+            CryptoError::SignatureInvalid,
+            CryptoError::KeyTooSmall { bits: 128 },
+            CryptoError::MalformedMessage,
+            CryptoError::SequenceMismatch {
+                expected: 1,
+                got: 3,
+            },
+            CryptoError::AuthenticationFailed,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "{s:?} should not end with a period");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

@@ -1,0 +1,549 @@
+//! ELF64 reader with the validation EnGarde's loader performs (§4).
+//!
+//! The paper's loader "checks its header to verify that the executable is
+//! correctly formatted", including "checking the signature as well as the
+//! ELF class of the executable", requires position-independent,
+//! statically-linked x86-64 executables, and then walks text sections,
+//! symbol tables and the `.dynamic` section for relocation metadata.
+//!
+//! # Examples
+//!
+//! ```
+//! use engarde_elf::build::ElfBuilder;
+//! use engarde_elf::parse::ElfFile;
+//!
+//! # fn main() -> Result<(), engarde_elf::ElfError> {
+//! let image = ElfBuilder::new()
+//!     .text(vec![0xc3])            // ret
+//!     .entry(0)
+//!     .build();
+//! let elf = ElfFile::parse(&image)?;
+//! assert_eq!(elf.text_sections().count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::types::*;
+use crate::ElfError;
+
+/// A parsed section together with its name and raw contents.
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// Section name (e.g. `.text`).
+    pub name: String,
+    /// The raw section header.
+    pub header: SectionHeader,
+    /// Section contents (empty for `SHT_NOBITS`).
+    pub data: Vec<u8>,
+}
+
+impl Section {
+    /// True for executable (`SHF_EXECINSTR`) allocated sections.
+    pub fn is_text(&self) -> bool {
+        self.header.sh_flags & SHF_EXECINSTR != 0 && self.header.sh_flags & SHF_ALLOC != 0
+    }
+}
+
+/// A parsed symbol with its resolved name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NamedSymbol {
+    /// Symbol name.
+    pub name: String,
+    /// The raw symbol entry.
+    pub symbol: Symbol,
+}
+
+impl NamedSymbol {
+    /// True for function symbols (`STT_FUNC`).
+    pub fn is_function(&self) -> bool {
+        self.symbol.sym_type() == STT_FUNC
+    }
+}
+
+/// A fully parsed and validated ELF64 file.
+#[derive(Clone, Debug)]
+pub struct ElfFile {
+    header: Elf64Header,
+    program_headers: Vec<ProgramHeader>,
+    sections: Vec<Section>,
+    symbols: Vec<NamedSymbol>,
+    dynamic: Vec<Dyn>,
+}
+
+impl ElfFile {
+    /// Parses and validates an ELF64 image.
+    ///
+    /// Performs the checks EnGarde's loader performs before disassembly:
+    /// magic, 64-bit class, little-endian encoding, x86-64 machine, and
+    /// well-formed header tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive [`ElfError`] for any malformed or unsupported
+    /// structure. Policy-level requirements (PIE, static linking, symbol
+    /// presence) are separate checks: see [`ElfFile::require_pie`],
+    /// [`ElfFile::require_static`] and [`ElfFile::symbols`].
+    pub fn parse(data: &[u8]) -> Result<Self, ElfError> {
+        if data.len() < EHDR_SIZE {
+            return Err(ElfError::Truncated {
+                what: "file header",
+            });
+        }
+        if data[0..4] != ELF_MAGIC {
+            return Err(ElfError::BadMagic);
+        }
+        if data[4] != ELFCLASS64 {
+            return Err(ElfError::BadClass { class: data[4] });
+        }
+        if data[5] != ELFDATA2LSB {
+            return Err(ElfError::BadEncoding { encoding: data[5] });
+        }
+        if data[6] != EV_CURRENT {
+            return Err(ElfError::BadVersion { version: data[6] });
+        }
+        let header = Elf64Header {
+            e_type: read_u16(data, 16),
+            e_machine: read_u16(data, 18),
+            e_entry: read_u64(data, 24),
+            e_phoff: read_u64(data, 32),
+            e_shoff: read_u64(data, 40),
+            e_flags: read_u32(data, 48),
+            e_phnum: read_u16(data, 56),
+            e_shnum: read_u16(data, 60),
+            e_shstrndx: read_u16(data, 62),
+        };
+        if header.e_machine != EM_X86_64 {
+            return Err(ElfError::BadMachine {
+                machine: header.e_machine,
+            });
+        }
+        let phentsize = read_u16(data, 54) as usize;
+        if header.e_phnum > 0 && phentsize != PHDR_SIZE {
+            return Err(ElfError::BadTableEntry {
+                what: "program header",
+                size: phentsize,
+            });
+        }
+        let shentsize = read_u16(data, 58) as usize;
+        if header.e_shnum > 0 && shentsize != SHDR_SIZE {
+            return Err(ElfError::BadTableEntry {
+                what: "section header",
+                size: shentsize,
+            });
+        }
+
+        // Program headers.
+        let mut program_headers = Vec::with_capacity(header.e_phnum as usize);
+        for i in 0..header.e_phnum as usize {
+            let off = header.e_phoff as usize + i * PHDR_SIZE;
+            let end = off
+                .checked_add(PHDR_SIZE)
+                .filter(|&e| e <= data.len())
+                .ok_or(ElfError::Truncated {
+                    what: "program header table",
+                })?;
+            let p = &data[off..end];
+            program_headers.push(ProgramHeader {
+                p_type: read_u32(p, 0),
+                p_flags: read_u32(p, 4),
+                p_offset: read_u64(p, 8),
+                p_vaddr: read_u64(p, 16),
+                p_paddr: read_u64(p, 24),
+                p_filesz: read_u64(p, 32),
+                p_memsz: read_u64(p, 40),
+                p_align: read_u64(p, 48),
+            });
+        }
+
+        // Section headers.
+        let mut raw_sections = Vec::with_capacity(header.e_shnum as usize);
+        for i in 0..header.e_shnum as usize {
+            let off = header.e_shoff as usize + i * SHDR_SIZE;
+            let end = off
+                .checked_add(SHDR_SIZE)
+                .filter(|&e| e <= data.len())
+                .ok_or(ElfError::Truncated {
+                    what: "section header table",
+                })?;
+            let s = &data[off..end];
+            raw_sections.push(SectionHeader {
+                sh_name: read_u32(s, 0),
+                sh_type: read_u32(s, 4),
+                sh_flags: read_u64(s, 8),
+                sh_addr: read_u64(s, 16),
+                sh_offset: read_u64(s, 24),
+                sh_size: read_u64(s, 32),
+                sh_link: read_u32(s, 40),
+                sh_info: read_u32(s, 44),
+                sh_addralign: read_u64(s, 48),
+                sh_entsize: read_u64(s, 56),
+            });
+        }
+
+        // Section name string table.
+        let shstrtab = if header.e_shnum > 0 {
+            let idx = header.e_shstrndx as usize;
+            if idx >= raw_sections.len() {
+                return Err(ElfError::BadStringTable);
+            }
+            section_bytes(data, &raw_sections[idx])?
+        } else {
+            Vec::new()
+        };
+
+        let mut sections = Vec::with_capacity(raw_sections.len());
+        for sh in &raw_sections {
+            let name = str_at(&shstrtab, sh.sh_name as usize)?;
+            let bytes = if sh.sh_type == SHT_NOBITS || sh.sh_type == SHT_NULL {
+                Vec::new()
+            } else {
+                section_bytes(data, sh)?
+            };
+            sections.push(Section {
+                name,
+                header: *sh,
+                data: bytes,
+            });
+        }
+
+        // Symbol table (the paper's loader "reads the symbol tables to
+        // keep track of the address and name of all the functions").
+        let mut symbols = Vec::new();
+        if let Some(symtab) = sections.iter().find(|s| s.header.sh_type == SHT_SYMTAB) {
+            let strtab_idx = symtab.header.sh_link as usize;
+            let strtab = sections
+                .get(strtab_idx)
+                .ok_or(ElfError::BadStringTable)?
+                .data
+                .clone();
+            if symtab.data.len() % SYM_SIZE != 0 {
+                return Err(ElfError::BadTableEntry {
+                    what: "symbol",
+                    size: symtab.data.len() % SYM_SIZE,
+                });
+            }
+            for chunk in symtab.data.chunks(SYM_SIZE) {
+                let sym = Symbol {
+                    st_name: read_u32(chunk, 0),
+                    st_info: chunk[4],
+                    st_other: chunk[5],
+                    st_shndx: read_u16(chunk, 6),
+                    st_value: read_u64(chunk, 8),
+                    st_size: read_u64(chunk, 16),
+                };
+                let name = str_at(&strtab, sym.st_name as usize)?;
+                symbols.push(NamedSymbol { name, symbol: sym });
+            }
+        }
+
+        // .dynamic entries.
+        let mut dynamic = Vec::new();
+        if let Some(dyn_sec) = sections.iter().find(|s| s.header.sh_type == SHT_DYNAMIC) {
+            if dyn_sec.data.len() % DYN_SIZE != 0 {
+                return Err(ElfError::BadTableEntry {
+                    what: "dynamic",
+                    size: dyn_sec.data.len() % DYN_SIZE,
+                });
+            }
+            for chunk in dyn_sec.data.chunks(DYN_SIZE) {
+                let d = Dyn {
+                    d_tag: i64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes")),
+                    d_val: read_u64(chunk, 8),
+                };
+                if d.d_tag == DT_NULL {
+                    break;
+                }
+                dynamic.push(d);
+            }
+        }
+
+        Ok(ElfFile {
+            header,
+            program_headers,
+            sections,
+            symbols,
+            dynamic,
+        })
+    }
+
+    /// The parsed file header.
+    pub fn header(&self) -> &Elf64Header {
+        &self.header
+    }
+
+    /// All program headers.
+    pub fn program_headers(&self) -> &[ProgramHeader] {
+        &self.program_headers
+    }
+
+    /// All sections (including the null section).
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Looks up a section by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Iterates over executable (`.text`-like) sections.
+    pub fn text_sections(&self) -> impl Iterator<Item = &Section> {
+        self.sections.iter().filter(|s| s.is_text())
+    }
+
+    /// All symbols (empty when the binary is stripped).
+    pub fn symbols(&self) -> &[NamedSymbol] {
+        &self.symbols
+    }
+
+    /// Iterates over function symbols.
+    pub fn function_symbols(&self) -> impl Iterator<Item = &NamedSymbol> {
+        self.symbols.iter().filter(|s| s.is_function())
+    }
+
+    /// All `.dynamic` entries (up to but excluding `DT_NULL`).
+    pub fn dynamic(&self) -> &[Dyn] {
+        &self.dynamic
+    }
+
+    /// Returns the value of a `.dynamic` entry by tag.
+    pub fn dynamic_value(&self, tag: i64) -> Option<u64> {
+        self.dynamic.iter().find(|d| d.d_tag == tag).map(|d| d.d_val)
+    }
+
+    /// Ensures the binary is a position-independent executable (`ET_DYN`),
+    /// as EnGarde requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElfError::NotPie`] otherwise.
+    pub fn require_pie(&self) -> Result<(), ElfError> {
+        if self.header.e_type == ET_DYN {
+            Ok(())
+        } else {
+            Err(ElfError::NotPie {
+                e_type: self.header.e_type,
+            })
+        }
+    }
+
+    /// Ensures the binary is statically linked (no `PT_INTERP` segment,
+    /// no `DT_NEEDED` dependencies), as EnGarde requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElfError::NotStatic`] otherwise.
+    pub fn require_static(&self) -> Result<(), ElfError> {
+        if self.program_headers.iter().any(|p| p.p_type == PT_INTERP)
+            || self.dynamic.iter().any(|d| d.d_tag == DT_NEEDED)
+        {
+            Err(ElfError::NotStatic)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Parses the RELA relocation table referenced from `.dynamic`
+    /// (`DT_RELA`/`DT_RELASZ`/`DT_RELAENT`), the way the paper's loader
+    /// "acquires all the information that it needs for relocations from
+    /// the .dynamic section".
+    ///
+    /// Returns an empty vector when the binary has no relocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElfError::BadRelocationTable`] if the `.dynamic` entries
+    /// are inconsistent with the file contents.
+    pub fn rela_entries(&self) -> Result<Vec<Rela>, ElfError> {
+        let Some(rela_addr) = self.dynamic_value(DT_RELA) else {
+            return Ok(Vec::new());
+        };
+        let size = self
+            .dynamic_value(DT_RELASZ)
+            .ok_or(ElfError::BadRelocationTable)?;
+        let ent = self
+            .dynamic_value(DT_RELAENT)
+            .ok_or(ElfError::BadRelocationTable)?;
+        if ent as usize != RELA_SIZE || size % ent != 0 {
+            return Err(ElfError::BadRelocationTable);
+        }
+        // Find the section that contains the table by virtual address.
+        let sec = self
+            .sections
+            .iter()
+            .find(|s| {
+                s.header.sh_addr <= rela_addr
+                    && rela_addr + size <= s.header.sh_addr + s.header.sh_size
+                    && s.header.sh_type != SHT_NOBITS
+            })
+            .ok_or(ElfError::BadRelocationTable)?;
+        let start = (rela_addr - sec.header.sh_addr) as usize;
+        let bytes = &sec.data[start..start + size as usize];
+        Ok(bytes
+            .chunks(RELA_SIZE)
+            .map(|c| Rela {
+                r_offset: read_u64(c, 0),
+                r_info: read_u64(c, 8),
+                r_addend: i64::from_le_bytes(c[16..24].try_into().expect("8 bytes")),
+            })
+            .collect())
+    }
+}
+
+fn section_bytes(data: &[u8], sh: &SectionHeader) -> Result<Vec<u8>, ElfError> {
+    let off = sh.sh_offset as usize;
+    let end = off
+        .checked_add(sh.sh_size as usize)
+        .filter(|&e| e <= data.len())
+        .ok_or(ElfError::Truncated { what: "section" })?;
+    Ok(data[off..end].to_vec())
+}
+
+fn str_at(strtab: &[u8], offset: usize) -> Result<String, ElfError> {
+    if offset > strtab.len() {
+        return Err(ElfError::BadStringTable);
+    }
+    let rest = &strtab[offset..];
+    let nul = rest
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(ElfError::BadStringTable)?;
+    String::from_utf8(rest[..nul].to_vec()).map_err(|_| ElfError::BadStringTable)
+}
+
+fn read_u16(data: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(data[off..off + 2].try_into().expect("2 bytes"))
+}
+
+fn read_u32(data: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(data: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ElfBuilder;
+
+    fn sample() -> Vec<u8> {
+        ElfBuilder::new()
+            .text(vec![0x90, 0x90, 0xc3]) // nop; nop; ret
+            .data(vec![1, 2, 3, 4])
+            .bss_size(32)
+            .entry(0)
+            .function("main", 0, 3)
+            .relative_relocation(0x10, 0x20)
+            .build()
+    }
+
+    #[test]
+    fn parse_round_trip_basics() {
+        let elf = ElfFile::parse(&sample()).expect("parse");
+        assert_eq!(elf.header().e_type, ET_DYN);
+        assert_eq!(elf.header().e_machine, EM_X86_64);
+        elf.require_pie().expect("is PIE");
+        elf.require_static().expect("is static");
+        assert_eq!(elf.text_sections().count(), 1);
+        assert_eq!(elf.section(".text").expect("has .text").data, vec![0x90, 0x90, 0xc3]);
+        assert_eq!(elf.section(".data").expect("has .data").data, vec![1, 2, 3, 4]);
+        let bss = elf.section(".bss").expect("has .bss");
+        assert_eq!(bss.header.sh_size, 32);
+        assert!(bss.data.is_empty());
+    }
+
+    #[test]
+    fn symbols_resolved() {
+        let elf = ElfFile::parse(&sample()).expect("parse");
+        let main = elf
+            .function_symbols()
+            .find(|s| s.name == "main")
+            .expect("main symbol");
+        assert!(main.is_function());
+        assert_eq!(main.symbol.st_size, 3);
+    }
+
+    #[test]
+    fn relocations_resolved() {
+        let elf = ElfFile::parse(&sample()).expect("parse");
+        let relas = elf.rela_entries().expect("relas");
+        assert_eq!(relas.len(), 1);
+        assert_eq!(relas[0].rel_type(), R_X86_64_RELATIVE);
+        assert_eq!(relas[0].r_addend, 0x20);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut img = sample();
+        img[0] = 0x7e;
+        assert!(matches!(ElfFile::parse(&img), Err(ElfError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_32_bit_class() {
+        let mut img = sample();
+        img[4] = 1;
+        assert!(matches!(
+            ElfFile::parse(&img),
+            Err(ElfError::BadClass { class: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_big_endian() {
+        let mut img = sample();
+        img[5] = 2;
+        assert!(matches!(
+            ElfFile::parse(&img),
+            Err(ElfError::BadEncoding { encoding: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_machine() {
+        let mut img = sample();
+        img[18..20].copy_from_slice(&EM_386.to_le_bytes());
+        assert!(matches!(
+            ElfFile::parse(&img),
+            Err(ElfError::BadMachine { machine: EM_386 })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let img = sample();
+        assert!(ElfFile::parse(&img[..40]).is_err());
+        assert!(ElfFile::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_pie() {
+        let mut img = sample();
+        img[16..18].copy_from_slice(&ET_EXEC.to_le_bytes());
+        let elf = ElfFile::parse(&img).expect("parses");
+        assert!(matches!(
+            elf.require_pie(),
+            Err(ElfError::NotPie { e_type: ET_EXEC })
+        ));
+    }
+
+    #[test]
+    fn detects_dynamic_linking() {
+        let img = ElfBuilder::new()
+            .text(vec![0xc3])
+            .entry(0)
+            .needed_library(1) // fake DT_NEEDED
+            .build();
+        let elf = ElfFile::parse(&img).expect("parses");
+        assert!(matches!(elf.require_static(), Err(ElfError::NotStatic)));
+    }
+
+    #[test]
+    fn stripped_binary_has_no_symbols() {
+        let img = ElfBuilder::new().text(vec![0xc3]).entry(0).strip().build();
+        let elf = ElfFile::parse(&img).expect("parses");
+        assert!(elf.symbols().is_empty());
+    }
+}

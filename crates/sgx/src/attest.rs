@@ -1,0 +1,254 @@
+//! Remote attestation: the quoting enclave and quote verification.
+//!
+//! The paper (§2): each SGX machine carries an Intel-provided *quoting
+//! enclave* that obtains a measurement of a newly-created enclave via
+//! `EREPORT` and signs it with a device-specific private key (the Intel
+//! EPID key) that only the quoting enclave can access. A remote client
+//! verifies the signature, obtaining a hardware-rooted guarantee that the
+//! enclave was initialized correctly.
+//!
+//! EnGarde leans on one more detail (§2, §3): the enclave's ephemeral
+//! public key is bound into the quote's user data, so a verified quote
+//! also authenticates the channel endpoint.
+//!
+//! The EPID group signature is replaced by a per-machine RSA signature —
+//! the protocol structure (challenge → report → quote → verify) is
+//! unchanged; only the root of trust is simulated.
+
+use crate::machine::{EnclaveId, Report, SgxMachine};
+use crate::SgxError;
+use engarde_crypto::rsa::RsaPublicKey;
+use engarde_crypto::sha256::Digest;
+
+/// A signed attestation quote.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Quote {
+    /// The attested enclave.
+    pub enclave_id: EnclaveId,
+    /// The enclave's measurement.
+    pub measurement: Digest,
+    /// Caller data bound into the quote (EnGarde: a digest of the
+    /// enclave's ephemeral RSA public key).
+    pub report_data: [u8; 64],
+    /// The verifier's challenge nonce, bound against replay.
+    pub nonce: [u8; 32],
+    /// Device-key signature over all of the above.
+    pub signature: Vec<u8>,
+}
+
+impl Quote {
+    fn signed_message(
+        enclave_id: EnclaveId,
+        measurement: &Digest,
+        report_data: &[u8; 64],
+        nonce: &[u8; 32],
+    ) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(8 + 32 + 64 + 32);
+        msg.extend_from_slice(b"SGX-QUOTE-V1");
+        msg.extend_from_slice(&enclave_id.to_le_bytes());
+        msg.extend_from_slice(measurement.as_bytes());
+        msg.extend_from_slice(report_data);
+        msg.extend_from_slice(nonce);
+        msg
+    }
+
+    /// Verifies the quote against a pinned device public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::AttestationFailed`] if the signature does not
+    /// verify.
+    pub fn verify(&self, device_key: &RsaPublicKey) -> Result<(), SgxError> {
+        let msg = Self::signed_message(
+            self.enclave_id,
+            &self.measurement,
+            &self.report_data,
+            &self.nonce,
+        );
+        device_key
+            .verify(&msg, &self.signature)
+            .map_err(|_| SgxError::AttestationFailed {
+                what: "quote signature does not verify",
+            })
+    }
+
+    /// Verifies the quote *and* that it attests an expected measurement
+    /// and answers the expected challenge nonce — the full remote-client
+    /// check from the paper's protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::AttestationFailed`] naming the first check
+    /// that failed.
+    pub fn verify_full(
+        &self,
+        device_key: &RsaPublicKey,
+        expected_measurement: &Digest,
+        expected_nonce: &[u8; 32],
+    ) -> Result<(), SgxError> {
+        self.verify(device_key)?;
+        if &self.measurement != expected_measurement {
+            return Err(SgxError::AttestationFailed {
+                what: "measurement does not match the expected enclave contents",
+            });
+        }
+        if &self.nonce != expected_nonce {
+            return Err(SgxError::AttestationFailed {
+                what: "challenge nonce mismatch (possible replay)",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The quoting enclave: turns local reports into remotely-verifiable
+/// quotes using the machine's device key.
+#[derive(Debug)]
+pub struct QuotingEnclave;
+
+impl QuotingEnclave {
+    /// Produces a quote for `enclave` answering the verifier's `nonce`,
+    /// binding `report_data` (EnGarde: the channel public-key digest).
+    ///
+    /// Internally runs `EREPORT`, verifies the report MAC (only possible
+    /// on-machine), and signs with the device key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates report errors; fails with
+    /// [`SgxError::AttestationFailed`] if the local report MAC is bad.
+    pub fn quote(
+        machine: &mut SgxMachine,
+        enclave: EnclaveId,
+        report_data: [u8; 64],
+        nonce: [u8; 32],
+    ) -> Result<Quote, SgxError> {
+        let report: Report = machine.ereport(enclave, report_data)?;
+        if !machine.verify_report(&report) {
+            return Err(SgxError::AttestationFailed {
+                what: "local report MAC does not verify",
+            });
+        }
+        let msg = Quote::signed_message(
+            report.enclave_id,
+            &report.measurement,
+            &report.report_data,
+            &nonce,
+        );
+        let signature = machine
+            .device_key()
+            .sign(&msg)
+            .map_err(|_| SgxError::AttestationFailed {
+                what: "device key cannot sign the quote",
+            })?;
+        Ok(Quote {
+            enclave_id: report.enclave_id,
+            measurement: report.measurement,
+            report_data: report.report_data,
+            nonce,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epc::{PagePerms, PAGE_SIZE};
+    use crate::instr::SgxVersion;
+    use crate::machine::MachineConfig;
+
+    fn machine() -> SgxMachine {
+        SgxMachine::new(MachineConfig {
+            epc_pages: 16,
+            version: SgxVersion::V2,
+            device_key_bits: 512,
+            seed: 7,
+        })
+    }
+
+    fn initialized_enclave(m: &mut SgxMachine) -> EnclaveId {
+        let id = m.ecreate(0x10000, PAGE_SIZE as u64).expect("ecreate");
+        m.eadd(id, 0x10000, b"bootstrap code", PagePerms::RWX)
+            .expect("eadd");
+        m.eextend(id, 0x10000).expect("eextend");
+        m.einit(id).expect("einit");
+        id
+    }
+
+    #[test]
+    fn quote_round_trip() {
+        let mut m = machine();
+        let id = initialized_enclave(&mut m);
+        let nonce = [5u8; 32];
+        let quote = QuotingEnclave::quote(&mut m, id, [1u8; 64], nonce).expect("quote");
+        quote.verify(m.device_key().public()).expect("verifies");
+        let measurement = m.enclave(id).expect("enclave").measurement().expect("measured");
+        quote
+            .verify_full(m.device_key().public(), &measurement, &nonce)
+            .expect("full check");
+    }
+
+    #[test]
+    fn forged_measurement_rejected() {
+        let mut m = machine();
+        let id = initialized_enclave(&mut m);
+        let mut quote = QuotingEnclave::quote(&mut m, id, [0u8; 64], [0u8; 32]).expect("quote");
+        quote.measurement = engarde_crypto::sha256::Sha256::digest(b"forged");
+        assert!(quote.verify(m.device_key().public()).is_err());
+    }
+
+    #[test]
+    fn tampered_report_data_rejected() {
+        let mut m = machine();
+        let id = initialized_enclave(&mut m);
+        let mut quote = QuotingEnclave::quote(&mut m, id, [0u8; 64], [0u8; 32]).expect("quote");
+        quote.report_data[10] ^= 0xff;
+        assert!(quote.verify(m.device_key().public()).is_err());
+    }
+
+    #[test]
+    fn nonce_replay_detected() {
+        let mut m = machine();
+        let id = initialized_enclave(&mut m);
+        let measurement = m.enclave(id).expect("enclave").measurement().expect("measured");
+        let quote = QuotingEnclave::quote(&mut m, id, [0u8; 64], [1u8; 32]).expect("quote");
+        // Verifier expected a different (fresh) nonce.
+        let err = quote
+            .verify_full(m.device_key().public(), &measurement, &[2u8; 32])
+            .unwrap_err();
+        assert!(matches!(err, SgxError::AttestationFailed { what } if what.contains("nonce")));
+    }
+
+    #[test]
+    fn wrong_expected_measurement_detected() {
+        let mut m = machine();
+        let id = initialized_enclave(&mut m);
+        let quote = QuotingEnclave::quote(&mut m, id, [0u8; 64], [1u8; 32]).expect("quote");
+        let wrong = engarde_crypto::sha256::Sha256::digest(b"other enclave");
+        assert!(quote
+            .verify_full(m.device_key().public(), &wrong, &[1u8; 32])
+            .is_err());
+    }
+
+    #[test]
+    fn quote_from_foreign_machine_rejected() {
+        let mut m1 = machine();
+        let id = initialized_enclave(&mut m1);
+        let quote = QuotingEnclave::quote(&mut m1, id, [0u8; 64], [0u8; 32]).expect("quote");
+        let m2 = SgxMachine::new(MachineConfig {
+            epc_pages: 16,
+            version: SgxVersion::V2,
+            device_key_bits: 512,
+            seed: 99, // different device key
+        });
+        assert!(quote.verify(m2.device_key().public()).is_err());
+    }
+
+    #[test]
+    fn uninitialized_enclave_cannot_be_quoted() {
+        let mut m = machine();
+        let id = m.ecreate(0x10000, PAGE_SIZE as u64).expect("ecreate");
+        assert!(QuotingEnclave::quote(&mut m, id, [0u8; 64], [0u8; 32]).is_err());
+    }
+}

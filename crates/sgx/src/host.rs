@@ -1,0 +1,349 @@
+//! The host-OS component: page tables, W^X enforcement, and enclave
+//! extension lockout.
+//!
+//! The paper (§3): "EnGarde also contains a host-level component, either
+//! running within the host's OS kernel or the hypervisor. … The underlying
+//! OS component marks these pages as executable, but not writable. The
+//! remaining pages are given write permissions, but are not given execute
+//! permissions. The host OS component of EnGarde also prevents the enclave
+//! from being extended after it has been provisioned."
+//!
+//! Crucially (§3/§4): on SGX **v1** page permissions exist only in the
+//! host's page tables, which a *malicious* host can flip back — the
+//! AsyncShock-style attack the paper cites. On SGX **v2** the host
+//! component additionally restricts EPCM permissions (`EMODPR` +
+//! `EACCEPT`), which the hardware enforces regardless of page tables.
+//! [`HostOs::effective_perms`] computes the intersection, making the
+//! difference testable.
+
+use crate::epc::{PagePerms, PAGE_SIZE};
+use crate::instr::SgxVersion;
+use crate::machine::{EnclaveId, SgxMachine};
+use crate::SgxError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The host operating system: owns the machine and manages page tables
+/// for enclave linear ranges.
+#[derive(Debug)]
+pub struct HostOs {
+    machine: SgxMachine,
+    page_tables: BTreeMap<(EnclaveId, u64), PagePerms>,
+    extension_locked: BTreeSet<EnclaveId>,
+}
+
+impl HostOs {
+    /// Boots a host on the given machine.
+    pub fn new(machine: SgxMachine) -> Self {
+        HostOs {
+            machine,
+            page_tables: BTreeMap::new(),
+            extension_locked: BTreeSet::new(),
+        }
+    }
+
+    /// The underlying SGX machine.
+    pub fn machine(&self) -> &SgxMachine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine (in-enclave work charges cycles
+    /// through here).
+    pub fn machine_mut(&mut self) -> &mut SgxMachine {
+        &mut self.machine
+    }
+
+    /// Creates an enclave and installs RWX page-table entries for its
+    /// range (the state before EnGarde locks anything down).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `ECREATE` failures.
+    pub fn create_enclave(&mut self, base: u64, size: u64) -> Result<EnclaveId, SgxError> {
+        let id = self.machine.ecreate(base, size)?;
+        let mut vaddr = base;
+        while vaddr < base + size {
+            self.page_tables.insert((id, vaddr), PagePerms::RWX);
+            vaddr += PAGE_SIZE as u64;
+        }
+        Ok(id)
+    }
+
+    /// Adds a page to a *building* enclave (EADD + EEXTEND), refusing if
+    /// the enclave's extension has been locked by
+    /// [`HostOs::finalize_provisioned_enclave`].
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::ExtensionLocked`] after provisioning; otherwise the
+    /// underlying EADD/EEXTEND errors.
+    pub fn add_page(
+        &mut self,
+        id: EnclaveId,
+        vaddr: u64,
+        data: &[u8],
+        perms: PagePerms,
+    ) -> Result<(), SgxError> {
+        if self.extension_locked.contains(&id) {
+            return Err(SgxError::ExtensionLocked { id });
+        }
+        self.machine.eadd(id, vaddr, data, perms)?;
+        self.machine.eextend(id, vaddr)?;
+        Ok(())
+    }
+
+    /// Adds a page to an *initialized* enclave dynamically (SGX2
+    /// `EAUG` + enclave `EACCEPT`) — the growth path the paper notes
+    /// SGX1 lacks. EnGarde's host component refuses this too once the
+    /// enclave is provisioned: dynamic addition after inspection would
+    /// be exactly the code-injection hole the lockout exists to close.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::ExtensionLocked`] after provisioning;
+    /// [`SgxError::NotSupported`] on SGX1; address checks otherwise.
+    pub fn add_page_dynamic(&mut self, id: EnclaveId, vaddr: u64) -> Result<(), SgxError> {
+        if self.extension_locked.contains(&id) {
+            return Err(SgxError::ExtensionLocked { id });
+        }
+        self.machine.eaug(id, vaddr)?;
+        self.machine.eaccept(id, vaddr)?;
+        self.page_tables.insert((id, vaddr), PagePerms::RW);
+        Ok(())
+    }
+
+    /// Sets page-table permissions for one enclave page. This is the
+    /// *software* half of permission enforcement: on SGX1 it is all there
+    /// is.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::BadAddress`] for pages outside any installed mapping.
+    pub fn set_pte_perms(
+        &mut self,
+        id: EnclaveId,
+        vaddr: u64,
+        perms: PagePerms,
+    ) -> Result<(), SgxError> {
+        let key = (id, vaddr);
+        if !self.page_tables.contains_key(&key) {
+            return Err(SgxError::BadAddress { vaddr });
+        }
+        self.page_tables.insert(key, perms);
+        Ok(())
+    }
+
+    /// Page-table permissions of a page.
+    pub fn pte_perms(&self, id: EnclaveId, vaddr: u64) -> Option<PagePerms> {
+        self.page_tables.get(&(id, vaddr)).copied()
+    }
+
+    /// The permissions the hardware actually enforces for an access:
+    /// page tables intersected with the EPCM (the latter only on SGX2 —
+    /// on SGX1 the EPCM records initial permissions but offers no
+    /// post-EADD restriction, so a malicious host's PTEs win).
+    pub fn effective_perms(&self, id: EnclaveId, vaddr: u64) -> Option<PagePerms> {
+        let pte = self.pte_perms(id, vaddr)?;
+        match self.machine.version() {
+            SgxVersion::V1 => Some(pte),
+            SgxVersion::V2 => {
+                let epcm = self.machine.epcm_perms(id, vaddr)?;
+                Some(pte.intersect(epcm))
+            }
+        }
+    }
+
+    /// EnGarde's host-side finalization: after the in-enclave components
+    /// report the executable-page list, mark those pages X-not-W and all
+    /// other mapped pages W-not-X, lock the enclave against extension,
+    /// and — on SGX2 — restrict the EPCM to match (EMODPR + EACCEPT per
+    /// page).
+    ///
+    /// # Errors
+    ///
+    /// Propagates permission-instruction errors; fails for unknown pages.
+    pub fn finalize_provisioned_enclave(
+        &mut self,
+        id: EnclaveId,
+        exec_pages: &[u64],
+    ) -> Result<(), SgxError> {
+        let exec: BTreeSet<u64> = exec_pages.iter().copied().collect();
+        let mapped: Vec<u64> = self
+            .machine
+            .enclave(id)
+            .ok_or(SgxError::NoSuchEnclave { id })?
+            .mapped_pages();
+        for vaddr in &mapped {
+            let perms = if exec.contains(vaddr) {
+                PagePerms::RX
+            } else {
+                PagePerms::RW
+            };
+            self.set_pte_perms(id, *vaddr, perms)?;
+            if self.machine.version() >= SgxVersion::V2 {
+                self.machine.emodpr(id, *vaddr, perms)?;
+                self.machine.eaccept(id, *vaddr)?;
+            }
+        }
+        self.extension_locked.insert(id);
+        Ok(())
+    }
+
+    /// Whether the enclave's extension is locked.
+    pub fn is_extension_locked(&self, id: EnclaveId) -> bool {
+        self.extension_locked.contains(&id)
+    }
+
+    /// Simulates a *malicious* host flipping page-table permissions after
+    /// provisioning (the attack EnGarde's SGX2 requirement defeats).
+    /// Returns the resulting effective permissions.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::BadAddress`] for unmapped pages.
+    pub fn attack_flip_pte(
+        &mut self,
+        id: EnclaveId,
+        vaddr: u64,
+        perms: PagePerms,
+    ) -> Result<PagePerms, SgxError> {
+        self.set_pte_perms(id, vaddr, perms)?;
+        self.effective_perms(id, vaddr)
+            .ok_or(SgxError::BadAddress { vaddr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    fn host(version: SgxVersion) -> HostOs {
+        HostOs::new(SgxMachine::new(MachineConfig {
+            epc_pages: 64,
+            version,
+            device_key_bits: 512,
+            seed: 11,
+        }))
+    }
+
+    fn provisioned(host: &mut HostOs) -> (EnclaveId, u64, u64) {
+        let base = 0x100000;
+        let id = host.create_enclave(base, 4 * PAGE_SIZE as u64).expect("create");
+        let code_page = base;
+        let data_page = base + PAGE_SIZE as u64;
+        host.add_page(id, code_page, &[0xc3], PagePerms::RWX).expect("code");
+        host.add_page(id, data_page, &[0], PagePerms::RWX).expect("data");
+        host.machine_mut().einit(id).expect("einit");
+        host.finalize_provisioned_enclave(id, &[code_page]).expect("finalize");
+        (id, code_page, data_page)
+    }
+
+    #[test]
+    fn finalize_applies_wx_split() {
+        let mut h = host(SgxVersion::V2);
+        let (id, code, data) = provisioned(&mut h);
+        assert_eq!(h.effective_perms(id, code), Some(PagePerms::RX));
+        assert_eq!(h.effective_perms(id, data), Some(PagePerms::RW));
+        assert!(h.effective_perms(id, code).expect("perms").is_wx_exclusive());
+        assert!(h.is_extension_locked(id));
+    }
+
+    #[test]
+    fn extension_locked_after_finalize() {
+        let mut h = host(SgxVersion::V2);
+        let (id, _, _) = provisioned(&mut h);
+        let vaddr = 0x100000 + 2 * PAGE_SIZE as u64;
+        let err = h.add_page(id, vaddr, &[0x90], PagePerms::RWX).unwrap_err();
+        assert!(matches!(err, SgxError::ExtensionLocked { .. }));
+    }
+
+    #[test]
+    fn sgx1_pte_attack_succeeds() {
+        // On SGX1, the host can flip a code page back to writable — the
+        // paper's stated reason EnGarde needs SGX2.
+        let mut h = host(SgxVersion::V1);
+        let (id, code, _) = provisioned(&mut h);
+        let effective = h.attack_flip_pte(id, code, PagePerms::RWX).expect("attack");
+        assert_eq!(effective, PagePerms::RWX, "SGX1 cannot stop the host");
+        assert!(!effective.is_wx_exclusive());
+    }
+
+    #[test]
+    fn sgx2_epcm_defeats_pte_attack() {
+        let mut h = host(SgxVersion::V2);
+        let (id, code, _) = provisioned(&mut h);
+        let effective = h.attack_flip_pte(id, code, PagePerms::RWX).expect("attack");
+        assert_eq!(
+            effective,
+            PagePerms::RX,
+            "EPCM caps the effective permissions on SGX2"
+        );
+        assert!(effective.is_wx_exclusive());
+    }
+
+    #[test]
+    fn sgx1_finalize_skips_epcm() {
+        // Finalization works on SGX1 (software-only) without EMODPR.
+        let mut h = host(SgxVersion::V1);
+        let (id, code, data) = provisioned(&mut h);
+        assert_eq!(h.pte_perms(id, code), Some(PagePerms::RX));
+        assert_eq!(h.pte_perms(id, data), Some(PagePerms::RW));
+    }
+
+    #[test]
+    fn dynamic_pages_allowed_before_lockout_refused_after() {
+        let mut h = host(SgxVersion::V2);
+        let base = 0x100000;
+        let id = h.create_enclave(base, 8 * PAGE_SIZE as u64).expect("create");
+        h.add_page(id, base, &[0xc3], PagePerms::RWX).expect("code");
+        h.machine_mut().einit(id).expect("einit");
+        // Post-EINIT, pre-provisioning: EAUG growth works (SGX2).
+        let dyn_page = base + 4 * PAGE_SIZE as u64;
+        h.add_page_dynamic(id, dyn_page).expect("dynamic growth");
+        h.machine_mut()
+            .enclave_write(id, dyn_page, &[1, 2])
+            .expect("usable");
+        // After EnGarde finalizes: locked.
+        h.finalize_provisioned_enclave(id, &[base]).expect("finalize");
+        let err = h.add_page_dynamic(id, base + 5 * PAGE_SIZE as u64).unwrap_err();
+        assert!(matches!(err, SgxError::ExtensionLocked { .. }));
+    }
+
+    #[test]
+    fn dynamic_pages_unsupported_on_v1() {
+        let mut h = host(SgxVersion::V1);
+        let base = 0x100000;
+        let id = h.create_enclave(base, 4 * PAGE_SIZE as u64).expect("create");
+        h.add_page(id, base, &[0xc3], PagePerms::RWX).expect("code");
+        h.machine_mut().einit(id).expect("einit");
+        assert!(matches!(
+            h.add_page_dynamic(id, base + PAGE_SIZE as u64),
+            Err(SgxError::NotSupported { .. })
+        ));
+    }
+
+    #[test]
+    fn pte_update_outside_mapping_fails() {
+        let mut h = host(SgxVersion::V2);
+        let (id, _, _) = provisioned(&mut h);
+        assert!(matches!(
+            h.set_pte_perms(id, 0xdead0000, PagePerms::R),
+            Err(SgxError::BadAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn effective_perms_unmapped_is_none() {
+        let h = host(SgxVersion::V2);
+        assert!(h.effective_perms(1, 0x100000).is_none());
+    }
+
+    #[test]
+    fn writes_through_machine_respect_epcm_after_finalize() {
+        let mut h = host(SgxVersion::V2);
+        let (id, code, data) = provisioned(&mut h);
+        // In-enclave writes to the sealed code page fault; data page ok.
+        assert!(h.machine_mut().enclave_write(id, code, &[0x90]).is_err());
+        h.machine_mut().enclave_write(id, data, &[1, 2, 3]).expect("data writable");
+    }
+}

@@ -1,0 +1,163 @@
+//! # engarde-sgx
+//!
+//! A software SGX machine — the reproduction's stand-in for OpenSGX, the
+//! QEMU-based SGX emulator on which the EnGarde paper builds (§4).
+//!
+//! What the paper gets from OpenSGX, this crate provides natively:
+//!
+//! - [`epc`] — the encrypted page cache and EPCM, sized to the paper's
+//!   32,000-page (128 MiB) configuration or OpenSGX's stock 2,000 pages,
+//!   with a simulated memory-encryption engine (adversaries see
+//!   ciphertext),
+//! - [`instr`] — all 24 SGX enclave-management instruction leaves,
+//! - [`machine`] — the enclave lifecycle (`ECREATE`/`EADD`/`EEXTEND`/
+//!   `EINIT`/`EENTER`/`EEXIT`/…), measurement, SGX2 permission
+//!   instructions, and in-enclave memory access,
+//! - [`attest`] — the quoting enclave and remote quote verification,
+//! - [`host`] — the host-OS component: page tables, W^X finalization,
+//!   extension lockout, and the SGX1-vs-SGX2 attack-surface difference,
+//! - [`perf`] — the OpenSGX cost model (10K cycles per SGX instruction,
+//!   calibrated native costs) behind every number in the paper's
+//!   evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use engarde_sgx::machine::{MachineConfig, SgxMachine};
+//! use engarde_sgx::epc::PagePerms;
+//! use engarde_sgx::instr::SgxVersion;
+//!
+//! # fn main() -> Result<(), engarde_sgx::SgxError> {
+//! let mut machine = SgxMachine::new(MachineConfig {
+//!     epc_pages: 64,
+//!     version: SgxVersion::V2,
+//!     device_key_bits: 512,
+//!     seed: 42,
+//! });
+//! let id = machine.ecreate(0x10000, 0x1000)?;
+//! machine.eadd(id, 0x10000, b"bootstrap", PagePerms::RWX)?;
+//! machine.eextend(id, 0x10000)?;
+//! let measurement = machine.einit(id)?;
+//! assert_eq!(measurement.as_bytes().len(), 32);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attest;
+pub mod epc;
+pub mod host;
+pub mod instr;
+pub mod machine;
+pub mod perf;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated SGX machine and host OS.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum SgxError {
+    /// EPC page-management failure.
+    Epc(epc::EpcError),
+    /// No enclave with the given id.
+    NoSuchEnclave {
+        /// The unknown id.
+        id: u64,
+    },
+    /// An address outside the enclave or not mapped.
+    BadAddress {
+        /// The offending linear address.
+        vaddr: u64,
+    },
+    /// An instruction was used in the wrong lifecycle state.
+    WrongState {
+        /// What went wrong.
+        what: &'static str,
+    },
+    /// A malformed parameter.
+    BadParameter {
+        /// What went wrong.
+        what: &'static str,
+    },
+    /// The instruction requires a newer SGX revision.
+    NotSupported {
+        /// What is unsupported.
+        what: &'static str,
+    },
+    /// An access violated page permissions.
+    PermissionDenied {
+        /// The page's linear address.
+        vaddr: u64,
+    },
+    /// The host refused to extend a provisioned enclave.
+    ExtensionLocked {
+        /// The locked enclave.
+        id: u64,
+    },
+    /// Attestation failed.
+    AttestationFailed {
+        /// Which check failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::Epc(e) => write!(f, "EPC error: {e}"),
+            SgxError::NoSuchEnclave { id } => write!(f, "no enclave with id {id}"),
+            SgxError::BadAddress { vaddr } => write!(f, "bad enclave address {vaddr:#x}"),
+            SgxError::WrongState { what } => write!(f, "wrong enclave state: {what}"),
+            SgxError::BadParameter { what } => write!(f, "bad parameter: {what}"),
+            SgxError::NotSupported { what } => write!(f, "not supported: {what}"),
+            SgxError::PermissionDenied { vaddr } => {
+                write!(f, "permission denied for page {vaddr:#x}")
+            }
+            SgxError::ExtensionLocked { id } => {
+                write!(f, "enclave {id} is locked against extension after provisioning")
+            }
+            SgxError::AttestationFailed { what } => write!(f, "attestation failed: {what}"),
+        }
+    }
+}
+
+impl Error for SgxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SgxError::Epc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<epc::EpcError> for SgxError {
+    fn from(e: epc::EpcError) -> Self {
+        SgxError::Epc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_source() {
+        use std::error::Error as _;
+        let e = SgxError::from(epc::EpcError::OutOfPages);
+        assert!(e.to_string().contains("EPC"));
+        assert!(e.source().is_some());
+        assert!(SgxError::NoSuchEnclave { id: 3 }.source().is_none());
+        assert!(SgxError::BadAddress { vaddr: 0x1000 }
+            .to_string()
+            .contains("0x1000"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SgxError>();
+    }
+}

@@ -1,0 +1,289 @@
+//! The paper's seven evaluation benchmarks as workload specs.
+//!
+//! §5 of the paper evaluates EnGarde on Nginx, 401.bzip2, Graph-500,
+//! 429.mcf, Memcached, Netperf and otp-gen, "compiled as position
+//! independent executables and … statically linked … against musl-libc".
+//! Each figure's `#Inst` column gives the exact instruction count of the
+//! binary variant used for that policy (plain for Fig. 3, stack-protected
+//! for Fig. 4, IFCC for Fig. 5); this module pins those counts and gives
+//! each benchmark a shape profile that reproduces the *relative* policy
+//! costs the paper reports (e.g. 401.bzip2's few huge SPEC-style
+//! functions, which make the stack-protection policy's per-function
+//! backward scans expensive).
+
+use crate::generator::{generate, GeneratedWorkload, WorkloadSpec};
+use crate::libc::{Instrumentation, MUSL_FUNCTION_NAMES};
+
+/// Which evaluation figure (and therefore which binary variant) a spec
+/// targets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PolicyFigure {
+    /// Fig. 3: library-linking compliance, plain binaries.
+    Fig3LibraryLinking,
+    /// Fig. 4: stack-protection compliance, `-fstack-protector-all`.
+    Fig4StackProtection,
+    /// Fig. 5: indirect function-call checks, IFCC builds.
+    Fig5Ifcc,
+}
+
+impl PolicyFigure {
+    /// The instrumentation the binaries of this figure carry.
+    pub fn instrumentation(self) -> Instrumentation {
+        match self {
+            PolicyFigure::Fig3LibraryLinking => Instrumentation::None,
+            PolicyFigure::Fig4StackProtection => Instrumentation::StackProtector,
+            PolicyFigure::Fig5Ifcc => Instrumentation::Ifcc,
+        }
+    }
+}
+
+/// One of the paper's seven benchmarks, with the `#Inst` counts from
+/// Figs. 3–5 and its shape profile.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperBenchmark {
+    /// Benchmark name as the paper prints it.
+    pub name: &'static str,
+    /// `#Inst` in Fig. 3 (plain build).
+    pub insns_fig3: usize,
+    /// `#Inst` in Fig. 4 (stack-protected build).
+    pub insns_fig4: usize,
+    /// `#Inst` in Fig. 5 (IFCC build).
+    pub insns_fig5: usize,
+    /// Mean app-function size (SPEC codes have few huge functions).
+    pub avg_app_fn_insns: usize,
+    /// Direct calls per app function.
+    pub calls_per_app_fn: usize,
+    /// Linked libc functions.
+    pub libc_functions_used: usize,
+    /// IFCC jump-table entries.
+    pub jump_table_entries: usize,
+    /// Indirect call sites per app function (IFCC builds).
+    pub indirect_calls_per_app_fn: usize,
+    /// Dynamic relocation count (drives loading cost; Nginx's large
+    /// loading number in the paper comes from here).
+    pub relocation_count: usize,
+    /// `.data` bytes.
+    pub data_bytes: usize,
+    /// `.bss` bytes.
+    pub bss_bytes: usize,
+}
+
+/// The paper's benchmark suite (Figs. 3–5 row order).
+pub const PAPER_BENCHMARKS: [PaperBenchmark; 7] = [
+    PaperBenchmark {
+        name: "Nginx",
+        insns_fig3: 262_228,
+        insns_fig4: 271_106,
+        insns_fig5: 267_669,
+        avg_app_fn_insns: 55,
+        calls_per_app_fn: 5,
+        libc_functions_used: 300,
+        jump_table_entries: 1024,
+        indirect_calls_per_app_fn: 1,
+        relocation_count: 4_064,
+        data_bytes: 65_536,
+        bss_bytes: 131_072,
+    },
+    PaperBenchmark {
+        name: "401.bzip2",
+        insns_fig3: 24_112,
+        insns_fig4: 24_226,
+        insns_fig5: 24_201,
+        // SPEC compression: a handful of enormous, call-dense functions.
+        avg_app_fn_insns: 8_500,
+        calls_per_app_fn: 2_200,
+        libc_functions_used: 50,
+        jump_table_entries: 16,
+        indirect_calls_per_app_fn: 1,
+        relocation_count: 4,
+        data_bytes: 8_192,
+        bss_bytes: 32_768,
+    },
+    PaperBenchmark {
+        name: "Graph-500",
+        insns_fig3: 100_411,
+        insns_fig4: 100_488,
+        insns_fig5: 100_424,
+        avg_app_fn_insns: 110,
+        calls_per_app_fn: 6,
+        libc_functions_used: 70,
+        jump_table_entries: 32,
+        indirect_calls_per_app_fn: 1,
+        relocation_count: 8,
+        data_bytes: 16_384,
+        bss_bytes: 65_536,
+    },
+    PaperBenchmark {
+        name: "429.mcf",
+        insns_fig3: 12_903,
+        insns_fig4: 12_985,
+        insns_fig5: 12_903,
+        avg_app_fn_insns: 40,
+        calls_per_app_fn: 24,
+        libc_functions_used: 45,
+        jump_table_entries: 16,
+        indirect_calls_per_app_fn: 1,
+        relocation_count: 4,
+        data_bytes: 4_096,
+        bss_bytes: 16_384,
+    },
+    PaperBenchmark {
+        name: "Memcached",
+        insns_fig3: 71_437,
+        insns_fig4: 71_677,
+        insns_fig5: 71_508,
+        avg_app_fn_insns: 300,
+        calls_per_app_fn: 50,
+        libc_functions_used: 180,
+        jump_table_entries: 128,
+        indirect_calls_per_app_fn: 1,
+        relocation_count: 110,
+        data_bytes: 32_768,
+        bss_bytes: 65_536,
+    },
+    PaperBenchmark {
+        name: "Netperf",
+        insns_fig3: 51_403,
+        insns_fig4: 51_868,
+        insns_fig5: 51_431,
+        avg_app_fn_insns: 65,
+        calls_per_app_fn: 12,
+        libc_functions_used: 150,
+        jump_table_entries: 64,
+        indirect_calls_per_app_fn: 1,
+        relocation_count: 450,
+        data_bytes: 16_384,
+        bss_bytes: 32_768,
+    },
+    PaperBenchmark {
+        name: "Otp-gen",
+        insns_fig3: 28_125,
+        insns_fig4: 28_217,
+        insns_fig5: 28_132,
+        avg_app_fn_insns: 1_050,
+        calls_per_app_fn: 240,
+        libc_functions_used: 90,
+        jump_table_entries: 32,
+        indirect_calls_per_app_fn: 1,
+        relocation_count: 34,
+        data_bytes: 8_192,
+        bss_bytes: 16_384,
+    },
+];
+
+impl PaperBenchmark {
+    /// Looks a benchmark up by name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<&'static PaperBenchmark> {
+        PAPER_BENCHMARKS
+            .iter()
+            .find(|b| b.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The `#Inst` count for a figure's binary variant.
+    pub fn instructions_for(&self, figure: PolicyFigure) -> usize {
+        match figure {
+            PolicyFigure::Fig3LibraryLinking => self.insns_fig3,
+            PolicyFigure::Fig4StackProtection => self.insns_fig4,
+            PolicyFigure::Fig5Ifcc => self.insns_fig5,
+        }
+    }
+
+    /// Builds the [`WorkloadSpec`] for this benchmark under a figure.
+    pub fn spec(&self, figure: PolicyFigure) -> WorkloadSpec {
+        WorkloadSpec {
+            name: self
+                .name
+                .to_ascii_lowercase()
+                .replace(['.', '-'], "_"),
+            target_instructions: self.instructions_for(figure),
+            instrumentation: figure.instrumentation(),
+            avg_app_fn_insns: self.avg_app_fn_insns,
+            calls_per_app_fn: self.calls_per_app_fn,
+            libc_functions_used: self.libc_functions_used.min(MUSL_FUNCTION_NAMES.len()),
+            jump_table_entries: self.jump_table_entries,
+            indirect_calls_per_app_fn: self.indirect_calls_per_app_fn,
+            relocation_count: self.relocation_count,
+            data_bytes: self.data_bytes,
+            bss_bytes: self.bss_bytes,
+            seed: crate::libc::seed_for(self.name),
+        }
+    }
+
+    /// Generates this benchmark's binary for a figure.
+    pub fn generate(&self, figure: PolicyFigure) -> GeneratedWorkload {
+        generate(&self.spec(figure))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_benchmarks_in_paper_order() {
+        let names: Vec<_> = PAPER_BENCHMARKS.iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            [
+                "Nginx",
+                "401.bzip2",
+                "Graph-500",
+                "429.mcf",
+                "Memcached",
+                "Netperf",
+                "Otp-gen"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(PaperBenchmark::by_name("nginx").is_some());
+        assert!(PaperBenchmark::by_name("NGINX").is_some());
+        assert!(PaperBenchmark::by_name("chrome").is_none());
+    }
+
+    #[test]
+    fn instruction_counts_match_paper_tables() {
+        let nginx = PaperBenchmark::by_name("Nginx").expect("nginx");
+        assert_eq!(nginx.instructions_for(PolicyFigure::Fig3LibraryLinking), 262_228);
+        assert_eq!(nginx.instructions_for(PolicyFigure::Fig4StackProtection), 271_106);
+        assert_eq!(nginx.instructions_for(PolicyFigure::Fig5Ifcc), 267_669);
+        let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
+        assert_eq!(mcf.insns_fig3, 12_903);
+        assert_eq!(mcf.insns_fig5, 12_903); // identical in the paper
+    }
+
+    #[test]
+    fn specs_carry_figure_instrumentation() {
+        let b = PaperBenchmark::by_name("Memcached").expect("memcached");
+        assert_eq!(
+            b.spec(PolicyFigure::Fig4StackProtection).instrumentation,
+            Instrumentation::StackProtector
+        );
+        assert_eq!(
+            b.spec(PolicyFigure::Fig5Ifcc).instrumentation,
+            Instrumentation::Ifcc
+        );
+    }
+
+    #[test]
+    fn generated_mcf_hits_exact_instruction_count() {
+        let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
+        let w = mcf.generate(PolicyFigure::Fig3LibraryLinking);
+        assert_eq!(w.stats.instructions, 12_903);
+        assert!(w.stats.app_functions > 0);
+        assert!(w.stats.libc_functions >= 45);
+    }
+
+    #[test]
+    fn spec_names_are_symbol_safe() {
+        for b in &PAPER_BENCHMARKS {
+            let spec = b.spec(PolicyFigure::Fig3LibraryLinking);
+            assert!(spec
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! # engarde-workloads
+//!
+//! Synthetic benchmark binaries standing in for the EnGarde paper's
+//! evaluation workloads.
+//!
+//! The paper compiles Nginx, two SPEC codes, Graph-500, Memcached,
+//! Netperf and otp-gen with clang/LLVM 3.6 as statically-linked PIEs
+//! against musl-libc 1.0.5, optionally instrumented with
+//! `-fstack-protector-all` or Google's IFCC patch. Those toolchains and
+//! binaries are not reproducible inside this repository, so this crate
+//! *generates* equivalent binaries:
+//!
+//! - [`libc`] — a deterministic synthetic musl-libc (real musl function
+//!   names, position-independent bodies, SHA-256 hash database),
+//! - [`generator`] — emits ELF64 PIEs with app code calling into libc,
+//!   exactly matching the byte patterns the paper's three policies check
+//!   (canary sequences, IFCC call sites and jump tables),
+//! - [`bench_suite`] — the seven paper benchmarks with the per-figure
+//!   instruction counts from Figs. 3–5 pinned exactly.
+//!
+//! The substitution preserves what the policies exercise: structural byte
+//! patterns at the paper's code scale — not the application semantics,
+//! which EnGarde never looks at.
+//!
+//! # Examples
+//!
+//! ```
+//! use engarde_workloads::bench_suite::{PaperBenchmark, PolicyFigure};
+//!
+//! let mcf = PaperBenchmark::by_name("429.mcf").expect("in the suite");
+//! let workload = mcf.generate(PolicyFigure::Fig3LibraryLinking);
+//! assert_eq!(workload.stats.instructions, 12_903); // the paper's #Inst
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_suite;
+pub mod generator;
+pub mod libc;
+
+#[cfg(test)]
+mod tests {
+    use crate::bench_suite::{PaperBenchmark, PolicyFigure};
+    use crate::generator::{generate, WorkloadSpec};
+    use crate::libc::Instrumentation;
+    use engarde_elf::parse::ElfFile;
+    use engarde_x86::decode::decode_all;
+    use engarde_x86::validate::Validator;
+
+    fn decode_workload(image: &[u8]) -> (ElfFile, Vec<engarde_x86::insn::Insn>) {
+        let elf = ElfFile::parse(image).expect("generated image parses");
+        let text = elf.section(".text").expect(".text").clone();
+        let insns = decode_all(&text.data, text.header.sh_addr).expect("text decodes");
+        (elf, insns)
+    }
+
+    #[test]
+    fn generated_binary_is_valid_elf_pie() {
+        let w = generate(&WorkloadSpec::default());
+        let (elf, insns) = decode_workload(&w.image);
+        elf.require_pie().expect("PIE");
+        elf.require_static().expect("static");
+        assert_eq!(insns.len(), w.stats.instructions);
+    }
+
+    #[test]
+    fn generated_binary_passes_nacl_validation() {
+        let w = generate(&WorkloadSpec::default());
+        let (elf, insns) = decode_workload(&w.image);
+        let roots: Vec<u64> = elf.function_symbols().map(|s| s.symbol.st_value).collect();
+        Validator::new()
+            .validate(&insns, elf.header().e_entry, &roots)
+            .expect("NaCl-clean");
+    }
+
+    #[test]
+    fn instrumented_binaries_pass_validation_too() {
+        for figure in [PolicyFigure::Fig4StackProtection, PolicyFigure::Fig5Ifcc] {
+            let w = PaperBenchmark::by_name("429.mcf")
+                .expect("mcf")
+                .generate(figure);
+            let (elf, insns) = decode_workload(&w.image);
+            let roots: Vec<u64> = elf.function_symbols().map(|s| s.symbol.st_value).collect();
+            Validator::new()
+                .validate(&insns, elf.header().e_entry, &roots)
+                .unwrap_or_else(|e| panic!("{figure:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(generate(&spec).image, generate(&spec).image);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&WorkloadSpec::default());
+        let b = generate(&WorkloadSpec {
+            seed: 999,
+            ..WorkloadSpec::default()
+        });
+        assert_ne!(a.image, b.image);
+    }
+
+    #[test]
+    fn embedded_libc_matches_hash_database() {
+        use engarde_crypto::sha256::Sha256;
+        let lib = crate::libc::LibcLibrary::build(Instrumentation::None);
+        let db = lib.function_hashes();
+        let w = generate(&WorkloadSpec::default());
+        let (elf, _) = decode_workload(&w.image);
+        let text = elf.section(".text").expect(".text");
+        // Symbols sorted by address; hash each libc function's extent.
+        let mut syms: Vec<_> = elf.function_symbols().collect();
+        syms.sort_by_key(|s| s.symbol.st_value);
+        let mut checked = 0;
+        for (i, s) in syms.iter().enumerate() {
+            if let Some(expected) = db.get(&s.name) {
+                let start = (s.symbol.st_value - text.header.sh_addr) as usize;
+                let end = syms
+                    .get(i + 1)
+                    .map(|n| (n.symbol.st_value - text.header.sh_addr) as usize)
+                    .unwrap_or(text.data.len());
+                let got = Sha256::digest(&text.data[start..end]);
+                assert_eq!(&got, expected, "{} hash mismatch", s.name);
+                checked += 1;
+            }
+        }
+        assert!(checked >= 80, "checked {checked} libc functions");
+    }
+
+    #[test]
+    fn ifcc_build_contains_table_and_call_sites() {
+        use engarde_x86::insn::InsnKind;
+        let w = PaperBenchmark::by_name("429.mcf")
+            .expect("mcf")
+            .generate(PolicyFigure::Fig5Ifcc);
+        let (elf, insns) = decode_workload(&w.image);
+        assert!(w.stats.indirect_call_sites > 0);
+        assert!(w.stats.jump_table_entries >= 16);
+        assert!(insns
+            .iter()
+            .any(|i| matches!(i.kind, InsnKind::IndirectCallReg { .. })));
+        assert!(elf
+            .function_symbols()
+            .any(|s| s.name.starts_with("__llvm_jump_instr_table_0_")));
+    }
+
+    #[test]
+    fn stack_protected_build_has_canaries_everywhere() {
+        use engarde_x86::insn::InsnKind;
+        let w = PaperBenchmark::by_name("429.mcf")
+            .expect("mcf")
+            .generate(PolicyFigure::Fig4StackProtection);
+        let (elf, insns) = decode_workload(&w.image);
+        let canary_loads = insns
+            .iter()
+            .filter(|i| matches!(i.kind, InsnKind::MovFsToReg { fs_offset: 0x28, .. }))
+            .count();
+        // Two loads (store + check) per protected function.
+        let protected_fns = elf
+            .function_symbols()
+            .filter(|s| {
+                s.name != "__stack_chk_fail" && !s.name.starts_with("__llvm_jump_instr_table")
+            })
+            .count()
+            - 1; // _start is a plain dispatcher... also protected? count below
+        assert!(
+            canary_loads >= protected_fns,
+            "canary loads {canary_loads} vs protected fns {protected_fns}"
+        );
+    }
+
+    #[test]
+    fn paper_counts_hit_exactly_for_all_benchmarks_fig3() {
+        for b in &crate::bench_suite::PAPER_BENCHMARKS {
+            let w = b.generate(PolicyFigure::Fig3LibraryLinking);
+            assert_eq!(
+                w.stats.instructions, b.insns_fig3,
+                "{} instruction count",
+                b.name
+            );
+        }
+    }
+}

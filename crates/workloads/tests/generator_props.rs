@@ -1,0 +1,108 @@
+//! Property-based tests on the workload generator: every spec in a wide
+//! parameter envelope must yield a valid, NaCl-clean, exactly-sized PIE.
+
+use engarde_elf::parse::ElfFile;
+use engarde_workloads::generator::{generate, WorkloadSpec};
+use engarde_workloads::libc::Instrumentation;
+use engarde_x86::decode::decode_all;
+use engarde_x86::validate::Validator;
+use proptest::prelude::*;
+
+fn instrumentation_strategy() -> impl Strategy<Value = Instrumentation> {
+    prop_oneof![
+        Just(Instrumentation::None),
+        Just(Instrumentation::StackProtector),
+        Just(Instrumentation::Ifcc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))] // generation is heavyweight
+
+    #[test]
+    fn arbitrary_specs_produce_valid_binaries(
+        target in 6_000usize..40_000,
+        avg_fn in 20usize..600,
+        calls in 1usize..30,
+        libc_used in 5usize..200,
+        relocs in 0usize..300,
+        seed in any::<u64>(),
+        instrumentation in instrumentation_strategy(),
+    ) {
+        // The exact-count property needs the fixed base content (libc +
+        // one IFCC-mandated function) to fit under the target.
+        prop_assume!(target > libc_used * 70 + avg_fn * 2 + calls * 2 + 2_000);
+        let spec = WorkloadSpec {
+            name: "prop".into(),
+            target_instructions: target,
+            instrumentation,
+            avg_app_fn_insns: avg_fn,
+            calls_per_app_fn: calls,
+            libc_functions_used: libc_used,
+            jump_table_entries: 32,
+            indirect_calls_per_app_fn: 1,
+            relocation_count: relocs,
+            data_bytes: 2048,
+            bss_bytes: 4096,
+            seed,
+        };
+        let w = generate(&spec);
+
+        // Parses as a static PIE.
+        let elf = ElfFile::parse(&w.image).expect("parses");
+        prop_assert!(elf.require_pie().is_ok());
+        prop_assert!(elf.require_static().is_ok());
+
+        // Text decodes to exactly the reported (and targeted) count.
+        let text = elf.section(".text").expect(".text");
+        let insns = decode_all(&text.data, text.header.sh_addr).expect("decodes");
+        prop_assert_eq!(insns.len(), w.stats.instructions);
+        prop_assert_eq!(w.stats.instructions, target, "exact instruction count");
+
+        // NaCl-clean with the symbol roots.
+        let roots: Vec<u64> = elf.function_symbols().map(|s| s.symbol.st_value).collect();
+        let report = Validator::new()
+            .validate(&insns, elf.header().e_entry, &roots)
+            .expect("NaCl validation");
+        prop_assert_eq!(report.instructions, insns.len());
+
+        // Relocation metadata is consistent.
+        let relas = elf.rela_entries().expect("relas parse");
+        prop_assert_eq!(relas.len(), relocs);
+
+        // The entry point is a real function symbol.
+        let entry = elf.header().e_entry;
+        prop_assert!(
+            elf.function_symbols().any(|s| s.symbol.st_value == entry),
+            "entry {entry:#x} is a function"
+        );
+    }
+
+    #[test]
+    fn function_symbols_partition_the_text_section(
+        target in 6_000usize..20_000,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec {
+            target_instructions: target,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        let w = generate(&spec);
+        let elf = ElfFile::parse(&w.image).expect("parses");
+        let text = elf.section(".text").expect(".text");
+        let mut syms: Vec<_> = elf
+            .function_symbols()
+            .map(|s| (s.symbol.st_value, s.symbol.st_size))
+            .collect();
+        syms.sort_unstable();
+        // Contiguous, non-overlapping, ending at the text end.
+        for window in syms.windows(2) {
+            let (a, sa) = window[0];
+            let (b, _) = window[1];
+            prop_assert_eq!(a + sa, b, "function extents tile the text");
+        }
+        let (last, last_size) = *syms.last().expect("some symbols");
+        prop_assert_eq!(last + last_size, text.header.sh_addr + text.header.sh_size);
+    }
+}

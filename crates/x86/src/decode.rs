@@ -1,0 +1,1052 @@
+//! x86-64 instruction decoder (linear sweep, NaCl-style).
+//!
+//! Implements the subset of the x86-64 instruction set that statically
+//! linked, compiler-generated integer code uses — exactly the repertoire
+//! the EnGarde paper's NaCl-derived disassembler handles: legacy + REX
+//! prefixes, one- and two-byte opcode maps, full ModRM/SIB/displacement
+//! addressing, and precise length metadata (prefix/opcode/disp/imm byte
+//! counts, §4 of the paper).
+//!
+//! Unknown opcodes are decode errors: EnGarde *rejects* code it cannot
+//! disassemble unambiguously rather than skipping bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use engarde_x86::decode::decode_one;
+//! use engarde_x86::insn::InsnKind;
+//!
+//! // call rel32 (target = next_rip + 0x10)
+//! let insn = decode_one(&[0xe8, 0x10, 0x00, 0x00, 0x00], 0x1000).unwrap();
+//! assert_eq!(insn.kind, InsnKind::DirectCall { target: 0x1015 });
+//! assert_eq!(insn.len, 5);
+//! ```
+
+use crate::insn::{AluOp, Cc, Insn, InsnKind, MemOperand, Width};
+use crate::reg::Reg;
+use crate::DisasmError;
+
+/// Longest legal x86 instruction.
+const MAX_INSN_LEN: usize = 15;
+
+#[derive(Clone, Copy, Default)]
+struct Rex {
+    present: bool,
+    w: bool,
+    r: bool,
+    x: bool,
+    b: bool,
+}
+
+/// Cursor over the byte stream of one instruction.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    addr: u64,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DisasmError> {
+        let b = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or(DisasmError::UnexpectedEof { addr: self.addr })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DisasmError> {
+        Ok(u16::from_le_bytes([self.u8()?, self.u8()?]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DisasmError> {
+        Ok(u32::from_le_bytes([
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+        ]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DisasmError> {
+        let lo = self.u32()? as u64;
+        let hi = self.u32()? as u64;
+        Ok((hi << 32) | lo)
+    }
+}
+
+/// Decoded ModRM/SIB result: either a register or a memory operand.
+enum RmOperand {
+    Reg(Reg),
+    Mem(MemOperand),
+}
+
+struct ModRm {
+    reg_field: u8,
+    rm: RmOperand,
+    modrm_len: u8,
+    disp_len: u8,
+}
+
+fn parse_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DisasmError> {
+    let modrm = cur.u8()?;
+    let mode = modrm >> 6;
+    let reg_field = (modrm >> 3) & 7;
+    let rm_field = modrm & 7;
+    let mut modrm_len = 1u8;
+    let mut disp_len = 0u8;
+
+    if mode == 3 {
+        return Ok(ModRm {
+            reg_field,
+            rm: RmOperand::Reg(Reg::from_bits(rex.b, rm_field)),
+            modrm_len,
+            disp_len,
+        });
+    }
+
+    let mut mem = MemOperand {
+        scale: 1,
+        ..Default::default()
+    };
+
+    if rm_field == 4 {
+        // SIB byte follows.
+        let sib = cur.u8()?;
+        modrm_len += 1;
+        let scale_bits = sib >> 6;
+        let index_field = (sib >> 3) & 7;
+        let base_field = sib & 7;
+        mem.scale = 1 << scale_bits;
+        if index_field != 4 || rex.x {
+            mem.index = Some(Reg::from_bits(rex.x, index_field));
+        }
+        if base_field == 5 && mode == 0 {
+            // No base, disp32 follows.
+            mem.base = None;
+            disp_len = 4;
+        } else {
+            mem.base = Some(Reg::from_bits(rex.b, base_field));
+        }
+    } else if rm_field == 5 && mode == 0 {
+        // RIP-relative, disp32.
+        mem.rip_relative = true;
+        disp_len = 4;
+    } else {
+        mem.base = Some(Reg::from_bits(rex.b, rm_field));
+    }
+
+    match mode {
+        0 => {}
+        1 => disp_len = 1,
+        2 => disp_len = 4,
+        _ => unreachable!("mode 3 handled above"),
+    }
+
+    mem.disp = match disp_len {
+        0 => 0,
+        1 => cur.u8()? as i8 as i32,
+        4 => cur.u32()? as i32,
+        _ => unreachable!("disp is 0, 1 or 4 bytes"),
+    };
+
+    Ok(ModRm {
+        reg_field,
+        rm: RmOperand::Mem(mem),
+        modrm_len,
+        disp_len,
+    })
+}
+
+/// Decodes a single instruction starting at `bytes[0]`, which lives at
+/// virtual address `addr`.
+///
+/// # Errors
+///
+/// - [`DisasmError::UnexpectedEof`] if the stream ends mid-instruction,
+/// - [`DisasmError::UnknownOpcode`] for opcodes outside the supported
+///   repertoire (EnGarde rejects such code),
+/// - [`DisasmError::UnsupportedAddressSize`] for the `0x67` prefix,
+/// - [`DisasmError::TooLong`] if the encoding exceeds 15 bytes.
+pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Insn, DisasmError> {
+    let mut cur = Cursor {
+        bytes,
+        pos: 0,
+        addr,
+    };
+
+    // ---- prefixes ---------------------------------------------------
+    let mut fs_segment = false;
+    let mut opsize16 = false;
+    let mut prefix_len = 0u8;
+    loop {
+        let b = cur.u8()?;
+        match b {
+            0xf0 | 0xf2 | 0xf3 | 0x2e | 0x36 | 0x3e | 0x26 | 0x65 => {
+                prefix_len += 1;
+            }
+            0x64 => {
+                fs_segment = true;
+                prefix_len += 1;
+            }
+            0x66 => {
+                opsize16 = true;
+                prefix_len += 1;
+            }
+            0x67 => return Err(DisasmError::UnsupportedAddressSize { addr }),
+            _ => {
+                cur.pos -= 1;
+                break;
+            }
+        }
+        if prefix_len as usize > 4 {
+            return Err(DisasmError::TooLong { addr });
+        }
+    }
+
+    // ---- REX ---------------------------------------------------------
+    let mut rex = Rex::default();
+    if let Some(&b) = cur.bytes.get(cur.pos) {
+        if (0x40..=0x4f).contains(&b) {
+            rex = Rex {
+                present: true,
+                w: b & 8 != 0,
+                r: b & 4 != 0,
+                x: b & 2 != 0,
+                b: b & 1 != 0,
+            };
+            cur.pos += 1;
+            prefix_len += 1;
+        }
+    }
+    let _ = rex.present;
+
+    let width = if opsize16 {
+        Width::W16
+    } else if rex.w {
+        Width::W64
+    } else {
+        Width::W32
+    };
+
+    // immZ: 16-bit with 0x66, else 32-bit.
+    let imm_z: u8 = if opsize16 { 2 } else { 4 };
+
+    // ---- opcode + operands --------------------------------------------
+    let op = cur.u8()?;
+    let mut opcode_len = 1u8;
+    let mut modrm_len = 0u8;
+    let mut disp_len = 0u8;
+    let mut imm_len = 0u8;
+
+    // Helper to read a sign-extended immediate of n bytes.
+    macro_rules! simm {
+        ($n:expr) => {{
+            imm_len = $n;
+            match $n {
+                1 => cur.u8()? as i8 as i64,
+                2 => cur.u16()? as i16 as i64,
+                4 => cur.u32()? as i32 as i64,
+                8 => cur.u64()? as i64,
+                _ => unreachable!("immediate is 1, 2, 4 or 8 bytes"),
+            }
+        }};
+    }
+
+    macro_rules! modrm {
+        () => {{
+            let m = parse_modrm(&mut cur, rex)?;
+            modrm_len = m.modrm_len;
+            disp_len = m.disp_len;
+            m
+        }};
+    }
+
+    let kind: InsnKind = match op {
+        // ---- ALU family 0x00-0x3D --------------------------------------
+        0x00..=0x3d if (op & 7) <= 5 && (op & 0x27) != 0x26 => {
+            let alu = AluOp::from_index(op >> 3);
+            match op & 7 {
+                0 | 1 => {
+                    let w = if op & 7 == 0 { Width::W8 } else { width };
+                    let m = modrm!();
+                    let src = Reg::from_bits(rex.r, m.reg_field);
+                    match m.rm {
+                        RmOperand::Reg(dest) => InsnKind::AluRegReg {
+                            op: alu,
+                            dest,
+                            src,
+                            width: w,
+                        },
+                        RmOperand::Mem(mem) => InsnKind::AluRegMem {
+                            op: alu,
+                            mem,
+                            src,
+                            width: w,
+                        },
+                    }
+                }
+                2 | 3 => {
+                    let w = if op & 7 == 2 { Width::W8 } else { width };
+                    let m = modrm!();
+                    let dest = Reg::from_bits(rex.r, m.reg_field);
+                    match m.rm {
+                        RmOperand::Reg(src) => InsnKind::AluRegReg {
+                            op: alu,
+                            dest,
+                            src,
+                            width: w,
+                        },
+                        RmOperand::Mem(mem) => InsnKind::AluMemReg {
+                            op: alu,
+                            dest,
+                            mem,
+                            width: w,
+                        },
+                    }
+                }
+                4 => {
+                    let imm = simm!(1);
+                    InsnKind::AluImmReg {
+                        op: alu,
+                        dest: Reg::Rax,
+                        imm,
+                        width: Width::W8,
+                    }
+                }
+                5 => {
+                    let imm = simm!(imm_z);
+                    InsnKind::AluImmReg {
+                        op: alu,
+                        dest: Reg::Rax,
+                        imm,
+                        width,
+                    }
+                }
+                _ => unreachable!("guarded by match arm condition"),
+            }
+        }
+
+        // ---- push/pop -----------------------------------------------
+        0x50..=0x57 => InsnKind::PushReg {
+            reg: Reg::from_bits(rex.b, op & 7),
+        },
+        0x58..=0x5f => InsnKind::PopReg {
+            reg: Reg::from_bits(rex.b, op & 7),
+        },
+
+        // movsxd
+        0x63 => {
+            let _ = modrm!();
+            InsnKind::Other
+        }
+
+        0x68 => {
+            let _ = simm!(imm_z);
+            InsnKind::Other // push imm
+        }
+        0x6a => {
+            let _ = simm!(1);
+            InsnKind::Other // push imm8
+        }
+        0x69 => {
+            let _ = modrm!();
+            let _ = simm!(imm_z);
+            InsnKind::Other // imul r, r/m, immZ
+        }
+        0x6b => {
+            let _ = modrm!();
+            let _ = simm!(1);
+            InsnKind::Other // imul r, r/m, imm8
+        }
+
+        // ---- jcc rel8 -------------------------------------------------
+        0x70..=0x7f => {
+            let rel = simm!(1);
+            InsnKind::CondJmp {
+                cc: Cc::from_nibble(op & 0xf),
+                target: (addr as i64 + (cur.pos as i64) + rel) as u64,
+            }
+        }
+
+        // ---- group 1: ALU with immediate --------------------------------
+        0x80 | 0x81 | 0x83 => {
+            let m = modrm!();
+            let alu = AluOp::from_index(m.reg_field);
+            let (imm, w) = match op {
+                0x80 => (simm!(1), Width::W8),
+                0x81 => (simm!(imm_z), width),
+                _ => (simm!(1), width), // 0x83: imm8 sign-extended
+            };
+            match m.rm {
+                RmOperand::Reg(dest) => InsnKind::AluImmReg {
+                    op: alu,
+                    dest,
+                    imm,
+                    width: w,
+                },
+                RmOperand::Mem(mem) => InsnKind::AluImmMem {
+                    op: alu,
+                    mem,
+                    imm,
+                    width: w,
+                },
+            }
+        }
+
+        // test / xchg
+        0x84..=0x87 => {
+            let _ = modrm!();
+            InsnKind::Other
+        }
+
+        // ---- mov ------------------------------------------------------
+        0x88 | 0x89 => {
+            let w = if op == 0x88 { Width::W8 } else { width };
+            let m = modrm!();
+            let src = Reg::from_bits(rex.r, m.reg_field);
+            match m.rm {
+                RmOperand::Reg(dest) => InsnKind::MovRegToReg { dest, src, width: w },
+                RmOperand::Mem(mem) => InsnKind::MovRegToMem { src, mem, width: w },
+            }
+        }
+        0x8a | 0x8b => {
+            let w = if op == 0x8a { Width::W8 } else { width };
+            let m = modrm!();
+            let dest = Reg::from_bits(rex.r, m.reg_field);
+            match m.rm {
+                RmOperand::Reg(src) => InsnKind::MovRegToReg { dest, src, width: w },
+                RmOperand::Mem(mem) => {
+                    if fs_segment && mem.base.is_none() && mem.index.is_none() && !mem.rip_relative
+                    {
+                        // mov %fs:disp32, %reg — the canary load.
+                        InsnKind::MovFsToReg {
+                            dest,
+                            fs_offset: mem.disp as u32,
+                        }
+                    } else {
+                        InsnKind::MovMemToReg { dest, mem, width: w }
+                    }
+                }
+            }
+        }
+        0x8d => {
+            let m = modrm!();
+            let dest = Reg::from_bits(rex.r, m.reg_field);
+            match m.rm {
+                RmOperand::Mem(mem) if mem.rip_relative => InsnKind::LeaRipRel {
+                    dest,
+                    target: (addr as i64 + cur.pos as i64 + mem.disp as i64) as u64,
+                },
+                RmOperand::Mem(mem) => InsnKind::Lea { dest, mem },
+                // lea with a register operand is undefined.
+                RmOperand::Reg(_) => return Err(DisasmError::UnknownOpcode { addr, opcode: op as u16 }),
+            }
+        }
+
+        0x90 => InsnKind::Nop,
+        0x98 | 0x99 => InsnKind::Other, // cdqe / cqo
+
+        0xa8 => {
+            let _ = simm!(1);
+            InsnKind::Other // test al, imm8
+        }
+        0xa9 => {
+            let _ = simm!(imm_z);
+            InsnKind::Other // test eax, immZ
+        }
+
+        // mov imm to register
+        0xb0..=0xb7 => {
+            let imm = simm!(1);
+            InsnKind::MovImmToReg {
+                dest: Reg::from_bits(rex.b, op & 7),
+                imm,
+                width: Width::W8,
+            }
+        }
+        0xb8..=0xbf => {
+            let imm = if rex.w { simm!(8) } else { simm!(imm_z) };
+            InsnKind::MovImmToReg {
+                dest: Reg::from_bits(rex.b, op & 7),
+                imm,
+                width,
+            }
+        }
+
+        // ---- shift group (immediate) -------------------------------------
+        0xc0 | 0xc1 => {
+            let _ = modrm!();
+            let _ = simm!(1);
+            InsnKind::Other
+        }
+        0xd0..=0xd3 => {
+            let _ = modrm!();
+            InsnKind::Other
+        }
+
+        0xc2 => {
+            let _ = simm!(2);
+            InsnKind::Ret
+        }
+        0xc3 => InsnKind::Ret,
+
+        0xc6 | 0xc7 => {
+            let m = modrm!();
+            if m.reg_field != 0 {
+                return Err(DisasmError::UnknownOpcode { addr, opcode: op as u16 });
+            }
+            let w = if op == 0xc6 { Width::W8 } else { width };
+            let imm = if op == 0xc6 { simm!(1) } else { simm!(imm_z) };
+            match m.rm {
+                RmOperand::Reg(dest) => InsnKind::MovImmToReg { dest, imm, width: w },
+                RmOperand::Mem(mem) => InsnKind::MovImmToMem { mem, imm, width: w },
+            }
+        }
+
+        0xc9 => InsnKind::Other, // leave
+
+        0xcc => InsnKind::Privileged, // int3
+        0xcd => {
+            let _ = simm!(1);
+            InsnKind::Privileged // int imm8
+        }
+
+        // ---- control transfer ------------------------------------------
+        0xe8 => {
+            let rel = simm!(4);
+            InsnKind::DirectCall {
+                target: (addr as i64 + cur.pos as i64 + rel) as u64,
+            }
+        }
+        0xe9 => {
+            let rel = simm!(4);
+            InsnKind::DirectJmp {
+                target: (addr as i64 + cur.pos as i64 + rel) as u64,
+            }
+        }
+        0xeb => {
+            let rel = simm!(1);
+            InsnKind::DirectJmp {
+                target: (addr as i64 + cur.pos as i64 + rel) as u64,
+            }
+        }
+
+        0xf4 => InsnKind::Privileged, // hlt
+
+        // group 3
+        0xf6 | 0xf7 => {
+            let m = modrm!();
+            if m.reg_field <= 1 {
+                // test r/m, imm
+                if op == 0xf6 {
+                    let _ = simm!(1);
+                } else {
+                    let _ = simm!(imm_z);
+                }
+            }
+            InsnKind::Other
+        }
+
+        0xfe => {
+            let _ = modrm!();
+            InsnKind::Other // inc/dec r/m8
+        }
+        0xff => {
+            let m = modrm!();
+            match m.reg_field {
+                0 | 1 | 6 => InsnKind::Other, // inc/dec/push
+                2 => match m.rm {
+                    RmOperand::Reg(reg) => InsnKind::IndirectCallReg { reg },
+                    RmOperand::Mem(mem) => InsnKind::IndirectCallMem { mem },
+                },
+                4 => match m.rm {
+                    RmOperand::Reg(reg) => InsnKind::IndirectJmpReg { reg },
+                    RmOperand::Mem(mem) => InsnKind::IndirectJmpMem { mem },
+                },
+                // far call/jmp: never emitted by compilers for user code.
+                _ => InsnKind::Privileged,
+            }
+        }
+
+        // ---- two-byte map ------------------------------------------------
+        0x0f => {
+            let op2 = cur.u8()?;
+            opcode_len = 2;
+            match op2 {
+                0x05 => InsnKind::Syscall,
+                0x0b => InsnKind::Privileged, // ud2
+                0x1f => {
+                    let _ = modrm!();
+                    InsnKind::Nop // multi-byte nop
+                }
+                0x31 => InsnKind::Privileged, // rdtsc (illegal in enclaves)
+                0xa2 => InsnKind::Privileged, // cpuid (illegal in enclaves)
+                0x40..=0x4f => {
+                    let _ = modrm!();
+                    InsnKind::Other // cmovcc
+                }
+                0x80..=0x8f => {
+                    let rel = simm!(4);
+                    InsnKind::CondJmp {
+                        cc: Cc::from_nibble(op2 & 0xf),
+                        target: (addr as i64 + cur.pos as i64 + rel) as u64,
+                    }
+                }
+                0x90..=0x9f => {
+                    let _ = modrm!();
+                    InsnKind::Other // setcc
+                }
+                0xaf => {
+                    let _ = modrm!();
+                    InsnKind::Other // imul r, r/m
+                }
+                0xb6 | 0xb7 | 0xbe | 0xbf => {
+                    let _ = modrm!();
+                    InsnKind::Other // movzx / movsx
+                }
+                _ => {
+                    return Err(DisasmError::UnknownOpcode {
+                        addr,
+                        opcode: 0x0f00 | op2 as u16,
+                    })
+                }
+            }
+        }
+
+        _ => {
+            return Err(DisasmError::UnknownOpcode {
+                addr,
+                opcode: op as u16,
+            })
+        }
+    };
+
+    if cur.pos > MAX_INSN_LEN {
+        return Err(DisasmError::TooLong { addr });
+    }
+
+    Ok(Insn {
+        addr,
+        len: cur.pos as u8,
+        prefix_len,
+        opcode_len,
+        modrm_len,
+        disp_len,
+        imm_len,
+        kind,
+    })
+}
+
+/// Linear-sweep disassembly of an entire code region at base address
+/// `base`.
+///
+/// # Errors
+///
+/// Fails on the first undecodable instruction — EnGarde rejects binaries
+/// it cannot disassemble completely.
+pub fn decode_all(code: &[u8], base: u64) -> Result<Vec<Insn>, DisasmError> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < code.len() {
+        let insn = decode_one(&code[off..], base + off as u64)?;
+        off += insn.len as usize;
+        out.push(insn);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(bytes: &[u8]) -> Insn {
+        decode_one(bytes, 0x1000).expect("decodes")
+    }
+
+    #[test]
+    fn ret_and_nop() {
+        assert_eq!(one(&[0xc3]).kind, InsnKind::Ret);
+        assert_eq!(one(&[0xc3]).len, 1);
+        assert_eq!(one(&[0x90]).kind, InsnKind::Nop);
+        // ret imm16
+        let r = one(&[0xc2, 0x08, 0x00]);
+        assert_eq!(r.kind, InsnKind::Ret);
+        assert_eq!(r.len, 3);
+        assert_eq!(r.imm_len, 2);
+    }
+
+    #[test]
+    fn direct_call_rel32() {
+        // e8 10 00 00 00 => call 0x1015
+        let i = one(&[0xe8, 0x10, 0x00, 0x00, 0x00]);
+        assert_eq!(i.kind, InsnKind::DirectCall { target: 0x1015 });
+        assert_eq!(i.imm_len, 4);
+        // Negative displacement.
+        let i = one(&[0xe8, 0xfb, 0xff, 0xff, 0xff]);
+        assert_eq!(i.kind, InsnKind::DirectCall { target: 0x1000 });
+    }
+
+    #[test]
+    fn jumps() {
+        let i = one(&[0xeb, 0x02]);
+        assert_eq!(i.kind, InsnKind::DirectJmp { target: 0x1004 });
+        let i = one(&[0xe9, 0x00, 0x01, 0x00, 0x00]);
+        assert_eq!(i.kind, InsnKind::DirectJmp { target: 0x1105 });
+        // jne rel8
+        let i = one(&[0x75, 0x14]);
+        assert_eq!(
+            i.kind,
+            InsnKind::CondJmp {
+                cc: Cc::Ne,
+                target: 0x1016
+            }
+        );
+        // jne rel32 (0f 85)
+        let i = one(&[0x0f, 0x85, 0x00, 0x02, 0x00, 0x00]);
+        assert_eq!(
+            i.kind,
+            InsnKind::CondJmp {
+                cc: Cc::Ne,
+                target: 0x1206
+            }
+        );
+        assert_eq!(i.opcode_len, 2);
+    }
+
+    #[test]
+    fn push_pop() {
+        assert_eq!(one(&[0x55]).kind, InsnKind::PushReg { reg: Reg::Rbp });
+        assert_eq!(one(&[0x5d]).kind, InsnKind::PopReg { reg: Reg::Rbp });
+        // REX.B extends to r12.
+        let i = one(&[0x41, 0x54]);
+        assert_eq!(i.kind, InsnKind::PushReg { reg: Reg::R12 });
+        assert_eq!(i.prefix_len, 1);
+    }
+
+    #[test]
+    fn mov_reg_reg_64() {
+        // 48 89 e5 => mov %rsp, %rbp
+        let i = one(&[0x48, 0x89, 0xe5]);
+        assert_eq!(
+            i.kind,
+            InsnKind::MovRegToReg {
+                dest: Reg::Rbp,
+                src: Reg::Rsp,
+                width: Width::W64
+            }
+        );
+        assert_eq!(i.len, 3);
+    }
+
+    #[test]
+    fn canary_load_mov_fs() {
+        // 64 48 8b 04 25 28 00 00 00 => mov %fs:0x28, %rax
+        let i = one(&[0x64, 0x48, 0x8b, 0x04, 0x25, 0x28, 0x00, 0x00, 0x00]);
+        assert_eq!(
+            i.kind,
+            InsnKind::MovFsToReg {
+                dest: Reg::Rax,
+                fs_offset: 0x28
+            }
+        );
+        assert_eq!(i.len, 9);
+        assert_eq!(i.prefix_len, 2);
+        assert_eq!(i.disp_len, 4);
+    }
+
+    #[test]
+    fn canary_store_to_stack() {
+        // 48 89 04 24 => mov %rax, (%rsp)
+        let i = one(&[0x48, 0x89, 0x04, 0x24]);
+        match i.kind {
+            InsnKind::MovRegToMem { src, mem, width } => {
+                assert_eq!(src, Reg::Rax);
+                assert_eq!(mem.base, Some(Reg::Rsp));
+                assert_eq!(mem.disp, 0);
+                assert_eq!(width, Width::W64);
+            }
+            k => panic!("unexpected kind {k:?}"),
+        }
+        assert_eq!(i.modrm_len, 2); // ModRM + SIB
+    }
+
+    #[test]
+    fn canary_check_cmp() {
+        // 48 3b 04 24 => cmp (%rsp), %rax
+        let i = one(&[0x48, 0x3b, 0x04, 0x24]);
+        match i.kind {
+            InsnKind::AluMemReg {
+                op,
+                dest,
+                mem,
+                width,
+            } => {
+                assert_eq!(op, AluOp::Cmp);
+                assert_eq!(dest, Reg::Rax);
+                assert_eq!(mem.base, Some(Reg::Rsp));
+                assert_eq!(width, Width::W64);
+            }
+            k => panic!("unexpected kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn ifcc_sequence() {
+        // lea 0x85c70(%rip), %rax => 48 8d 05 70 5c 08 00
+        let i = one(&[0x48, 0x8d, 0x05, 0x70, 0x5c, 0x08, 0x00]);
+        assert_eq!(
+            i.kind,
+            InsnKind::LeaRipRel {
+                dest: Reg::Rax,
+                target: 0x1007 + 0x85c70
+            }
+        );
+        // sub %eax, %ecx => 29 c1
+        let i = one(&[0x29, 0xc1]);
+        assert_eq!(
+            i.kind,
+            InsnKind::AluRegReg {
+                op: AluOp::Sub,
+                dest: Reg::Rcx,
+                src: Reg::Rax,
+                width: Width::W32
+            }
+        );
+        // and $0x1ff8, %rcx => 48 81 e1 f8 1f 00 00
+        let i = one(&[0x48, 0x81, 0xe1, 0xf8, 0x1f, 0x00, 0x00]);
+        assert_eq!(
+            i.kind,
+            InsnKind::AluImmReg {
+                op: AluOp::And,
+                dest: Reg::Rcx,
+                imm: 0x1ff8,
+                width: Width::W64
+            }
+        );
+        // add %rax, %rcx => 48 01 c1
+        let i = one(&[0x48, 0x01, 0xc1]);
+        assert_eq!(
+            i.kind,
+            InsnKind::AluRegReg {
+                op: AluOp::Add,
+                dest: Reg::Rcx,
+                src: Reg::Rax,
+                width: Width::W64
+            }
+        );
+        // callq *%rcx => ff d1
+        let i = one(&[0xff, 0xd1]);
+        assert_eq!(i.kind, InsnKind::IndirectCallReg { reg: Reg::Rcx });
+    }
+
+    #[test]
+    fn multi_byte_nop() {
+        // 0f 1f 00 => nopl (%rax)
+        let i = one(&[0x0f, 0x1f, 0x00]);
+        assert_eq!(i.kind, InsnKind::Nop);
+        assert_eq!(i.len, 3);
+        // 0f 1f 44 00 00 => nopl 0x0(%rax,%rax,1)
+        let i = one(&[0x0f, 0x1f, 0x44, 0x00, 0x00]);
+        assert_eq!(i.kind, InsnKind::Nop);
+        assert_eq!(i.len, 5);
+    }
+
+    #[test]
+    fn mov_imm_variants() {
+        // b8 2a 00 00 00 => mov $42, %eax
+        let i = one(&[0xb8, 0x2a, 0x00, 0x00, 0x00]);
+        assert_eq!(
+            i.kind,
+            InsnKind::MovImmToReg {
+                dest: Reg::Rax,
+                imm: 42,
+                width: Width::W32
+            }
+        );
+        // 48 b8 imm64 => movabs
+        let i = one(&[0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(i.len, 10);
+        assert_eq!(i.imm_len, 8);
+        match i.kind {
+            InsnKind::MovImmToReg { imm, .. } => {
+                assert_eq!(imm as u64, 0x0807060504030201);
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+        // c7 45 fc 01 00 00 00 => movl $1, -4(%rbp)
+        let i = one(&[0xc7, 0x45, 0xfc, 0x01, 0x00, 0x00, 0x00]);
+        match i.kind {
+            InsnKind::MovImmToMem { mem, imm, .. } => {
+                assert_eq!(mem.base, Some(Reg::Rbp));
+                assert_eq!(mem.disp, -4);
+                assert_eq!(imm, 1);
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+        assert_eq!(i.disp_len, 1);
+        assert_eq!(i.imm_len, 4);
+    }
+
+    #[test]
+    fn alu_imm8_sign_extended() {
+        // 48 83 c0 ff => add $-1, %rax
+        let i = one(&[0x48, 0x83, 0xc0, 0xff]);
+        assert_eq!(
+            i.kind,
+            InsnKind::AluImmReg {
+                op: AluOp::Add,
+                dest: Reg::Rax,
+                imm: -1,
+                width: Width::W64
+            }
+        );
+    }
+
+    #[test]
+    fn sib_full_addressing() {
+        // 8b 44 8a 08 => mov 0x8(%rdx,%rcx,4), %eax
+        let i = one(&[0x8b, 0x44, 0x8a, 0x08]);
+        match i.kind {
+            InsnKind::MovMemToReg { dest, mem, .. } => {
+                assert_eq!(dest, Reg::Rax);
+                assert_eq!(mem.base, Some(Reg::Rdx));
+                assert_eq!(mem.index, Some(Reg::Rcx));
+                assert_eq!(mem.scale, 4);
+                assert_eq!(mem.disp, 8);
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+    }
+
+    #[test]
+    fn rip_relative_load() {
+        // 48 8b 05 10 00 00 00 => mov 0x10(%rip), %rax
+        let i = one(&[0x48, 0x8b, 0x05, 0x10, 0x00, 0x00, 0x00]);
+        match i.kind {
+            InsnKind::MovMemToReg { mem, .. } => {
+                assert!(mem.rip_relative);
+                assert_eq!(mem.disp, 0x10);
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+    }
+
+    #[test]
+    fn forbidden_instructions_classified() {
+        assert_eq!(one(&[0x0f, 0x05]).kind, InsnKind::Syscall);
+        assert_eq!(one(&[0xcc]).kind, InsnKind::Privileged);
+        assert_eq!(one(&[0xf4]).kind, InsnKind::Privileged);
+        assert_eq!(one(&[0x0f, 0xa2]).kind, InsnKind::Privileged);
+        assert_eq!(one(&[0x0f, 0x31]).kind, InsnKind::Privileged);
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(matches!(
+            decode_one(&[0x0f, 0xff], 0),
+            Err(DisasmError::UnknownOpcode { .. })
+        ));
+        // 0x06 is invalid in 64-bit mode (was push es).
+        assert!(matches!(
+            decode_one(&[0x06], 0),
+            Err(DisasmError::UnknownOpcode { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        assert!(matches!(
+            decode_one(&[0xe8, 0x01], 0),
+            Err(DisasmError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            decode_one(&[0x48], 0),
+            Err(DisasmError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            decode_one(&[], 0),
+            Err(DisasmError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn address_size_prefix_rejected() {
+        assert!(matches!(
+            decode_one(&[0x67, 0x8b, 0x00], 0),
+            Err(DisasmError::UnsupportedAddressSize { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_all_linear_sweep() {
+        // push %rbp; mov %rsp,%rbp; nop; pop %rbp; ret
+        let code = [0x55, 0x48, 0x89, 0xe5, 0x90, 0x5d, 0xc3];
+        let insns = decode_all(&code, 0x2000).expect("decodes");
+        assert_eq!(insns.len(), 5);
+        assert_eq!(insns[0].addr, 0x2000);
+        assert_eq!(insns[4].addr, 0x2006);
+        assert_eq!(insns[4].kind, InsnKind::Ret);
+        let total: usize = insns.iter().map(|i| i.len as usize).sum();
+        assert_eq!(total, code.len());
+    }
+
+    #[test]
+    fn decode_all_fails_on_garbage() {
+        let code = [0x90, 0x06, 0x90];
+        assert!(decode_all(&code, 0).is_err());
+    }
+
+    #[test]
+    fn length_metadata_accounts_for_every_byte() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![0xc3],
+            vec![0x64, 0x48, 0x8b, 0x04, 0x25, 0x28, 0x00, 0x00, 0x00],
+            vec![0x48, 0x81, 0xe1, 0xf8, 0x1f, 0x00, 0x00],
+            vec![0xe8, 0x00, 0x00, 0x00, 0x00],
+            vec![0x0f, 0x1f, 0x44, 0x00, 0x00],
+            vec![0xc7, 0x45, 0xfc, 0x01, 0x00, 0x00, 0x00],
+        ];
+        for bytes in cases {
+            let i = one(&bytes);
+            assert_eq!(
+                i.prefix_len + i.opcode_len + i.modrm_len + i.disp_len + i.imm_len,
+                i.len,
+                "byte accounting for {bytes:x?}"
+            );
+            assert_eq!(i.len as usize, bytes.len());
+        }
+    }
+
+    #[test]
+    fn operand_size_prefix_yields_imm16() {
+        // 66 81 c0 34 12 => add $0x1234, %ax
+        let i = one(&[0x66, 0x81, 0xc0, 0x34, 0x12]);
+        assert_eq!(i.imm_len, 2);
+        assert_eq!(
+            i.kind,
+            InsnKind::AluImmReg {
+                op: AluOp::Add,
+                dest: Reg::Rax,
+                imm: 0x1234,
+                width: Width::W16
+            }
+        );
+    }
+
+    #[test]
+    fn indirect_jmp_through_memory() {
+        // ff 24 c5 00 10 00 00 => jmp *0x1000(,%rax,8)
+        let i = one(&[0xff, 0x24, 0xc5, 0x00, 0x10, 0x00, 0x00]);
+        match i.kind {
+            InsnKind::IndirectJmpMem { mem } => {
+                assert_eq!(mem.base, None);
+                assert_eq!(mem.index, Some(Reg::Rax));
+                assert_eq!(mem.scale, 8);
+                assert_eq!(mem.disp, 0x1000);
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+    }
+}

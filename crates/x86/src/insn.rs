@@ -1,0 +1,520 @@
+//! Decoded x86-64 instructions and the metadata EnGarde's policies use.
+//!
+//! The paper's disassembler (built on NaCl's) parses "the byte sequence of
+//! the text sections into instructions and associated metadata information,
+//! e.g., the number of prefix bytes, number of opcode bytes and number of
+//! displacement bytes". [`Insn`] carries exactly that, plus a semantic
+//! [`InsnKind`] classification rich enough for the three policy modules.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// Condition codes for conditional branches (`jcc`) — the low nibble of
+/// the opcode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Cc {
+    /// Overflow.
+    O = 0x0,
+    /// Not overflow.
+    No = 0x1,
+    /// Below (carry).
+    B = 0x2,
+    /// Above or equal (not carry).
+    Ae = 0x3,
+    /// Equal (zero).
+    E = 0x4,
+    /// Not equal (not zero).
+    Ne = 0x5,
+    /// Below or equal.
+    Be = 0x6,
+    /// Above.
+    A = 0x7,
+    /// Sign.
+    S = 0x8,
+    /// Not sign.
+    Ns = 0x9,
+    /// Parity.
+    P = 0xa,
+    /// Not parity.
+    Np = 0xb,
+    /// Less.
+    L = 0xc,
+    /// Greater or equal.
+    Ge = 0xd,
+    /// Less or equal.
+    Le = 0xe,
+    /// Greater.
+    G = 0xf,
+}
+
+impl Cc {
+    /// Builds a condition code from an opcode's low nibble.
+    pub fn from_nibble(n: u8) -> Cc {
+        const ALL: [Cc; 16] = [
+            Cc::O,
+            Cc::No,
+            Cc::B,
+            Cc::Ae,
+            Cc::E,
+            Cc::Ne,
+            Cc::Be,
+            Cc::A,
+            Cc::S,
+            Cc::Ns,
+            Cc::P,
+            Cc::Np,
+            Cc::L,
+            Cc::Ge,
+            Cc::Le,
+            Cc::G,
+        ];
+        ALL[(n & 0xf) as usize]
+    }
+
+    /// The mnemonic suffix (`e` for `je`, `ne` for `jne`, …).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cc::O => "o",
+            Cc::No => "no",
+            Cc::B => "b",
+            Cc::Ae => "ae",
+            Cc::E => "e",
+            Cc::Ne => "ne",
+            Cc::Be => "be",
+            Cc::A => "a",
+            Cc::S => "s",
+            Cc::Ns => "ns",
+            Cc::P => "p",
+            Cc::Np => "np",
+            Cc::L => "l",
+            Cc::Ge => "ge",
+            Cc::Le => "le",
+            Cc::G => "g",
+        }
+    }
+}
+
+/// The arithmetic/logic group opcodes share an encoding family; this
+/// names which operation an ALU instruction performs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// Integer addition.
+    Add,
+    /// Bitwise or.
+    Or,
+    /// Add with carry.
+    Adc,
+    /// Subtract with borrow.
+    Sbb,
+    /// Bitwise and.
+    And,
+    /// Integer subtraction.
+    Sub,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Compare (subtract, discard result).
+    Cmp,
+}
+
+impl AluOp {
+    /// Maps the `/digit` group-1 extension or `0x00..0x3f` family index.
+    pub fn from_index(i: u8) -> AluOp {
+        const ALL: [AluOp; 8] = [
+            AluOp::Add,
+            AluOp::Or,
+            AluOp::Adc,
+            AluOp::Sbb,
+            AluOp::And,
+            AluOp::Sub,
+            AluOp::Xor,
+            AluOp::Cmp,
+        ];
+        ALL[(i & 7) as usize]
+    }
+
+    /// AT&T mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Or => "or",
+            AluOp::Adc => "adc",
+            AluOp::Sbb => "sbb",
+            AluOp::And => "and",
+            AluOp::Sub => "sub",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+        }
+    }
+}
+
+/// A memory operand: `disp(base, index, scale)` with optional parts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MemOperand {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register, if any (never `%rsp`).
+    pub index: Option<Reg>,
+    /// Scale factor (1, 2, 4, 8).
+    pub scale: u8,
+    /// Displacement.
+    pub disp: i32,
+    /// True when the operand is RIP-relative (`disp(%rip)`).
+    pub rip_relative: bool,
+}
+
+impl MemOperand {
+    /// A plain `disp(%reg)` operand.
+    pub fn base_disp(base: Reg, disp: i32) -> Self {
+        MemOperand {
+            base: Some(base),
+            disp,
+            scale: 1,
+            ..Default::default()
+        }
+    }
+}
+
+/// Operand width of an instruction (distinct from address width).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Width {
+    /// 8-bit operands.
+    W8,
+    /// 16-bit operands (`0x66` prefix).
+    W16,
+    /// 32-bit operands (default).
+    W32,
+    /// 64-bit operands (REX.W).
+    W64,
+}
+
+/// Semantic classification of a decoded instruction.
+///
+/// Only the shapes EnGarde's policy modules inspect get dedicated
+/// variants; everything else decodes to a generic variant that still
+/// carries exact length metadata.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[non_exhaustive]
+pub enum InsnKind {
+    /// `call rel32` — target is the resolved absolute address.
+    DirectCall {
+        /// Absolute target address.
+        target: u64,
+    },
+    /// `call *%reg` — the IFCC policy inspects these.
+    IndirectCallReg {
+        /// The register holding the target.
+        reg: Reg,
+    },
+    /// `call *mem`.
+    IndirectCallMem {
+        /// The memory operand.
+        mem: MemOperand,
+    },
+    /// `jmp rel8/rel32`.
+    DirectJmp {
+        /// Absolute target address.
+        target: u64,
+    },
+    /// `jcc rel8/rel32`.
+    CondJmp {
+        /// Condition.
+        cc: Cc,
+        /// Absolute target address.
+        target: u64,
+    },
+    /// `jmp *%reg`.
+    IndirectJmpReg {
+        /// The register holding the target.
+        reg: Reg,
+    },
+    /// `jmp *mem`.
+    IndirectJmpMem {
+        /// The memory operand.
+        mem: MemOperand,
+    },
+    /// `ret` / `ret imm16`.
+    Ret,
+    /// Any `nop` form (`0x90`, `0f 1f /0` multi-byte).
+    Nop,
+    /// `lea disp(%rip), %reg` — computes an absolute address; the IFCC
+    /// policy reads the jump-table base from this.
+    LeaRipRel {
+        /// Destination register.
+        dest: Reg,
+        /// The resolved absolute address.
+        target: u64,
+    },
+    /// Other `lea mem, %reg`.
+    Lea {
+        /// Destination register.
+        dest: Reg,
+        /// Source memory operand.
+        mem: MemOperand,
+    },
+    /// `mov %fs:disp, %reg` — the stack-protector canary load.
+    MovFsToReg {
+        /// Destination register.
+        dest: Reg,
+        /// Offset within the `%fs` segment (0x28 for the canary).
+        fs_offset: u32,
+    },
+    /// `mov %reg, mem` — register store.
+    MovRegToMem {
+        /// Source register.
+        src: Reg,
+        /// Destination memory operand.
+        mem: MemOperand,
+        /// Operand width.
+        width: Width,
+    },
+    /// `mov mem, %reg` — register load.
+    MovMemToReg {
+        /// Destination register.
+        dest: Reg,
+        /// Source memory operand.
+        mem: MemOperand,
+        /// Operand width.
+        width: Width,
+    },
+    /// `mov %reg, %reg`.
+    MovRegToReg {
+        /// Destination register.
+        dest: Reg,
+        /// Source register.
+        src: Reg,
+        /// Operand width.
+        width: Width,
+    },
+    /// `mov $imm, %reg` (including `movabs`).
+    MovImmToReg {
+        /// Destination register.
+        dest: Reg,
+        /// Immediate value (sign-extended).
+        imm: i64,
+        /// Operand width (W32 zero-extends at runtime, W64 sign-extends
+        /// the 32-bit immediate forms).
+        width: Width,
+    },
+    /// `mov $imm, mem`.
+    MovImmToMem {
+        /// Destination memory operand.
+        mem: MemOperand,
+        /// Immediate value (sign-extended).
+        imm: i64,
+        /// Operand width.
+        width: Width,
+    },
+    /// ALU op, register-to-register (e.g. `sub %eax, %ecx`).
+    AluRegReg {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dest: Reg,
+        /// Source register.
+        src: Reg,
+        /// Operand width.
+        width: Width,
+    },
+    /// ALU op with immediate (e.g. `and $0x1ff8, %rcx`).
+    AluImmReg {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dest: Reg,
+        /// Immediate (sign-extended).
+        imm: i64,
+        /// Operand width.
+        width: Width,
+    },
+    /// ALU op, memory source (e.g. `cmp (%rsp), %rax` — canary check).
+    AluMemReg {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dest: Reg,
+        /// Source memory operand.
+        mem: MemOperand,
+        /// Operand width.
+        width: Width,
+    },
+    /// ALU op, memory destination.
+    AluRegMem {
+        /// Operation.
+        op: AluOp,
+        /// Destination memory operand.
+        mem: MemOperand,
+        /// Source register.
+        src: Reg,
+        /// Operand width.
+        width: Width,
+    },
+    /// ALU op with immediate against memory.
+    AluImmMem {
+        /// Operation.
+        op: AluOp,
+        /// Destination memory operand.
+        mem: MemOperand,
+        /// Immediate (sign-extended).
+        imm: i64,
+        /// Operand width.
+        width: Width,
+    },
+    /// `push %reg`.
+    PushReg {
+        /// The pushed register.
+        reg: Reg,
+    },
+    /// `pop %reg`.
+    PopReg {
+        /// The popped register.
+        reg: Reg,
+    },
+    /// `test`, `xchg`, shifts, `movzx`, `cmov`, and other decoded but
+    /// unclassified instructions.
+    Other,
+    /// `syscall` — forbidden inside an enclave; the validator rejects it.
+    Syscall,
+    /// `int`, `int3`, `hlt`, `cpuid` and other instructions illegal in
+    /// enclave mode.
+    Privileged,
+}
+
+impl InsnKind {
+    /// True for instructions that never fall through (`ret`,
+    /// unconditional `jmp`).
+    pub fn ends_flow(&self) -> bool {
+        matches!(
+            self,
+            InsnKind::Ret
+                | InsnKind::DirectJmp { .. }
+                | InsnKind::IndirectJmpReg { .. }
+                | InsnKind::IndirectJmpMem { .. }
+        )
+    }
+
+    /// The statically-known control-transfer target, if any.
+    pub fn branch_target(&self) -> Option<u64> {
+        match self {
+            InsnKind::DirectCall { target }
+            | InsnKind::DirectJmp { target }
+            | InsnKind::CondJmp { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// True for any control-transfer instruction.
+    pub fn is_control_transfer(&self) -> bool {
+        matches!(
+            self,
+            InsnKind::DirectCall { .. }
+                | InsnKind::IndirectCallReg { .. }
+                | InsnKind::IndirectCallMem { .. }
+                | InsnKind::DirectJmp { .. }
+                | InsnKind::CondJmp { .. }
+                | InsnKind::IndirectJmpReg { .. }
+                | InsnKind::IndirectJmpMem { .. }
+                | InsnKind::Ret
+        )
+    }
+}
+
+/// A decoded instruction with full length metadata.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Insn {
+    /// Virtual address of the first byte.
+    pub addr: u64,
+    /// Total encoded length in bytes (1–15).
+    pub len: u8,
+    /// Number of legacy + REX prefix bytes.
+    pub prefix_len: u8,
+    /// Number of opcode bytes (1–3).
+    pub opcode_len: u8,
+    /// Number of ModRM + SIB bytes (0–2).
+    pub modrm_len: u8,
+    /// Number of displacement bytes (0, 1, or 4).
+    pub disp_len: u8,
+    /// Number of immediate bytes (0, 1, 2, 4, or 8).
+    pub imm_len: u8,
+    /// Semantic classification.
+    pub kind: InsnKind,
+}
+
+impl Insn {
+    /// Address of the byte after this instruction (fall-through target).
+    pub fn end(&self) -> u64 {
+        self.addr + self.len as u64
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}: {:?} ({} bytes)", self.addr, self.kind, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_round_trip() {
+        for n in 0..16u8 {
+            let cc = Cc::from_nibble(n);
+            assert_eq!(cc as u8, n);
+            assert!(!cc.suffix().is_empty());
+        }
+        assert_eq!(Cc::from_nibble(0x5), Cc::Ne);
+        assert_eq!(Cc::Ne.suffix(), "ne");
+    }
+
+    #[test]
+    fn alu_op_round_trip() {
+        for i in 0..8u8 {
+            let op = AluOp::from_index(i);
+            assert!(!op.mnemonic().is_empty());
+        }
+        assert_eq!(AluOp::from_index(5), AluOp::Sub);
+        assert_eq!(AluOp::from_index(7), AluOp::Cmp);
+    }
+
+    #[test]
+    fn ends_flow_classification() {
+        assert!(InsnKind::Ret.ends_flow());
+        assert!(InsnKind::DirectJmp { target: 0 }.ends_flow());
+        assert!(!InsnKind::DirectCall { target: 0 }.ends_flow());
+        assert!(!InsnKind::CondJmp {
+            cc: Cc::Ne,
+            target: 0
+        }
+        .ends_flow());
+        assert!(!InsnKind::Nop.ends_flow());
+    }
+
+    #[test]
+    fn branch_targets() {
+        assert_eq!(
+            InsnKind::DirectCall { target: 0x40 }.branch_target(),
+            Some(0x40)
+        );
+        assert_eq!(InsnKind::Ret.branch_target(), None);
+        assert!(InsnKind::Ret.is_control_transfer());
+        assert!(!InsnKind::Nop.is_control_transfer());
+    }
+
+    #[test]
+    fn insn_end() {
+        let i = Insn {
+            addr: 0x1000,
+            len: 5,
+            prefix_len: 0,
+            opcode_len: 1,
+            modrm_len: 0,
+            disp_len: 0,
+            imm_len: 4,
+            kind: InsnKind::DirectCall { target: 0x2000 },
+        };
+        assert_eq!(i.end(), 0x1005);
+        assert!(i.to_string().contains("0x1000"));
+    }
+}

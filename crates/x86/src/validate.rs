@@ -1,0 +1,373 @@
+//! NaCl-style structural validation of disassembled code.
+//!
+//! The paper (§3): "NaCl makes a number of assumptions to ensure clean,
+//! unambiguous disassembly. For example, it requires no instructions to
+//! overlap a 32-byte boundary, that all control-transfers target valid
+//! instructions, and that all valid instructions are reachable from the
+//! start address. EnGarde requires the client's enclave to satisfy the
+//! same constraints."
+//!
+//! [`Validator`] checks exactly those three constraints plus the SGX
+//! execution restriction (no `syscall`/privileged instructions inside an
+//! enclave — enclave code "cannot invoke any OS services", §2).
+//!
+//! Reachability is computed over the decoded instruction list: roots are
+//! the entry point plus caller-provided roots (function symbols,
+//! address-taken jump tables via `lea`); edges are fall-through, direct
+//! branch targets, and nop-bridging (a run of `nop` padding after a
+//! flow-terminating instruction carries reachability to the next real
+//! instruction, as alignment padding does in compiler output).
+
+use crate::insn::{Insn, InsnKind};
+use crate::DisasmError;
+use std::collections::HashMap;
+
+/// NaCl's instruction-bundle size in bytes.
+pub const BUNDLE_SIZE: u64 = 32;
+
+/// Configuration for [`Validator`].
+#[derive(Clone, Debug)]
+pub struct ValidatorConfig {
+    /// Enforce the 32-byte bundle-straddle rule.
+    pub check_bundles: bool,
+    /// Enforce that direct control transfers target instruction starts.
+    pub check_targets: bool,
+    /// Enforce reachability of every non-nop instruction.
+    pub check_reachability: bool,
+    /// Reject `syscall` and privileged instructions (SGX restriction).
+    pub check_enclave_legal: bool,
+}
+
+impl Default for ValidatorConfig {
+    fn default() -> Self {
+        ValidatorConfig {
+            check_bundles: true,
+            check_targets: true,
+            check_reachability: true,
+            check_enclave_legal: true,
+        }
+    }
+}
+
+/// Statistics from a successful validation pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ValidationReport {
+    /// Number of instructions validated.
+    pub instructions: usize,
+    /// Number of direct control-transfer targets checked.
+    pub targets_checked: usize,
+    /// Number of instructions reachable from the roots.
+    pub reachable: usize,
+    /// Number of `nop` padding instructions exempted from reachability.
+    pub padding: usize,
+}
+
+/// NaCl-style validator over a decoded instruction stream.
+#[derive(Clone, Debug, Default)]
+pub struct Validator {
+    config: ValidatorConfig,
+}
+
+impl Validator {
+    /// Creates a validator with the default (full) rule set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a validator with a custom rule set.
+    pub fn with_config(config: ValidatorConfig) -> Self {
+        Validator { config }
+    }
+
+    /// Validates `insns` (sorted by address, as produced by
+    /// [`crate::decode::decode_all`]) for a region `[base, base+size)`
+    /// entered at `entry`. `extra_roots` seeds reachability with function
+    /// symbol addresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`DisasmError`].
+    pub fn validate(
+        &self,
+        insns: &[Insn],
+        entry: u64,
+        extra_roots: &[u64],
+    ) -> Result<ValidationReport, DisasmError> {
+        let mut report = ValidationReport {
+            instructions: insns.len(),
+            ..Default::default()
+        };
+        if insns.is_empty() {
+            return Ok(report);
+        }
+        let base = insns[0].addr;
+        let end = insns.last().expect("non-empty").end();
+
+        // Index of every instruction start.
+        let index: HashMap<u64, usize> =
+            insns.iter().enumerate().map(|(i, x)| (x.addr, i)).collect();
+
+        for insn in insns {
+            // Rule: SGX-legal instructions only.
+            if self.config.check_enclave_legal {
+                match insn.kind {
+                    InsnKind::Syscall => {
+                        return Err(DisasmError::ForbiddenInstruction {
+                            addr: insn.addr,
+                            what: "syscall",
+                        })
+                    }
+                    InsnKind::Privileged => {
+                        return Err(DisasmError::ForbiddenInstruction {
+                            addr: insn.addr,
+                            what: "privileged instruction",
+                        })
+                    }
+                    _ => {}
+                }
+            }
+
+            // Rule: no instruction overlaps a 32-byte boundary.
+            if self.config.check_bundles {
+                let first_bundle = insn.addr / BUNDLE_SIZE;
+                let last_bundle = (insn.end() - 1) / BUNDLE_SIZE;
+                if first_bundle != last_bundle {
+                    return Err(DisasmError::BundleStraddle { addr: insn.addr });
+                }
+            }
+
+            // Rule: direct control transfers target valid instructions.
+            if self.config.check_targets {
+                if let Some(target) = insn.kind.branch_target() {
+                    report.targets_checked += 1;
+                    let in_region = target >= base && target < end;
+                    if in_region && !index.contains_key(&target) {
+                        return Err(DisasmError::BadBranchTarget {
+                            addr: insn.addr,
+                            target,
+                        });
+                    }
+                    if !in_region {
+                        return Err(DisasmError::TargetOutOfRegion {
+                            addr: insn.addr,
+                            target,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Rule: all valid instructions are reachable from the start.
+        if self.config.check_reachability {
+            let mut reachable = vec![false; insns.len()];
+            let mut work: Vec<usize> = Vec::new();
+            let push_root = |addr: u64, work: &mut Vec<usize>| {
+                if let Some(&i) = index.get(&addr) {
+                    work.push(i);
+                }
+            };
+            push_root(entry, &mut work);
+            for &r in extra_roots {
+                push_root(r, &mut work);
+            }
+            // Address-taken code (lea targets) is reachable: the IFCC
+            // jump tables are reached exactly this way.
+            for insn in insns {
+                if let InsnKind::LeaRipRel { target, .. } = insn.kind {
+                    push_root(target, &mut work);
+                }
+            }
+            while let Some(i) = work.pop() {
+                if reachable[i] {
+                    continue;
+                }
+                reachable[i] = true;
+                let insn = &insns[i];
+                if let Some(t) = insn.kind.branch_target() {
+                    if let Some(&j) = index.get(&t) {
+                        if !reachable[j] {
+                            work.push(j);
+                        }
+                    }
+                }
+                if i + 1 < insns.len() {
+                    let falls_through = !insn.kind.ends_flow();
+                    // Nop-bridging: padding after a ret/jmp carries
+                    // reachability to the next block.
+                    let next_is_padding = insns[i + 1].kind == InsnKind::Nop;
+                    if (falls_through || next_is_padding) && !reachable[i + 1] {
+                        work.push(i + 1);
+                    }
+                }
+            }
+            for (i, insn) in insns.iter().enumerate() {
+                if reachable[i] {
+                    report.reachable += 1;
+                } else if insn.kind == InsnKind::Nop {
+                    report.padding += 1;
+                } else {
+                    return Err(DisasmError::Unreachable { addr: insn.addr });
+                }
+            }
+        }
+
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_all;
+
+    fn validate(code: &[u8], entry_off: u64) -> Result<ValidationReport, DisasmError> {
+        let insns = decode_all(code, 0).expect("decodes");
+        Validator::new().validate(&insns, entry_off, &[])
+    }
+
+    #[test]
+    fn empty_code_is_valid() {
+        let report = Validator::new().validate(&[], 0, &[]).expect("valid");
+        assert_eq!(report.instructions, 0);
+    }
+
+    #[test]
+    fn simple_function_passes() {
+        // push %rbp; mov %rsp,%rbp; pop %rbp; ret
+        let code = [0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3];
+        let report = validate(&code, 0).expect("valid");
+        assert_eq!(report.instructions, 4);
+        assert_eq!(report.reachable, 4);
+    }
+
+    #[test]
+    fn bundle_straddle_rejected() {
+        // 30 one-byte nops, then a 5-byte call that straddles offset 32.
+        let mut code = vec![0x90u8; 30];
+        code.extend_from_slice(&[0xe8, 0xc7, 0xff, 0xff, 0xff]); // call 0x0 (wraps back)
+        let err = validate(&code, 0).unwrap_err();
+        assert!(matches!(err, DisasmError::BundleStraddle { addr: 30 }));
+    }
+
+    #[test]
+    fn instruction_ending_exactly_on_boundary_ok() {
+        // 27 nops + 5-byte call ending exactly at 32.
+        let mut code = vec![0x90u8; 27];
+        code.extend_from_slice(&[0xe8, 0xfb, 0xff, 0xff, 0xff]); // call 0x20... target = 32
+        code.extend_from_slice(&[0xc3]); // at offset 32
+        let report = validate(&code, 0).expect("valid");
+        assert!(report.targets_checked == 1);
+    }
+
+    #[test]
+    fn branch_into_middle_of_instruction_rejected() {
+        // jmp into the middle of the following 5-byte call.
+        // 0: eb 02       jmp 4   <- lands inside the mov
+        // 2: b8 xx xx xx xx  mov $imm, %eax
+        // 7: c3
+        let code = [0xeb, 0x02, 0xb8, 0x01, 0x02, 0x03, 0x04, 0xc3];
+        let err = validate(&code, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            DisasmError::BadBranchTarget { addr: 0, target: 4 }
+        ));
+    }
+
+    #[test]
+    fn branch_out_of_region_rejected() {
+        // call far beyond the region.
+        let code = [0xe8, 0x00, 0x10, 0x00, 0x00, 0xc3];
+        let err = validate(&code, 0).unwrap_err();
+        assert!(matches!(err, DisasmError::TargetOutOfRegion { .. }));
+    }
+
+    #[test]
+    fn syscall_rejected() {
+        let code = [0x0f, 0x05, 0xc3];
+        let err = validate(&code, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            DisasmError::ForbiddenInstruction { addr: 0, what: "syscall" }
+        ));
+    }
+
+    #[test]
+    fn int3_rejected() {
+        let code = [0xcc];
+        assert!(matches!(
+            validate(&code, 0),
+            Err(DisasmError::ForbiddenInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_code_rejected() {
+        // ret; then a stranded non-nop instruction nothing targets.
+        let code = [0xc3, 0x55, 0xc3];
+        let err = validate(&code, 0).unwrap_err();
+        assert!(matches!(err, DisasmError::Unreachable { addr: 1 }));
+    }
+
+    #[test]
+    fn nop_bridging_allows_padding_between_functions() {
+        // f1: ret; 3 nops; f2: push %rbp; pop %rbp; ret — all valid because
+        // nop padding bridges from f1's ret to f2.
+        let code = [0xc3, 0x90, 0x90, 0x90, 0x55, 0x5d, 0xc3];
+        let report = validate(&code, 0).expect("valid");
+        assert_eq!(report.reachable, 7);
+    }
+
+    #[test]
+    fn extra_roots_make_functions_reachable() {
+        // Entry returns immediately; second function at 1 is only known
+        // via a symbol (no nop bridge: first insn ends flow, next is push).
+        let code = [0xc3, 0x55, 0x5d, 0xc3];
+        let insns = decode_all(&code, 0).expect("decodes");
+        let v = Validator::new();
+        assert!(v.validate(&insns, 0, &[]).is_err());
+        let report = v.validate(&insns, 0, &[1]).expect("valid with root");
+        assert_eq!(report.reachable, 4);
+    }
+
+    #[test]
+    fn lea_target_is_reachability_root() {
+        // 0: lea 0x6(%rip),%rax  (48 8d 05 06 00 00 00) -> target 0xd
+        // 7: ret                  (c3)
+        // 8: push %rbp (data-ish, unreachable!)  -- replaced below
+        // Actually: make the lea target the table at 0xd: jmpq back to 0.
+        let code = [
+            0x48, 0x8d, 0x05, 0x06, 0x00, 0x00, 0x00, // lea 0xd(%rip),%rax
+            0xc3, // ret @7
+            0x90, 0x90, 0x90, 0x90, 0x90, // padding 8..=12
+            0xe9, 0xee, 0xff, 0xff, 0xff, // @13 jmp 0x0
+        ];
+        let insns = decode_all(&code, 0).expect("decodes");
+        let report = Validator::new().validate(&insns, 0, &[]).expect("valid");
+        assert_eq!(report.reachable, insns.len());
+    }
+
+    #[test]
+    fn disabled_rules_skip_checks() {
+        let code = [0x0f, 0x05]; // syscall
+        let insns = decode_all(&code, 0).expect("decodes");
+        let v = Validator::with_config(ValidatorConfig {
+            check_enclave_legal: false,
+            check_reachability: false,
+            ..Default::default()
+        });
+        v.validate(&insns, 0, &[]).expect("valid with rules off");
+    }
+
+    #[test]
+    fn conditional_branch_falls_through() {
+        // cmp + jne forward + ret at both paths.
+        let code = [
+            0x48, 0x39, 0xc8, // cmp %rcx, %rax
+            0x75, 0x01, // jne +1
+            0xc3, // ret
+            0xc3, // ret (branch target)
+        ];
+        let report = validate(&code, 0).expect("valid");
+        assert_eq!(report.reachable, 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Attestation deep-dive: what the client's verification actually
+//! catches, and why EnGarde needs SGX2.
+//!
+//! Run with `cargo run --release --example attestation_flow`.
+//!
+//! Shows (a) the measurement pinning the *policy configuration* — an
+//! enclave built with a weaker policy set produces a different
+//! measurement and the client walks away; (b) nonce freshness; and
+//! (c) the SGX1 page-table attack that motivates the paper's SGX2
+//! requirement (§3–4), defeated by EPCM permissions on SGX2.
+
+use engarde::client::Client;
+use engarde::loader::LoaderConfig;
+use engarde::policy::{IfccPolicy, PolicyModule, StackProtectionPolicy};
+use engarde::provider::CloudProvider;
+use engarde::provision::{BootstrapSpec, DEFAULT_ENCLAVE_BASE};
+use engarde::sgx::epc::PagePerms;
+use engarde::sgx::instr::SgxVersion;
+use engarde::sgx::machine::MachineConfig;
+use engarde::workloads::generator::{generate, WorkloadSpec};
+use engarde::workloads::libc::Instrumentation;
+use engarde::EngardeError;
+
+fn full_policies() -> Vec<Box<dyn PolicyModule>> {
+    vec![
+        Box::new(StackProtectionPolicy::new()),
+        Box::new(IfccPolicy::new()),
+    ]
+}
+
+fn weak_policies() -> Vec<Box<dyn PolicyModule>> {
+    // A provider quietly dropping the stack-protection module.
+    vec![Box::new(IfccPolicy::new())]
+}
+
+fn config(version: SgxVersion, seed: u64) -> MachineConfig {
+    MachineConfig {
+        epc_pages: 1_024,
+        version,
+        device_key_bits: 512,
+        seed,
+    }
+}
+
+fn main() -> Result<(), EngardeError> {
+    println!("== attestation and the SGX2 requirement ==\n");
+
+    let agreed_spec = BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &full_policies(),
+        128,
+        512,
+    );
+    let binary = generate(&WorkloadSpec {
+        name: "attest_app".into(),
+        target_instructions: 10_000,
+        instrumentation: Instrumentation::StackProtector,
+        ..WorkloadSpec::default()
+    });
+
+    // ---- (a) measurement pins the policy set ---------------------------
+    // The provider boots EnGarde with a *weaker* policy set than agreed.
+    let weak_spec = BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &weak_policies(),
+        128,
+        512,
+    );
+    let mut provider = CloudProvider::new(config(SgxVersion::V2, 0x111));
+    let enclave = provider.create_engarde_enclave(weak_spec, weak_policies())?;
+    let mut client = Client::new(
+        binary.image.clone(),
+        &agreed_spec, // the client expects the FULL policy set
+        DEFAULT_ENCLAVE_BASE,
+        provider.device_public_key(),
+        0x222,
+    );
+    let nonce = client.challenge();
+    let quote = provider.attest(enclave, nonce)?;
+    let key = provider.enclave_public_key(enclave)?;
+    match client.verify_quote(&quote, &key) {
+        Err(e) => println!("(a) weakened policy set → attestation fails:\n    {e}\n"),
+        Ok(()) => panic!("client accepted an enclave with the wrong policies!"),
+    }
+
+    // ---- (b) nonce freshness ------------------------------------------------
+    let mut provider = CloudProvider::new(config(SgxVersion::V2, 0x333));
+    let enclave = provider.create_engarde_enclave(agreed_spec.clone(), full_policies())?;
+    let mut client = Client::new(
+        binary.image.clone(),
+        &agreed_spec,
+        DEFAULT_ENCLAVE_BASE,
+        provider.device_public_key(),
+        0x444,
+    );
+    let old_nonce = client.challenge();
+    let old_quote = provider.attest(enclave, old_nonce)?;
+    let key = provider.enclave_public_key(enclave)?;
+    client.verify_quote(&old_quote, &key)?;
+    println!("(b) fresh quote verifies; now the provider replays it against a new challenge…");
+    let _new_nonce = client.challenge(); // client refreshes its challenge
+    match client.verify_quote(&old_quote, &key) {
+        Err(e) => println!("    replayed quote rejected: {e}\n"),
+        Ok(()) => panic!("replayed quote accepted!"),
+    }
+
+    // ---- (c) SGX1 vs SGX2 after provisioning ------------------------------------
+    for version in [SgxVersion::V1, SgxVersion::V2] {
+        let mut provider = CloudProvider::new(config(version, 0x555));
+        let enclave = provider.create_engarde_enclave(agreed_spec.clone(), full_policies())?;
+        let mut client = Client::new(
+            binary.image.clone(),
+            &agreed_spec,
+            DEFAULT_ENCLAVE_BASE,
+            provider.device_public_key(),
+            0x666,
+        );
+        let nonce = client.challenge();
+        let quote = provider.attest(enclave, nonce)?;
+        let key = provider.enclave_public_key(enclave)?;
+        client.verify_quote(&quote, &key)?;
+        let wrapped = client.establish_channel(&key)?;
+        provider.open_channel(enclave, &wrapped)?;
+        for block in client.content_blocks()? {
+            provider.deliver(enclave, &block)?;
+        }
+        let view = provider.inspect_and_provision(enclave)?;
+        assert!(view.compliant);
+        let code_page = view.exec_pages[0];
+
+        // A malicious host flips the page-table entry back to RWX and
+        // tries to inject code into the (already inspected) code page.
+        let effective = provider
+            .host_mut()
+            .attack_flip_pte(enclave, code_page, PagePerms::RWX)?;
+        println!(
+            "(c) {version:?}: after provisioning, host flips PTE to rwx → effective perms {effective}"
+        );
+        match version {
+            SgxVersion::V1 => {
+                assert_eq!(effective, PagePerms::RWX);
+                println!(
+                    "    SGX1: page-table permissions are all there is — the inspected code \
+                     page is writable again.\n    This is why the paper requires SGX2."
+                );
+            }
+            SgxVersion::V2 => {
+                assert_eq!(effective, PagePerms::RX);
+                println!(
+                    "    SGX2: the EPCM caps permissions at r-x regardless of page tables — \
+                     the attack is dead."
+                );
+            }
+        }
+    }
+    Ok(())
+}

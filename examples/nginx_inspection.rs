@@ -1,0 +1,107 @@
+//! Inspecting the paper's flagship workload: Nginx under all three
+//! policies (one row from each of Figs. 3, 4 and 5).
+//!
+//! Run with `cargo run --release --example nginx_inspection`.
+//!
+//! Generates the Nginx-scale binary variant for each policy figure
+//! (262,228 / 271,106 / 267,669 instructions — the paper's `#Inst`
+//! numbers), runs the full provisioning pipeline, and prints the
+//! measured stage costs next to the paper's.
+
+use engarde::client::Client;
+use engarde::loader::LoaderConfig;
+use engarde::policy::{
+    IfccPolicy, LibraryLinkingPolicy, PolicyModule, StackProtectionPolicy,
+};
+use engarde::provider::CloudProvider;
+use engarde::provision::{BootstrapSpec, DEFAULT_ENCLAVE_BASE};
+use engarde::sgx::instr::SgxVersion;
+use engarde::sgx::machine::MachineConfig;
+use engarde::workloads::bench_suite::{PaperBenchmark, PolicyFigure};
+use engarde::workloads::libc::{Instrumentation, LibcLibrary};
+use engarde::EngardeError;
+
+fn policies_for(figure: PolicyFigure) -> Vec<Box<dyn PolicyModule>> {
+    match figure {
+        PolicyFigure::Fig3LibraryLinking => {
+            let lib = LibcLibrary::build(Instrumentation::None);
+            vec![Box::new(LibraryLinkingPolicy::new(
+                "musl-libc",
+                lib.function_hashes(),
+            ))]
+        }
+        PolicyFigure::Fig4StackProtection => vec![Box::new(StackProtectionPolicy::new())],
+        PolicyFigure::Fig5Ifcc => vec![Box::new(IfccPolicy::new())],
+    }
+}
+
+/// Paper values for the Nginx rows: (#inst, disassembly, policy, loading).
+fn paper_row(figure: PolicyFigure) -> (usize, u64, u64, u64) {
+    match figure {
+        PolicyFigure::Fig3LibraryLinking => (262_228, 694_405_019, 1_307_411_662, 128_696),
+        PolicyFigure::Fig4StackProtection => (271_106, 719_360_640, 713_772_098, 128_662),
+        PolicyFigure::Fig5Ifcc => (267_669, 821_734_999, 20_843_253, 128_668),
+    }
+}
+
+fn main() -> Result<(), EngardeError> {
+    let nginx = PaperBenchmark::by_name("Nginx").expect("nginx in suite");
+    println!("== Nginx under EnGarde's three policies ==\n");
+
+    for figure in [
+        PolicyFigure::Fig3LibraryLinking,
+        PolicyFigure::Fig4StackProtection,
+        PolicyFigure::Fig5Ifcc,
+    ] {
+        let workload = nginx.generate(figure);
+        let make = || policies_for(figure);
+        let spec = BootstrapSpec::new(
+            "EnGarde-1.0",
+            LoaderConfig::default(),
+            &make(),
+            // Nginx's image needs a big client region.
+            (workload.image.len() / 4096) * 2 + 64,
+            512,
+        );
+        let mut provider = CloudProvider::new(MachineConfig {
+            epc_pages: 8_192,
+            version: SgxVersion::V2,
+            device_key_bits: 512,
+            seed: 0x9147,
+        });
+        let enclave = provider.create_engarde_enclave(spec.clone(), make())?;
+        let mut client = Client::new(
+            workload.image,
+            &spec,
+            DEFAULT_ENCLAVE_BASE,
+            provider.device_public_key(),
+            1,
+        );
+        let nonce = client.challenge();
+        let quote = provider.attest(enclave, nonce)?;
+        let key = provider.enclave_public_key(enclave)?;
+        client.verify_quote(&quote, &key)?;
+        let wrapped = client.establish_channel(&key)?;
+        provider.open_channel(enclave, &wrapped)?;
+        for block in client.content_blocks()? {
+            provider.deliver(enclave, &block)?;
+        }
+        let view = provider.inspect_and_provision(enclave)?;
+        assert!(view.compliant, "{figure:?} should be compliant");
+
+        let (p_inst, p_dis, p_pol, p_load) = paper_row(figure);
+        let s = view.stages;
+        println!("{figure:?}");
+        println!("              {:>16}  {:>16}", "this repro", "paper");
+        println!("  #inst       {:>16} {:>17}", view.instructions, p_inst);
+        println!("  disassembly {:>16} {:>17}", s.disassembly, p_dis);
+        println!("  policy      {:>16} {:>17}", s.policy_checking, p_pol);
+        println!("  loading     {:>16} {:>17}", s.loading_relocation, p_load);
+        println!(
+            "  policy/disassembly ratio: {:.2} (paper {:.2})\n",
+            s.policy_checking as f64 / s.disassembly as f64,
+            p_pol as f64 / p_dis as f64,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,290 @@
+//! Cross-crate integration: the full provisioning protocol, end to end,
+//! across policies and policy combinations.
+
+use engarde::client::Client;
+use engarde::loader::LoaderConfig;
+use engarde::policy::{IfccPolicy, LibraryLinkingPolicy, PolicyModule, StackProtectionPolicy};
+use engarde::provider::{CloudProvider, ProviderView};
+use engarde::provision::{BootstrapSpec, DEFAULT_ENCLAVE_BASE};
+use engarde::sgx::epc::PagePerms;
+use engarde::sgx::instr::SgxVersion;
+use engarde::sgx::machine::MachineConfig;
+use engarde::workloads::generator::{generate, WorkloadSpec};
+use engarde::workloads::libc::{Instrumentation, LibcLibrary};
+use engarde::EngardeError;
+
+fn machine_config(seed: u64) -> MachineConfig {
+    MachineConfig {
+        epc_pages: 2_048,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed,
+    }
+}
+
+/// Full protocol; returns the provider view and whether the client's
+/// verdict verification agreed.
+fn provision(
+    binary: Vec<u8>,
+    make_policies: &dyn Fn() -> Vec<Box<dyn PolicyModule>>,
+    seed: u64,
+) -> Result<(ProviderView, bool), EngardeError> {
+    let spec = BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &make_policies(),
+        256,
+        512,
+    );
+    let mut provider = CloudProvider::new(machine_config(seed));
+    let enclave = provider.create_engarde_enclave(spec.clone(), make_policies())?;
+    let mut client = Client::new(
+        binary,
+        &spec,
+        DEFAULT_ENCLAVE_BASE,
+        provider.device_public_key(),
+        seed ^ 0xFF,
+    );
+    let nonce = client.challenge();
+    let quote = provider.attest(enclave, nonce)?;
+    let key = provider.enclave_public_key(enclave)?;
+    client.verify_quote(&quote, &key)?;
+    let wrapped = client.establish_channel(&key)?;
+    provider.open_channel(enclave, &wrapped)?;
+    for block in client.content_blocks()? {
+        provider.deliver(enclave, &block)?;
+    }
+    let view = provider.inspect_and_provision(enclave)?;
+    let verdict = provider.signed_verdict(enclave).expect("verdict").clone();
+    let agreed = client.verify_verdict(&verdict, &key)?;
+    Ok((view, agreed))
+}
+
+fn musl_policy() -> Vec<Box<dyn PolicyModule>> {
+    let lib = LibcLibrary::build(Instrumentation::None);
+    vec![Box::new(LibraryLinkingPolicy::new(
+        "musl-libc",
+        lib.function_hashes(),
+    ))]
+}
+
+#[test]
+fn compliant_binary_all_single_policies() {
+    // Library linking on a plain build.
+    let plain = generate(&WorkloadSpec {
+        target_instructions: 10_000,
+        ..WorkloadSpec::default()
+    });
+    let (view, agreed) = provision(plain.image, &musl_policy, 1).expect("protocol");
+    assert!(view.compliant);
+    assert!(agreed);
+    assert!(!view.exec_pages.is_empty());
+    assert_eq!(view.instructions, 10_000);
+
+    // Stack protection on a protected build.
+    let protected = generate(&WorkloadSpec {
+        target_instructions: 10_000,
+        instrumentation: Instrumentation::StackProtector,
+        ..WorkloadSpec::default()
+    });
+    let sp = || -> Vec<Box<dyn PolicyModule>> { vec![Box::new(StackProtectionPolicy::new())] };
+    let (view, agreed) = provision(protected.image, &sp, 2).expect("protocol");
+    assert!(view.compliant && agreed);
+
+    // IFCC on an instrumented build.
+    let ifcc = generate(&WorkloadSpec {
+        target_instructions: 10_000,
+        instrumentation: Instrumentation::Ifcc,
+        ..WorkloadSpec::default()
+    });
+    let ip = || -> Vec<Box<dyn PolicyModule>> { vec![Box::new(IfccPolicy::new())] };
+    let (view, agreed) = provision(ifcc.image, &ip, 3).expect("protocol");
+    assert!(view.compliant && agreed);
+}
+
+#[test]
+fn multi_policy_combination() {
+    // Stack protection + IFCC: needs a build carrying both... our
+    // generator applies one instrumentation at a time, so combine
+    // stack-protection with the vacuous IFCC check (no indirect calls).
+    let protected = generate(&WorkloadSpec {
+        target_instructions: 9_000,
+        instrumentation: Instrumentation::StackProtector,
+        ..WorkloadSpec::default()
+    });
+    let both = || -> Vec<Box<dyn PolicyModule>> {
+        vec![
+            Box::new(StackProtectionPolicy::new()),
+            Box::new(IfccPolicy::new()),
+        ]
+    };
+    let (view, agreed) = provision(protected.image, &both, 4).expect("protocol");
+    assert!(view.compliant && agreed);
+}
+
+#[test]
+fn multi_policy_fails_if_any_policy_fails() {
+    // A plain build passes IFCC (vacuously) but fails stack protection.
+    let plain = generate(&WorkloadSpec {
+        target_instructions: 9_000,
+        ..WorkloadSpec::default()
+    });
+    let both = || -> Vec<Box<dyn PolicyModule>> {
+        vec![
+            Box::new(IfccPolicy::new()),
+            Box::new(StackProtectionPolicy::new()),
+        ]
+    };
+    let (view, agreed) = provision(plain.image, &both, 5).expect("protocol");
+    assert!(!view.compliant);
+    assert!(!agreed);
+    assert!(view.exec_pages.is_empty());
+}
+
+#[test]
+fn host_enforcement_after_compliance() {
+    let spec_policies = musl_policy;
+    let binary = generate(&WorkloadSpec {
+        target_instructions: 8_000,
+        ..WorkloadSpec::default()
+    });
+    let spec = BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &spec_policies(),
+        256,
+        512,
+    );
+    let mut provider = CloudProvider::new(machine_config(6));
+    let enclave = provider
+        .create_engarde_enclave(spec.clone(), spec_policies())
+        .expect("create");
+    let mut client = Client::new(
+        binary.image,
+        &spec,
+        DEFAULT_ENCLAVE_BASE,
+        provider.device_public_key(),
+        66,
+    );
+    let nonce = client.challenge();
+    let quote = provider.attest(enclave, nonce).expect("attest");
+    let key = provider.enclave_public_key(enclave).expect("key");
+    client.verify_quote(&quote, &key).expect("quote ok");
+    let wrapped = client.establish_channel(&key).expect("channel");
+    provider.open_channel(enclave, &wrapped).expect("open");
+    for block in client.content_blocks().expect("blocks") {
+        provider.deliver(enclave, &block).expect("deliver");
+    }
+    let view = provider.inspect_and_provision(enclave).expect("inspect");
+    assert!(view.compliant);
+
+    let host = provider.host();
+    // W^X: every exec page is r-x, and extension is locked.
+    for &page in &view.exec_pages {
+        assert_eq!(host.effective_perms(enclave, page), Some(PagePerms::RX));
+    }
+    assert!(host.is_extension_locked(enclave));
+
+    // The mapped entry point contains the client's entry instruction.
+    let machine = provider.host().machine();
+    let some_code = machine
+        .enclave_read(enclave, view.exec_pages[0], 4)
+        .expect("read mapped code");
+    assert_ne!(some_code, vec![0, 0, 0, 0], "code actually landed");
+}
+
+#[test]
+fn incomplete_transfer_is_a_protocol_error() {
+    let spec = BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &musl_policy(),
+        256,
+        512,
+    );
+    let binary = generate(&WorkloadSpec {
+        target_instructions: 8_000,
+        ..WorkloadSpec::default()
+    });
+    let mut provider = CloudProvider::new(machine_config(7));
+    let enclave = provider
+        .create_engarde_enclave(spec.clone(), musl_policy())
+        .expect("create");
+    let mut client = Client::new(
+        binary.image,
+        &spec,
+        DEFAULT_ENCLAVE_BASE,
+        provider.device_public_key(),
+        77,
+    );
+    let nonce = client.challenge();
+    let quote = provider.attest(enclave, nonce).expect("attest");
+    let key = provider.enclave_public_key(enclave).expect("key");
+    client.verify_quote(&quote, &key).expect("quote");
+    let wrapped = client.establish_channel(&key).expect("channel");
+    provider.open_channel(enclave, &wrapped).expect("open");
+    let blocks = client.content_blocks().expect("blocks");
+    // Drop the last page.
+    for block in &blocks[..blocks.len() - 1] {
+        provider.deliver(enclave, block).expect("deliver");
+    }
+    let err = provider.inspect_and_provision(enclave).unwrap_err();
+    assert!(matches!(err, EngardeError::Protocol { .. }));
+}
+
+#[test]
+fn provider_with_mismatched_policies_is_refused() {
+    let spec = BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &musl_policy(),
+        256,
+        512,
+    );
+    let mut provider = CloudProvider::new(machine_config(8));
+    // Provider tries to instantiate different modules than agreed.
+    let wrong: Vec<Box<dyn PolicyModule>> = vec![Box::new(IfccPolicy::new())];
+    let err = provider.create_engarde_enclave(spec, wrong).unwrap_err();
+    assert!(matches!(err, EngardeError::Protocol { .. }));
+}
+
+#[test]
+fn tampered_block_in_transit_detected() {
+    let spec = BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &musl_policy(),
+        256,
+        512,
+    );
+    let binary = generate(&WorkloadSpec {
+        target_instructions: 8_000,
+        ..WorkloadSpec::default()
+    });
+    let mut provider = CloudProvider::new(machine_config(9));
+    let enclave = provider
+        .create_engarde_enclave(spec.clone(), musl_policy())
+        .expect("create");
+    let mut client = Client::new(
+        binary.image,
+        &spec,
+        DEFAULT_ENCLAVE_BASE,
+        provider.device_public_key(),
+        99,
+    );
+    let nonce = client.challenge();
+    let quote = provider.attest(enclave, nonce).expect("attest");
+    let key = provider.enclave_public_key(enclave).expect("key");
+    client.verify_quote(&quote, &key).expect("quote");
+    let wrapped = client.establish_channel(&key).expect("channel");
+    provider.open_channel(enclave, &wrapped).expect("open");
+    let mut blocks = client.content_blocks().expect("blocks");
+    // The provider (or the network) flips a ciphertext bit.
+    blocks[1].ciphertext[0] ^= 1;
+    provider.deliver(enclave, &blocks[0]).expect("manifest ok");
+    let err = provider.deliver(enclave, &blocks[1]).unwrap_err();
+    assert!(matches!(
+        err,
+        EngardeError::Crypto(engarde::crypto::CryptoError::AuthenticationFailed)
+    ));
+}

@@ -1,0 +1,153 @@
+//! Multiple clients provisioning enclaves on one provider machine:
+//! sessions, channels, verdicts, and page permissions stay isolated.
+
+use engarde::client::Client;
+use engarde::loader::LoaderConfig;
+use engarde::policy::{LibraryLinkingPolicy, PolicyModule, StackProtectionPolicy};
+use engarde::provider::CloudProvider;
+use engarde::provision::{BootstrapSpec, DEFAULT_ENCLAVE_BASE};
+use engarde::sgx::instr::SgxVersion;
+use engarde::sgx::machine::{EnclaveId, MachineConfig};
+use engarde::workloads::generator::{generate, WorkloadSpec};
+use engarde::workloads::libc::{Instrumentation, LibcLibrary};
+use engarde::EngardeError;
+
+fn musl() -> Vec<Box<dyn PolicyModule>> {
+    let lib = LibcLibrary::build(Instrumentation::None);
+    vec![Box::new(LibraryLinkingPolicy::new(
+        "musl-libc",
+        lib.function_hashes(),
+    ))]
+}
+
+fn sp() -> Vec<Box<dyn PolicyModule>> {
+    vec![Box::new(StackProtectionPolicy::new())]
+}
+
+struct Tenant {
+    client: Client,
+    enclave: EnclaveId,
+}
+
+fn attach(
+    provider: &mut CloudProvider,
+    spec: &BootstrapSpec,
+    policies: Vec<Box<dyn PolicyModule>>,
+    binary: Vec<u8>,
+    seed: u64,
+) -> Result<Tenant, EngardeError> {
+    let enclave = provider.create_engarde_enclave(spec.clone(), policies)?;
+    let mut client = Client::new(
+        binary,
+        spec,
+        DEFAULT_ENCLAVE_BASE,
+        provider.device_public_key(),
+        seed,
+    );
+    let nonce = client.challenge();
+    let quote = provider.attest(enclave, nonce)?;
+    let key = provider.enclave_public_key(enclave)?;
+    client.verify_quote(&quote, &key)?;
+    let wrapped = client.establish_channel(&key)?;
+    provider.open_channel(enclave, &wrapped)?;
+    Ok(Tenant { client, enclave })
+}
+
+#[test]
+fn two_tenants_interleaved_with_different_policies_and_verdicts() {
+    let mut provider = CloudProvider::new(MachineConfig {
+        epc_pages: 4_096,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed: 0x7E2A,
+    });
+    // Tenant A: musl policy, compliant binary.
+    let spec_a = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &musl(), 128, 512);
+    let bin_a = generate(&WorkloadSpec {
+        name: "tenant_a".into(),
+        target_instructions: 7_000,
+        ..WorkloadSpec::default()
+    });
+    let mut a = attach(&mut provider, &spec_a, musl(), bin_a.image, 0xA1).expect("tenant A");
+
+    // Tenant B: stack-protection policy, *non-compliant* (plain) binary.
+    let spec_b = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &sp(), 128, 512);
+    let bin_b = generate(&WorkloadSpec {
+        name: "tenant_b".into(),
+        target_instructions: 7_000,
+        instrumentation: Instrumentation::None,
+        seed: 0xB0,
+        ..WorkloadSpec::default()
+    });
+    let mut b = attach(&mut provider, &spec_b, sp(), bin_b.image, 0xB1).expect("tenant B");
+
+    // Interleave the two transfers block by block.
+    let blocks_a = a.client.content_blocks().expect("A blocks");
+    let blocks_b = b.client.content_blocks().expect("B blocks");
+    let mut ia = blocks_a.iter();
+    let mut ib = blocks_b.iter();
+    loop {
+        match (ia.next(), ib.next()) {
+            (None, None) => break,
+            (xa, xb) => {
+                if let Some(block) = xa {
+                    provider.deliver(a.enclave, block).expect("deliver A");
+                }
+                if let Some(block) = xb {
+                    provider.deliver(b.enclave, block).expect("deliver B");
+                }
+            }
+        }
+    }
+
+    let view_a = provider.inspect_and_provision(a.enclave).expect("inspect A");
+    let view_b = provider.inspect_and_provision(b.enclave).expect("inspect B");
+    assert!(view_a.compliant, "A is compliant");
+    assert!(!view_b.compliant, "B is rejected");
+
+    // Each client sees and verifies its own verdict; cross-verification
+    // fails (wrong key and wrong digest).
+    let key_a = provider.enclave_public_key(a.enclave).expect("key A");
+    let key_b = provider.enclave_public_key(b.enclave).expect("key B");
+    let verdict_a = provider.signed_verdict(a.enclave).expect("verdict A").clone();
+    let verdict_b = provider.signed_verdict(b.enclave).expect("verdict B").clone();
+    assert!(a.client.verify_verdict(&verdict_a, &key_a).expect("A ok"));
+    assert!(!b.client.verify_verdict(&verdict_b, &key_b).expect("B ok"));
+    assert!(a.client.verify_verdict(&verdict_b, &key_b).is_err());
+    assert!(b.client.verify_verdict(&verdict_a, &key_a).is_err());
+
+    // Host state: A locked with W^X, B never finalized.
+    assert!(provider.host().is_extension_locked(a.enclave));
+    assert!(!provider.host().is_extension_locked(b.enclave));
+    for &page in &view_a.exec_pages {
+        assert!(provider
+            .host()
+            .effective_perms(a.enclave, page)
+            .expect("mapped")
+            .is_wx_exclusive());
+    }
+}
+
+#[test]
+fn cross_tenant_block_delivery_fails_authentication() {
+    let mut provider = CloudProvider::new(MachineConfig {
+        epc_pages: 4_096,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed: 0x7E2B,
+    });
+    let spec = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &musl(), 128, 512);
+    let bin = generate(&WorkloadSpec {
+        target_instructions: 7_000,
+        ..WorkloadSpec::default()
+    });
+    let mut a = attach(&mut provider, &spec, musl(), bin.image.clone(), 0xA2).expect("A");
+    let b = attach(&mut provider, &spec, musl(), bin.image, 0xB2).expect("B");
+    // A's first block delivered to B's enclave: wrong session keys.
+    let blocks = a.client.content_blocks().expect("blocks");
+    let err = provider.deliver(b.enclave, &blocks[0]).unwrap_err();
+    assert!(matches!(
+        err,
+        EngardeError::Crypto(engarde::crypto::CryptoError::AuthenticationFailed)
+    ));
+}

@@ -1,0 +1,244 @@
+//! Property-based tests on the stack's core data structures and
+//! invariants.
+
+use engarde::crypto::aes::{ctr_xor, AesKey};
+use engarde::crypto::bignum::BigUint;
+use engarde::crypto::channel::{ChannelClient, ChannelServer};
+use engarde::crypto::hmac::hmac_sha256;
+use engarde::crypto::rsa::RsaKeyPair;
+use engarde::crypto::sha256::Sha256;
+use engarde::elf::build::ElfBuilder;
+use engarde::elf::parse::ElfFile;
+use engarde::x86::decode::{decode_all, decode_one};
+use engarde::x86::encode::Assembler;
+use engarde::x86::reg::Reg;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // ---- bignum ------------------------------------------------------
+
+    #[test]
+    fn bignum_add_sub_round_trip(a in proptest::collection::vec(any::<u8>(), 0..40),
+                                 b in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let x = BigUint::from_bytes_be(&a);
+        let y = BigUint::from_bytes_be(&b);
+        let sum = x.add(&y);
+        prop_assert_eq!(sum.sub(&y), x.clone());
+        prop_assert_eq!(sum.sub(&x), y);
+    }
+
+    #[test]
+    fn bignum_divrem_reconstructs(a in proptest::collection::vec(any::<u8>(), 0..48),
+                                  b in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let x = BigUint::from_bytes_be(&a);
+        let y = BigUint::from_bytes_be(&b);
+        prop_assume!(!y.is_zero());
+        let (q, r) = x.divrem(&y);
+        prop_assert!(r < y);
+        prop_assert_eq!(q.mul(&y).add(&r), x);
+    }
+
+    #[test]
+    fn bignum_mul_commutative_and_distributive(
+        a in proptest::collection::vec(any::<u8>(), 0..24),
+        b in proptest::collection::vec(any::<u8>(), 0..24),
+        c in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let x = BigUint::from_bytes_be(&a);
+        let y = BigUint::from_bytes_be(&b);
+        let z = BigUint::from_bytes_be(&c);
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+        prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+    }
+
+    #[test]
+    fn bignum_byte_round_trip(a in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let x = BigUint::from_bytes_be(&a);
+        let bytes = x.to_bytes_be();
+        prop_assert_eq!(BigUint::from_bytes_be(&bytes), x);
+        // Canonical form: no leading zero.
+        if let Some(&first) = bytes.first() {
+            prop_assert_ne!(first, 0);
+        }
+    }
+
+    #[test]
+    fn bignum_shifts_are_mul_div_by_powers(a in proptest::collection::vec(any::<u8>(), 0..32),
+                                           s in 0usize..100) {
+        let x = BigUint::from_bytes_be(&a);
+        let two_s = BigUint::one().shl(s);
+        prop_assert_eq!(x.shl(s), x.mul(&two_s));
+        prop_assert_eq!(x.shl(s).shr(s), x);
+    }
+
+    // ---- symmetric crypto -------------------------------------------------
+
+    #[test]
+    fn aes_ctr_is_involutive(key in proptest::array::uniform32(any::<u8>()),
+                             nonce in proptest::array::uniform16(any::<u8>()),
+                             counter in any::<u64>(),
+                             mut data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let original = data.clone();
+        let key = AesKey::new_256(&key);
+        ctr_xor(&key, &nonce, counter, &mut data);
+        ctr_xor(&key, &nonce, counter, &mut data);
+        prop_assert_eq!(data, original);
+    }
+
+    #[test]
+    fn aes_block_decrypt_inverts_encrypt(key in proptest::array::uniform32(any::<u8>()),
+                                         block in proptest::array::uniform16(any::<u8>())) {
+        let key = AesKey::new_256(&key);
+        let mut b = block;
+        key.encrypt_block(&mut b);
+        key.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..1024),
+                                         split in 0usize..1024) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_is_key_and_message_sensitive(key in proptest::collection::vec(any::<u8>(), 1..64),
+                                         msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let tag = hmac_sha256(&key, &msg);
+        let mut key2 = key.clone();
+        key2[0] ^= 1;
+        prop_assert_ne!(hmac_sha256(&key2, &msg), tag);
+        let mut msg2 = msg.clone();
+        msg2.push(0);
+        prop_assert_ne!(hmac_sha256(&key, &msg2), tag);
+    }
+
+    // ---- channel -------------------------------------------------------------
+
+    #[test]
+    fn channel_round_trips_arbitrary_payload_sequences(
+        seed in any::<u64>(),
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..8),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = RsaKeyPair::generate(&mut rng, 512);
+        let server = ChannelServer::new(kp);
+        let (wrapped, mut client) =
+            ChannelClient::establish(&mut rng, server.public_key()).expect("establish");
+        let mut session = server.accept(&wrapped).expect("accept");
+        for p in &payloads {
+            let block = client.seal(p);
+            prop_assert_eq!(&session.open(&block).expect("opens"), p);
+        }
+    }
+
+    // ---- ELF ------------------------------------------------------------------
+
+    #[test]
+    fn elf_round_trips_arbitrary_sections(text in proptest::collection::vec(any::<u8>(), 0..4096),
+                                          data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                          bss in 0u64..10_000) {
+        let image = ElfBuilder::new()
+            .text(text.clone())
+            .data(data.clone())
+            .bss_size(bss)
+            .build();
+        let elf = ElfFile::parse(&image).expect("generated ELF parses");
+        prop_assert_eq!(&elf.section(".text").expect(".text").data, &text);
+        prop_assert_eq!(&elf.section(".data").expect(".data").data, &data);
+        prop_assert_eq!(elf.section(".bss").expect(".bss").header.sh_size, bss);
+        prop_assert!(elf.require_pie().is_ok());
+        prop_assert!(elf.require_static().is_ok());
+    }
+
+    #[test]
+    fn elf_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ElfFile::parse(&bytes); // must never panic
+    }
+
+    #[test]
+    fn elf_parser_never_panics_on_corrupted_valid_images(
+        flip_at in 0usize..2048,
+        flip_with in any::<u8>(),
+    ) {
+        let mut image = ElfBuilder::new()
+            .text(vec![0x90; 64])
+            .data(vec![1, 2, 3])
+            .function("f", 0, 64)
+            .relative_relocation(0, 8)
+            .build();
+        let at = flip_at % image.len();
+        image[at] ^= flip_with | 1;
+        if let Ok(elf) = ElfFile::parse(&image) {
+            let _ = elf.rela_entries(); // must never panic either
+        }
+    }
+
+    // ---- x86 -------------------------------------------------------------------
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let _ = decode_one(&bytes, 0x1000); // must never panic
+    }
+
+    #[test]
+    fn decoder_length_accounting_is_exact(bytes in proptest::collection::vec(any::<u8>(), 1..20)) {
+        if let Ok(insn) = decode_one(&bytes, 0) {
+            prop_assert!(insn.len as usize <= bytes.len());
+            prop_assert_eq!(
+                insn.prefix_len + insn.opcode_len + insn.modrm_len + insn.disp_len + insn.imm_len,
+                insn.len
+            );
+            prop_assert!(insn.len >= 1);
+        }
+    }
+
+    #[test]
+    fn assembler_output_always_decodes(ops in proptest::collection::vec(0u8..12, 1..64),
+                                       regs in proptest::collection::vec(0usize..8, 64)) {
+        let scratch = [Reg::Rax, Reg::Rcx, Reg::Rdx, Reg::Rbx,
+                       Reg::Rsi, Reg::Rdi, Reg::R8, Reg::R9];
+        let mut asm = Assembler::new();
+        for (i, &op) in ops.iter().enumerate() {
+            let a = scratch[regs[i % regs.len()]];
+            let b = scratch[regs[(i + 1) % regs.len()]];
+            match op {
+                0 => asm.mov_rr64(a, b),
+                1 => asm.add_rr64(a, b),
+                2 => asm.sub_rr64(a, b),
+                3 => asm.xor_rr32(a, b),
+                4 => asm.cmp_rr64(a, b),
+                5 => asm.mov_ri32(a, 0xdead),
+                6 => asm.movabs(a, 0x1122334455667788),
+                7 => asm.push_reg(a),
+                8 => asm.pop_reg(a),
+                9 => asm.nop(),
+                10 => asm.mov_fs_to_reg(a, 0x28),
+                _ => asm.add_ri8(a, 5),
+            }
+        }
+        asm.ret();
+        let expected = asm.insn_count();
+        let code = asm.finish();
+        let insns = decode_all(&code, 0).expect("assembled code decodes");
+        prop_assert_eq!(insns.len() as u64, expected);
+    }
+}
+
+#[test]
+fn rsa_round_trip_nonproptest() {
+    // RSA keygen is too slow to run under proptest's many cases; one
+    // deterministic round here.
+    let mut rng = StdRng::seed_from_u64(0xAAA);
+    let kp = RsaKeyPair::generate(&mut rng, 512);
+    for msg in [&b""[..], b"x", &[0u8; 53]] {
+        let ct = kp.public().encrypt(&mut rng, msg).expect("encrypt");
+        assert_eq!(kp.decrypt(&ct).expect("decrypt"), msg);
+    }
+}

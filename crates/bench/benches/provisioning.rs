@@ -1,11 +1,18 @@
-//! Criterion wall-clock benchmarks of the EnGarde pipeline's stages.
+//! Wall-clock benchmarks of the EnGarde pipeline's stages, on a plain
+//! `fn main` harness (`harness = false`) so the workspace builds with
+//! zero registry dependencies.
 //!
 //! The paper reports *simulated* cycles (the OpenSGX cost model), which
 //! the `fig3_*`/`fig4_*`/`fig5_*` binaries regenerate. These benches
 //! measure the reproduction's real wall-clock performance per stage,
 //! which is useful when hacking on the decoder or the policies.
+//!
+//! Run with `cargo bench -p engarde-bench`. Each benchmark is warmed
+//! up, then timed over enough iterations to smooth scheduler noise;
+//! results print as a fixed-width table (median / mean / min over
+//! per-iteration times, plus throughput where a byte or element count
+//! applies).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use engarde_bench::{policies_for, run_pipeline};
 use engarde_core::loader::{load, LoaderConfig};
 use engarde_core::policy::run_policies;
@@ -15,6 +22,73 @@ use engarde_sgx::instr::SgxVersion;
 use engarde_sgx::machine::{EnclaveId, MachineConfig, SgxMachine};
 use engarde_workloads::bench_suite::{PaperBenchmark, PolicyFigure};
 use engarde_x86::decode::decode_all;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing summary.
+struct Sample {
+    median: Duration,
+    mean: Duration,
+    min: Duration,
+    iters: usize,
+}
+
+/// Times `f` adaptively: warm up, then iterate until ~0.5 s of total
+/// work or `max_iters`, whichever comes first.
+fn time_it<T>(max_iters: usize, mut f: impl FnMut() -> T) -> Sample {
+    // Warm-up: one untimed run (fills caches, faults pages).
+    let _ = f();
+    let budget = Duration::from_millis(500);
+    let mut times = Vec::new();
+    let start = Instant::now();
+    while times.len() < max_iters && (times.len() < 3 || start.elapsed() < budget) {
+        let t0 = Instant::now();
+        let out = f();
+        times.push(t0.elapsed());
+        std::hint::black_box(out);
+    }
+    times.sort_unstable();
+    let total: Duration = times.iter().sum();
+    Sample {
+        median: times[times.len() / 2],
+        mean: total / times.len() as u32,
+        min: times[0],
+        iters: times.len(),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(group: &str, name: &str, s: &Sample, throughput: Option<(u64, &str)>) {
+    let thr = match throughput {
+        Some((units, label)) => {
+            let per_sec = units as f64 / s.median.as_secs_f64();
+            if label == "B" {
+                format!("  {:8.1} MiB/s", per_sec / (1024.0 * 1024.0))
+            } else {
+                format!("  {per_sec:10.0} {label}/s")
+            }
+        }
+        None => String::new(),
+    };
+    println!(
+        "{group:<16} {name:<28} median {:>10}  mean {:>10}  min {:>10}  ({} iters){thr}",
+        fmt_duration(s.median),
+        fmt_duration(s.mean),
+        fmt_duration(s.min),
+        s.iters,
+    );
+}
 
 fn machine_with_enclave() -> (SgxMachine, EnclaveId) {
     let mut m = SgxMachine::new(MachineConfig {
@@ -31,30 +105,30 @@ fn machine_with_enclave() -> (SgxMachine, EnclaveId) {
     (m, id)
 }
 
-fn bench_sha256(c: &mut Criterion) {
+fn bench_sha256() {
     let data = vec![0xa5u8; 1 << 20];
-    let mut g = c.benchmark_group("crypto");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("sha256_1MiB", |b| b.iter(|| Sha256::digest(&data)));
-    g.finish();
+    let s = time_it(200, || Sha256::digest(&data));
+    report("crypto", "sha256_1MiB", &s, Some((data.len() as u64, "B")));
 }
 
-fn bench_decode(c: &mut Criterion) {
+fn bench_decode() {
     let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
     let w = mcf.generate(PolicyFigure::Fig3LibraryLinking);
     let elf = engarde_elf::parse::ElfFile::parse(&w.image).expect("parses");
     let text = elf.section(".text").expect(".text").clone();
-    let mut g = c.benchmark_group("disassembly");
-    g.throughput(Throughput::Bytes(text.data.len() as u64));
-    g.bench_function("decode_mcf_text", |b| {
-        b.iter(|| decode_all(&text.data, text.header.sh_addr).expect("decodes"))
+    let s = time_it(200, || {
+        decode_all(&text.data, text.header.sh_addr).expect("decodes")
     });
-    g.finish();
+    report(
+        "disassembly",
+        "decode_mcf_text",
+        &s,
+        Some((text.data.len() as u64, "B")),
+    );
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies() {
     let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
-    let mut g = c.benchmark_group("policy_checking");
     for figure in [
         PolicyFigure::Fig3LibraryLinking,
         PolicyFigure::Fig4StackProtection,
@@ -64,34 +138,31 @@ fn bench_policies(c: &mut Criterion) {
         let (mut m, id) = machine_with_enclave();
         let loaded = load(&mut m, id, &w.image, &LoaderConfig::default()).expect("loads");
         let policies = policies_for(figure);
-        g.bench_with_input(
-            BenchmarkId::new("mcf", format!("{figure:?}")),
-            &figure,
-            |b, _| {
-                b.iter(|| {
-                    run_policies(&policies, &loaded, m.counter_mut()).expect("compliant")
-                })
-            },
-        );
+        let s = time_it(100, || {
+            run_policies(&policies, &loaded, m.counter_mut()).expect("compliant")
+        });
+        report("policy_checking", &format!("mcf/{figure:?}"), &s, None);
     }
-    g.finish();
 }
 
-fn bench_rewriter(c: &mut Criterion) {
+fn bench_rewriter() {
     use engarde_core::rewrite::StackProtectorRewriter;
     let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
     let w = mcf.generate(PolicyFigure::Fig3LibraryLinking); // plain build
     let (mut m, id) = machine_with_enclave();
     let loaded = load(&mut m, id, &w.image, &LoaderConfig::default()).expect("loads");
-    let mut g = c.benchmark_group("rewriter");
-    g.throughput(Throughput::Elements(loaded.insns.len() as u64));
-    g.bench_function("instrument_mcf", |b| {
-        b.iter(|| StackProtectorRewriter::new().rewrite(&loaded).expect("rewrites"))
+    let s = time_it(100, || {
+        StackProtectorRewriter::new().rewrite(&loaded).expect("rewrites")
     });
-    g.finish();
+    report(
+        "rewriter",
+        "instrument_mcf",
+        &s,
+        Some((loaded.insns.len() as u64, "insn")),
+    );
 }
 
-fn bench_executor(c: &mut Criterion) {
+fn bench_executor() {
     use engarde_core::exec::{ExecConfig, Executor};
     use engarde_core::relocate::map_and_relocate;
     use engarde_workloads::generator::{generate, WorkloadSpec};
@@ -102,54 +173,59 @@ fn bench_executor(c: &mut Criterion) {
         calls_per_app_fn: 1,
         ..WorkloadSpec::default()
     });
-    let mut g = c.benchmark_group("executor");
-    g.sample_size(20);
-    g.bench_function("run_4k_insn_workload", |b| {
-        b.iter(|| {
-            let mut m = SgxMachine::new(MachineConfig {
-                epc_pages: 512,
-                version: SgxVersion::V2,
-                device_key_bits: 512,
-                seed: 3,
-            });
-            let base = 0x100000u64;
-            let region_base = base + PAGE_SIZE as u64;
-            let id = m.ecreate(base, (97 * PAGE_SIZE) as u64).expect("ecreate");
-            m.eadd(id, base, b"bootstrap", PagePerms::RWX).expect("eadd");
-            m.eextend(id, base).expect("eextend");
-            for p in 0..96usize {
-                let va = region_base + (p * PAGE_SIZE) as u64;
-                m.eadd(id, va, &[], PagePerms::RWX).expect("region");
-                m.eextend(id, va).expect("eextend");
-            }
-            m.einit(id).expect("einit");
-            m.eenter(id).expect("enter");
-            let loaded = load(&mut m, id, &w.image, &LoaderConfig::default()).expect("loads");
-            let mapping = map_and_relocate(&mut m, id, &loaded, region_base, 96).expect("maps");
-            let mut exec = Executor::new(&mut m, id, None);
-            exec.run(mapping.entry, &ExecConfig::default()).expect("runs")
-        })
+    let s = time_it(20, || {
+        let mut m = SgxMachine::new(MachineConfig {
+            epc_pages: 512,
+            version: SgxVersion::V2,
+            device_key_bits: 512,
+            seed: 3,
+        });
+        let base = 0x100000u64;
+        let region_base = base + PAGE_SIZE as u64;
+        let id = m.ecreate(base, (97 * PAGE_SIZE) as u64).expect("ecreate");
+        m.eadd(id, base, b"bootstrap", PagePerms::RWX).expect("eadd");
+        m.eextend(id, base).expect("eextend");
+        for p in 0..96usize {
+            let va = region_base + (p * PAGE_SIZE) as u64;
+            m.eadd(id, va, &[], PagePerms::RWX).expect("region");
+            m.eextend(id, va).expect("eextend");
+        }
+        m.einit(id).expect("einit");
+        m.eenter(id).expect("enter");
+        let loaded = load(&mut m, id, &w.image, &LoaderConfig::default()).expect("loads");
+        let mapping = map_and_relocate(&mut m, id, &loaded, region_base, 96).expect("maps");
+        let mut exec = Executor::new(&mut m, id, None);
+        exec.run(mapping.entry, &ExecConfig::default()).expect("runs")
     });
-    g.finish();
+    report("executor", "run_4k_insn_workload", &s, None);
 }
 
-fn bench_full_pipeline(c: &mut Criterion) {
+fn bench_full_pipeline() {
     let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
-    let mut g = c.benchmark_group("full_pipeline");
-    g.sample_size(10);
-    g.bench_function("mcf_fig5_end_to_end", |b| {
-        b.iter(|| run_pipeline(mcf, PolicyFigure::Fig5Ifcc, None, None).expect("compliant"))
+    let s = time_it(10, || {
+        run_pipeline(mcf, PolicyFigure::Fig5Ifcc, None, None).expect("compliant")
     });
-    g.finish();
+    report("full_pipeline", "mcf_fig5_end_to_end", &s, None);
 }
 
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_decode,
-    bench_policies,
-    bench_rewriter,
-    bench_executor,
-    bench_full_pipeline
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` forwards unknown args (e.g. `--bench`); a filter
+    // substring may follow. Run everything whose group matches.
+    let filter: Option<String> = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'));
+    let benches: [(&str, fn()); 6] = [
+        ("crypto", bench_sha256),
+        ("disassembly", bench_decode),
+        ("policy_checking", bench_policies),
+        ("rewriter", bench_rewriter),
+        ("executor", bench_executor),
+        ("full_pipeline", bench_full_pipeline),
+    ];
+    println!("engarde-bench: wall-clock stage benchmarks (plain harness)");
+    for (name, f) in benches {
+        if filter.as_deref().is_none_or(|q| name.contains(q)) {
+            f();
+        }
+    }
+}

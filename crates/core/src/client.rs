@@ -23,8 +23,7 @@ use engarde_crypto::rsa::RsaPublicKey;
 use engarde_crypto::sha256::{Digest, Sha256};
 use engarde_sgx::attest::Quote;
 use engarde_sgx::epc::PAGE_SIZE;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use engarde_rand::{Rng, SeedableRng, StdRng};
 
 /// The client's state across the provisioning protocol.
 pub struct Client {

@@ -311,8 +311,8 @@ mod tests {
     fn verdict_sign_verify_round_trip() {
         use engarde_crypto::rsa::RsaKeyPair;
         use engarde_crypto::sha256::Sha256;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use engarde_rand::SeedableRng;
+        let mut rng = engarde_rand::StdRng::seed_from_u64(3);
         let kp = RsaKeyPair::generate(&mut rng, 512);
         let digest = Sha256::digest(b"content");
         let msg = SignedVerdict::message(true, "ok", &digest);

@@ -21,8 +21,7 @@ use engarde_sgx::attest::{Quote, QuotingEnclave};
 use engarde_sgx::epc::{PagePerms, PAGE_SIZE};
 use engarde_sgx::host::HostOs;
 use engarde_sgx::machine::{EnclaveId, MachineConfig, SgxMachine};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use engarde_rand::{SeedableRng, StdRng};
 use std::collections::HashMap;
 
 /// Everything the provider is allowed to learn from an inspection.

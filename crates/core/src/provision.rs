@@ -24,7 +24,7 @@ use engarde_crypto::sha256::{Digest, Sha256};
 use engarde_sgx::epc::{PagePerms, PAGE_SIZE};
 use engarde_sgx::machine::{EnclaveId, MeasurementLog, SgxMachine};
 use engarde_sgx::perf::costs;
-use rand::Rng;
+use engarde_rand::Rng;
 
 /// Default enclave base linear address.
 pub const DEFAULT_ENCLAVE_BASE: u64 = 0x0010_0000;

@@ -18,7 +18,7 @@
 //! assert_eq!(a.modpow(&b, &m), BigUint::from_u64(226_575));
 //! ```
 
-use rand::Rng;
+use engarde_rand::Rng;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -649,8 +649,7 @@ impl BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use engarde_rand::{SeedableRng, StdRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xE47A_12DE)

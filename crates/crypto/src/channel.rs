@@ -15,10 +15,10 @@
 //! ```
 //! use engarde_crypto::channel::{ChannelServer, ChannelClient};
 //! use engarde_crypto::rsa::RsaKeyPair;
-//! use rand::SeedableRng;
+//! use engarde_rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), engarde_crypto::CryptoError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = engarde_rand::StdRng::seed_from_u64(7);
 //! // Enclave side: generate the key pair (2048-bit in production).
 //! let keypair = RsaKeyPair::generate(&mut rng, 512);
 //! let server = ChannelServer::new(keypair);
@@ -39,7 +39,7 @@ use crate::aes::{ctr_xor, AesKey};
 use crate::hmac::{constant_time_eq, hmac_sha256, HmacSha256};
 use crate::rsa::{RsaKeyPair, RsaPublicKey};
 use crate::CryptoError;
-use rand::Rng;
+use engarde_rand::Rng;
 
 /// An authenticated, encrypted message travelling over the channel.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -302,8 +302,7 @@ impl ChannelClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use engarde_rand::{SeedableRng, StdRng};
 
     fn handshake() -> (Session, Session) {
         let mut rng = StdRng::seed_from_u64(0xC4A7);

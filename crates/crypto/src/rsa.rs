@@ -10,10 +10,10 @@
 //!
 //! ```
 //! use engarde_crypto::rsa::RsaKeyPair;
-//! use rand::SeedableRng;
+//! use engarde_rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), engarde_crypto::CryptoError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = engarde_rand::StdRng::seed_from_u64(1);
 //! // Small key for the doctest; production uses 2048 bits.
 //! let kp = RsaKeyPair::generate(&mut rng, 512);
 //! let ct = kp.public().encrypt(&mut rng, b"session key")?;
@@ -25,7 +25,7 @@
 use crate::bignum::BigUint;
 use crate::sha256::Sha256;
 use crate::CryptoError;
-use rand::Rng;
+use engarde_rand::Rng;
 
 /// The standard public exponent F4 = 65537.
 const E: u64 = 65_537;
@@ -251,8 +251,7 @@ impl RsaKeyPair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use engarde_rand::{SeedableRng, StdRng};
 
     fn keypair(bits: usize) -> RsaKeyPair {
         let mut rng = StdRng::seed_from_u64(0x5EED);

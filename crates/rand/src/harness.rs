@@ -1,0 +1,256 @@
+//! The in-tree property-test harness — the offline replacement for
+//! `proptest`.
+//!
+//! A property is a closure over a seeded [`ChaChaRng`]; the runner
+//! executes it for a batch of deterministically-derived case seeds plus
+//! every recorded regression seed. On failure it reports the exact case
+//! seed so the case can be replayed and pinned.
+//!
+//! The workflow when a property fails:
+//!
+//! 1. The panic message names the property and prints `case seed:
+//!    0x…`.
+//! 2. Replay just that case with
+//!    `ENGARDE_PROP_SEED=0x… cargo test <property>` while debugging.
+//! 3. Once fixed, pin the seed forever by adding it to the property's
+//!    [`Property::regressions`] list (the in-tree equivalent of a
+//!    `proptest-regressions` file — checked in, replayed before any
+//!    novel cases on every run).
+//!
+//! Environment knobs:
+//!
+//! - `ENGARDE_PROP_CASES=N` — cases per property (default
+//!   [`DEFAULT_CASES`]).
+//! - `ENGARDE_PROP_SEED=0xHEX` — run exactly one case with this seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use engarde_rand::harness::Property;
+//! use engarde_rand::Rng;
+//!
+//! Property::new("addition_commutes")
+//!     .cases(64)
+//!     .regressions(&[0xDEAD_BEEF]) // a previously-failing case, pinned
+//!     .run(|rng| {
+//!         let (a, b) = (rng.gen::<u32>() as u64, rng.gen::<u32>() as u64);
+//!         assert_eq!(a + b, b + a);
+//!     });
+//! ```
+
+use crate::{splitmix64, ChaChaRng, Rng, SeedableRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Cases per property when `ENGARDE_PROP_CASES` is unset and
+/// [`Property::cases`] was not called.
+pub const DEFAULT_CASES: u64 = 64;
+
+/// A named property with its case budget and pinned regression seeds.
+pub struct Property {
+    name: &'static str,
+    cases: Option<u64>,
+    regressions: &'static [u64],
+}
+
+impl Property {
+    /// Starts building a property check. `name` appears in failure
+    /// reports; use the test function's name.
+    pub fn new(name: &'static str) -> Self {
+        Property {
+            name,
+            cases: None,
+            regressions: &[],
+        }
+    }
+
+    /// Sets the number of novel cases (default [`DEFAULT_CASES`]).
+    /// `ENGARDE_PROP_CASES` overrides either value at run time.
+    pub fn cases(mut self, cases: u64) -> Self {
+        self.cases = Some(cases);
+        self
+    }
+
+    /// Pins previously-failing case seeds: they are replayed *before*
+    /// any novel cases, every run. Append the seed from a failure
+    /// report here to fix it as a permanent regression test.
+    pub fn regressions(mut self, seeds: &'static [u64]) -> Self {
+        self.regressions = seeds;
+        self
+    }
+
+    /// Runs the property: every regression seed first, then the novel
+    /// case batch. The property panics (via `assert!` and friends) to
+    /// signal failure.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the property's panic after printing the failing case
+    /// seed and replay instructions.
+    pub fn run<F>(self, property: F)
+    where
+        F: Fn(&mut ChaChaRng),
+    {
+        if let Some(seed) = env_u64("ENGARDE_PROP_SEED") {
+            // Debugging mode: exactly one case, the requested one.
+            self.run_case(&property, seed, "ENGARDE_PROP_SEED");
+            return;
+        }
+        for &seed in self.regressions {
+            self.run_case(&property, seed, "regression");
+        }
+        // The env knob outranks the in-code budget: it exists to crank
+        // case counts up (stress runs) or down (smoke runs) at the CLI.
+        let cases = env_u64("ENGARDE_PROP_CASES")
+            .or(self.cases)
+            .unwrap_or(DEFAULT_CASES);
+        // Derive case seeds from the property name so distinct
+        // properties explore distinct streams, stably across runs.
+        let mut derive = fnv1a(self.name.as_bytes());
+        for i in 0..cases {
+            let seed = splitmix64(&mut derive);
+            self.run_case(&property, seed, "novel");
+            let _ = i;
+        }
+    }
+
+    fn run_case<F>(&self, property: &F, seed: u64, kind: &str)
+    where
+        F: Fn(&mut ChaChaRng),
+    {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("[engarde-prop] property '{}' FAILED ({kind} case)", self.name);
+            eprintln!("[engarde-prop]   case seed: {seed:#018x}");
+            eprintln!(
+                "[engarde-prop]   replay: ENGARDE_PROP_SEED={seed:#x} cargo test {}",
+                self.name
+            );
+            eprintln!(
+                "[engarde-prop]   pin:    add {seed:#x} to this property's .regressions(&[…]) list"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Draws a `Vec<u8>` whose length is uniform in `len` — the workhorse
+/// generator the old proptest suites used as
+/// `proptest::collection::vec(any::<u8>(), range)`.
+pub fn vec_u8<R: Rng + ?Sized>(rng: &mut R, len: std::ops::Range<usize>) -> Vec<u8> {
+    let n = rng.gen_range(len);
+    let mut out = vec![0u8; n];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+/// Draws a uniformly-chosen element of `items`.
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn pick<'a, T, R: Rng + ?Sized>(rng: &mut R, items: &'a [T]) -> &'a T {
+    assert!(!items.is_empty(), "pick from empty slice");
+    &items[rng.gen_range(0..items.len())]
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var}={raw:?} is not a u64 (decimal or 0x-hex)"),
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — stable property-name hashing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_requested_case_count() {
+        let count = AtomicU64::new(0);
+        Property::new("counts_cases").cases(17).run(|_rng| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn regressions_replay_first() {
+        let seen = std::sync::Mutex::new(Vec::new());
+        Property::new("regression_order")
+            .cases(2)
+            .regressions(&[0xAB, 0xCD])
+            .run(|rng| {
+                // Record the first word of each case's stream; the two
+                // regression streams must come first, in order.
+                seen.lock().unwrap().push(rng.next_u64());
+            });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0], ChaChaRng::seed_from_u64(0xAB).next_u64());
+        assert_eq!(seen[1], ChaChaRng::seed_from_u64(0xCD).next_u64());
+    }
+
+    #[test]
+    fn failing_property_reports_and_panics() {
+        let result = std::panic::catch_unwind(|| {
+            Property::new("always_fails").cases(1).run(|_rng| {
+                panic!("intentional");
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn case_seeds_differ_between_properties() {
+        let first = std::sync::Mutex::new((0u64, 0u64));
+        Property::new("prop_a").cases(1).run(|rng| {
+            first.lock().unwrap().0 = rng.next_u64();
+        });
+        Property::new("prop_b").cases(1).run(|rng| {
+            first.lock().unwrap().1 = rng.next_u64();
+        });
+        let (a, b) = *first.lock().unwrap();
+        assert_ne!(a, b, "distinct properties explore distinct streams");
+    }
+
+    #[test]
+    fn vec_u8_respects_length_range() {
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = vec_u8(&mut rng, 3..9);
+            assert!((3..9).contains(&v.len()));
+        }
+        assert!(vec_u8(&mut rng, 0..1).is_empty());
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut rng = ChaChaRng::seed_from_u64(2);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*pick(&mut rng, &items) - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+}

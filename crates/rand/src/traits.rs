@@ -1,0 +1,335 @@
+//! The trait surface: a minimal, API-compatible slice of `rand` 0.8.
+//!
+//! Only what the EnGarde codebase actually calls is provided —
+//! `seed_from_u64`, `gen`, `gen_range`, `gen_bool`, `fill`,
+//! `fill_bytes` — with unbiased integer ranges (Lemire rejection) and
+//! no distribution machinery beyond that.
+
+use crate::splitmix64;
+
+/// The core generator interface: a source of raw random words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The full-entropy seed type.
+    type Seed;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanding it to a full
+    /// seed with SplitMix64 (so nearby integer seeds yield unrelated
+    /// streams).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait FromRng {
+    /// Draws one uniformly-distributed value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_from_rng_int {
+    ($($t:ty),*) => {$(
+        impl FromRng for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_from_rng_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for u128 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl FromRng for i128 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::from_rng(rng) as i128
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> FromRng for [u8; N] {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Unbiased `u64` in `[0, span)` via Lemire's multiply-shift rejection.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Reject the low product word below this threshold so every value
+    // in [0, span) has an identical number of preimages.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let m = (rng.next_u64() as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX || span.wrapping_add(1) == 0 {
+                    // Full 64-bit domain: every word is a valid draw.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// Buffers [`Rng::fill`] can fill: byte slices and byte arrays.
+pub trait Fill {
+    /// Overwrites `self` with random bytes from `rng`.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self)
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self)
+    }
+}
+
+/// The user-facing generator interface, blanket-implemented for every
+/// [`RngCore`]. Call-site compatible with `rand::Rng` for the methods
+/// this codebase uses.
+pub trait Rng: RngCore {
+    /// Draws one uniformly-distributed value of type `T`.
+    fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Draws a value uniformly from `range` (`low..high` or
+    /// `low..=high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::from_rng(self) < p
+    }
+
+    /// Fills `dest` (a byte slice or array) with random bytes.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Expands a `u64` into an `N`-byte seed with SplitMix64.
+pub(crate) fn expand_seed<const N: usize>(state: u64) -> [u8; N] {
+    let mut s = state;
+    let mut seed = [0u8; N];
+    for chunk in seed.chunks_mut(8) {
+        let w = splitmix64(&mut s).to_le_bytes();
+        chunk.copy_from_slice(&w[..chunk.len()]);
+    }
+    seed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChaChaRng, SeedableRng};
+
+    #[test]
+    fn gen_range_bounds_exclusive_and_inclusive() {
+        let mut rng = ChaChaRng::seed_from_u64(11);
+        for _ in 0..2_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let z = rng.gen_range(0usize..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        // Uniformity smoke test: every value of a 8-element domain shows
+        // up, and no bucket is wildly off 1/8 of the draws.
+        let mut rng = ChaChaRng::seed_from_u64(5);
+        let mut counts = [0u32; 8];
+        let draws = 8_000;
+        for _ in 0..draws {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (draws / 8 / 2..draws * 2 / 8).contains(&(c as usize)),
+                "bucket {i} has {c} of {draws} draws"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        ChaChaRng::seed_from_u64(0).gen_range(5u32..5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = ChaChaRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_tails() {
+        let mut rng = ChaChaRng::seed_from_u64(9);
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 16 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} stayed zero");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_accepts_arrays_and_slices() {
+        let mut rng = ChaChaRng::seed_from_u64(12);
+        let mut arr = [0u8; 32];
+        rng.fill(&mut arr);
+        assert_ne!(arr, [0u8; 32]);
+        let mut v = vec![0u8; 16];
+        rng.fill(&mut v[..]);
+        assert!(v.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn float_draws_stay_in_unit_interval() {
+        let mut rng = ChaChaRng::seed_from_u64(21);
+        for _ in 0..1_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn generic_rng_bound_accepts_unsized() {
+        // The crypto crate uses `R: Rng + ?Sized` everywhere; make sure
+        // a trait-object-style indirection compiles and runs.
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen()
+        }
+        let mut rng = ChaChaRng::seed_from_u64(2);
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -14,8 +14,7 @@ use crate::SgxError;
 use engarde_crypto::hmac::hmac_sha256;
 use engarde_crypto::rsa::RsaKeyPair;
 use engarde_crypto::sha256::{Digest, Sha256};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use engarde_rand::{Rng, SeedableRng, StdRng};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifier of a created enclave.

@@ -49,7 +49,10 @@ pub struct WorkloadSpec {
     /// library-linking policy's hashing work).
     pub calls_per_app_fn: usize,
     /// How many libc functions the binary links in (static linking pulls
-    /// only the archive members the app uses).
+    /// only the archive members the app uses). Treated as an upper bound:
+    /// members that would push the base content past
+    /// `target_instructions` are dropped so the exact count stays
+    /// reachable.
     pub libc_functions_used: usize,
     /// Jump-table entries for IFCC builds (rounded up to a power of two;
     /// the paper's Nginx table masks with `0x1ff8`, i.e. 1,024 entries).
@@ -88,8 +91,8 @@ impl Default for WorkloadSpec {
 /// Measured properties of a generated binary.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct WorkloadStats {
-    /// Total text-section instructions (== the spec target unless the
-    /// base content overshot it).
+    /// Total text-section instructions (== the spec target: the libc
+    /// pull-in, app-function, and padding stages all budget against it).
     pub instructions: usize,
     /// Generated app functions.
     pub app_functions: usize,
@@ -144,10 +147,47 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
     let mut functions: Vec<FnRecord> = Vec::new();
     let mut stats = WorkloadStats::default();
 
+    // ---- budgets --------------------------------------------------------
+    // The exact-count guarantee needs every emission stage to stay under
+    // the target, because the final nop padding can only add.
+    let table_entries = if spec.instrumentation == Instrumentation::Ifcc {
+        spec.jump_table_entries.next_power_of_two().max(8)
+    } else {
+        0
+    };
+    // Pessimistic per-function budget: the body is avg/2 + uniform[0,avg)
+    // (worst case 1.5×avg), instrumentation adds up to ~16, and bundle
+    // padding can reach ~20% for long-instruction mixes.
+    let worst_body = spec.avg_app_fn_insns * 3 / 2;
+    let per_fn_cost = worst_body
+        + spec.calls_per_app_fn
+        + spec.indirect_calls_per_app_fn * 7
+        + 16
+        + (worst_body + spec.calls_per_app_fn) / 5;
+    // Instructions the stages after libc always emit: the dispatcher
+    // (alignment + ret), and for IFCC builds the jump table plus the one
+    // app function the table needs as a target.
+    let tail_reserve = if table_entries > 0 {
+        table_entries * 2 + per_fn_cost + 96
+    } else {
+        33
+    };
+    // Instructions the libc stage may consume before the tail no longer
+    // fits under the target.
+    let libc_budget = spec.target_instructions.saturating_sub(tail_reserve);
+    // Exact cost of the bundle-alignment nops the next `align_to` emits.
+    let align_pad =
+        |asm: &Assembler| ((BUNDLE_SIZE - asm.offset() % BUNDLE_SIZE) % BUNDLE_SIZE) as usize;
+
     // ---- libc ---------------------------------------------------------
     // Static linking pulls in `libc_functions_used` members, always
-    // including the runtime's own entry dependencies.
-    let mut used: Vec<&'static str> = vec!["__libc_start_main", "exit", "__stack_chk_fail"];
+    // including the runtime's own entry dependencies. Members beyond the
+    // mandatory runtime trio are dropped once they would push the base
+    // content past the instruction target (the recorded
+    // stack-protector/target-6000 regression: an un-budgeted libc pull-in
+    // alone overshot the target, making the exact count unreachable).
+    const MANDATORY_LIBC: [&str; 3] = ["__libc_start_main", "exit", "__stack_chk_fail"];
+    let mut used: Vec<&'static str> = MANDATORY_LIBC.to_vec();
     for &name in MUSL_FUNCTION_NAMES {
         if used.len() >= spec.libc_functions_used.max(3) {
             break;
@@ -185,6 +225,20 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
                     libc_labels.push((i, fail_lbl));
                     continue;
                 }
+                // Exact cost: protected bodies always start
+                // bundle-aligned, so a scratch emission (also starting
+                // at a bundle boundary) reproduces every intra-bundle
+                // padding nop the real emission will insert.
+                let cost = align_pad(&asm) + {
+                    let mut scratch = Assembler::new();
+                    let scratch_fail = scratch.label();
+                    emit_protected_function(&mut scratch, name, scratch_fail);
+                    scratch.insn_count() as usize
+                };
+                if !MANDATORY_LIBC.contains(&name) && asm.insn_count() as usize + cost > libc_budget
+                {
+                    continue; // would overshoot the target: don't link it
+                }
                 let lbl = asm.label();
                 asm.align_to(BUNDLE_SIZE);
                 asm.bind(lbl);
@@ -202,6 +256,11 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
             let mut fail = None;
             for (i, &name) in used.iter().enumerate() {
                 let f = plain_lib.function(name).expect("used fn exists in musl");
+                let cost = align_pad(&asm) + f.insn_count;
+                if !MANDATORY_LIBC.contains(&name) && asm.insn_count() as usize + cost > libc_budget
+                {
+                    continue; // would overshoot the target: don't link it
+                }
                 let lbl = asm.label();
                 asm.align_to(BUNDLE_SIZE);
                 asm.bind(lbl);
@@ -219,7 +278,7 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
             stack_chk_fail_label = fail.expect("__stack_chk_fail always linked");
         }
     }
-    stats.libc_functions = used.len();
+    stats.libc_functions = libc_labels.len();
     let _ = stack_chk_fail_label;
     // Functions an app would never call directly (the canary failure
     // handler aborts the process) are excluded from the random call
@@ -233,20 +292,6 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
     // ---- app functions ---------------------------------------------------
     // Emit until the remaining budget just covers the dispatcher, the
     // IFCC table, and slack for padding.
-    let table_entries = if spec.instrumentation == Instrumentation::Ifcc {
-        spec.jump_table_entries.next_power_of_two().max(8)
-    } else {
-        0
-    };
-    // Pessimistic per-function budget: the body is avg/2 + uniform[0,avg)
-    // (worst case 1.5×avg), instrumentation adds up to ~16, and bundle
-    // padding can reach ~20% for long-instruction mixes.
-    let worst_body = spec.avg_app_fn_insns * 3 / 2;
-    let per_fn_cost = worst_body
-        + spec.calls_per_app_fn
-        + spec.indirect_calls_per_app_fn * 7
-        + 16
-        + (worst_body + spec.calls_per_app_fn) / 5;
     let table_label = asm.label();
     let mut app_labels: Vec<Label> = Vec::new();
     loop {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Hermetic verification: tier-1 (release build + full test suite) with
+# the network-facing registry disabled, then an assertion that the
+# dependency graph contains no registry (crates.io) packages at all —
+# every crate in the workspace must resolve by path.
+#
+# Run from anywhere: the script cd's to the repo root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build (offline) =="
+cargo build --release --offline
+
+echo "== tier-1: test suite (offline) =="
+cargo test -q --offline --workspace
+
+echo "== hermetic: dependency graph has zero registry packages =="
+# Every package with a non-null "source" came from a registry or git
+# remote; a hermetic tree has none.
+metadata=$(cargo metadata --offline --format-version 1)
+if echo "$metadata" | grep -q '"source":"registry'; then
+    echo "FAIL: registry dependencies found:" >&2
+    echo "$metadata" | grep -o '"id":"[^"]*registry[^"]*"' >&2
+    exit 1
+fi
+if echo "$metadata" | grep -q '"source":"git'; then
+    echo "FAIL: git dependencies found" >&2
+    exit 1
+fi
+
+echo "OK: tier-1 green, dependency graph is path-only"

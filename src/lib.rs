@@ -9,6 +9,8 @@
 //! inspector enforces them at provisioning time with zero runtime
 //! overhead. This crate re-exports the whole stack:
 //!
+//! - [`rand`] — self-contained deterministic randomness (ChaCha20 DRBG)
+//!   plus the in-tree property-test harness,
 //! - [`crypto`] — SHA-256/HMAC/AES/RSA + the provisioning channel,
 //! - [`elf`] — ELF64 reader/writer,
 //! - [`x86`] — x86-64 decoder/encoder + NaCl validation,
@@ -34,6 +36,7 @@
 
 pub use engarde_crypto as crypto;
 pub use engarde_elf as elf;
+pub use engarde_rand as rand;
 pub use engarde_sgx as sgx;
 pub use engarde_workloads as workloads;
 pub use engarde_x86 as x86;

@@ -1,0 +1,134 @@
+//! Cross-crate determinism: with every seed fixed, the entire
+//! provisioning handshake — workload bytes, challenge nonce, quote,
+//! wrapped channel key, sealed content blocks, verdict — must be
+//! bit-reproducible. This is the hermetic-build guarantee made
+//! testable: all randomness flows through `engarde-rand`, which is
+//! deterministic per seed, so two runs of the same protocol from the
+//! same seeds are byte-identical end to end.
+
+use engarde::client::Client;
+use engarde::loader::LoaderConfig;
+use engarde::policy::{LibraryLinkingPolicy, PolicyModule};
+use engarde::provider::CloudProvider;
+use engarde::provision::{BootstrapSpec, DEFAULT_ENCLAVE_BASE};
+use engarde::rand::{Rng, SeedableRng, StdRng};
+use engarde::sgx::instr::SgxVersion;
+use engarde::sgx::machine::MachineConfig;
+use engarde::workloads::generator::{generate, WorkloadSpec};
+use engarde::workloads::libc::{Instrumentation, LibcLibrary};
+
+/// Every externally-visible byte the protocol produces, in order.
+#[derive(PartialEq, Debug)]
+struct Transcript {
+    image: Vec<u8>,
+    nonce: [u8; 32],
+    quote: String,
+    enclave_key: String,
+    wrapped_key: Vec<u8>,
+    content_blocks: Vec<String>,
+    view: String,
+    verdict: String,
+    agreed: bool,
+}
+
+fn policies() -> Vec<Box<dyn PolicyModule>> {
+    let lib = LibcLibrary::build(Instrumentation::None);
+    vec![Box::new(LibraryLinkingPolicy::new(
+        "musl-libc",
+        lib.function_hashes(),
+    ))]
+}
+
+/// Runs the full provision flow from one root seed; every stream the
+/// protocol consumes (machine device key, client nonce/channel key,
+/// workload content) derives from it through `engarde-rand`.
+fn run_protocol(root_seed: u64) -> Transcript {
+    let mut seeder = StdRng::seed_from_u64(root_seed);
+    let machine_seed: u64 = seeder.gen();
+    let client_seed: u64 = seeder.gen();
+    let workload_seed: u64 = seeder.gen();
+
+    let workload = generate(&WorkloadSpec {
+        target_instructions: 8_000,
+        seed: workload_seed,
+        ..WorkloadSpec::default()
+    });
+
+    let spec = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &policies(), 256, 512);
+    let mut provider = CloudProvider::new(MachineConfig {
+        epc_pages: 2_048,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed: machine_seed,
+    });
+    let enclave = provider
+        .create_engarde_enclave(spec.clone(), policies())
+        .expect("enclave boots");
+    let mut client = Client::new(
+        workload.image.clone(),
+        &spec,
+        DEFAULT_ENCLAVE_BASE,
+        provider.device_public_key(),
+        client_seed,
+    );
+    let nonce = client.challenge();
+    let quote = provider.attest(enclave, nonce).expect("attests");
+    let key = provider.enclave_public_key(enclave).expect("key");
+    client.verify_quote(&quote, &key).expect("quote verifies");
+    let wrapped = client.establish_channel(&key).expect("channel");
+    provider.open_channel(enclave, &wrapped).expect("opens");
+    let blocks = client.content_blocks().expect("seals");
+    for block in &blocks {
+        provider.deliver(enclave, block).expect("delivers");
+    }
+    let view = provider.inspect_and_provision(enclave).expect("inspects");
+    let verdict = provider.signed_verdict(enclave).expect("verdict").clone();
+    let agreed = client.verify_verdict(&verdict, &key).expect("verifies");
+
+    Transcript {
+        image: workload.image,
+        nonce,
+        quote: format!("{quote:?}"),
+        enclave_key: format!("{key:?}"),
+        wrapped_key: wrapped,
+        content_blocks: blocks.iter().map(|b| format!("{b:?}")).collect(),
+        view: format!("{view:?}"),
+        verdict: format!("{verdict:?}"),
+        agreed,
+    }
+}
+
+#[test]
+fn provisioning_handshake_is_bit_reproducible() {
+    let a = run_protocol(0x0E06_A2DE);
+    let b = run_protocol(0x0E06_A2DE);
+    assert!(a.agreed, "compliant run ends in an agreed verdict");
+    assert_eq!(a, b, "same seeds must reproduce the identical handshake");
+}
+
+#[test]
+fn distinct_seeds_change_every_secret_artifact() {
+    // Sanity check on the other direction: randomness genuinely enters
+    // the protocol, so a different root seed changes the nonce, the
+    // wrapped channel key, and the sealed payload bytes.
+    let a = run_protocol(1);
+    let b = run_protocol(2);
+    assert_ne!(a.nonce, b.nonce);
+    assert_ne!(a.wrapped_key, b.wrapped_key);
+    assert_ne!(a.content_blocks, b.content_blocks);
+    assert_ne!(a.image, b.image, "workload content is seed-dependent");
+}
+
+#[test]
+fn workload_generation_is_bit_reproducible() {
+    let spec = WorkloadSpec {
+        target_instructions: 12_000,
+        instrumentation: Instrumentation::Ifcc,
+        seed: 0xD5EED,
+        ..WorkloadSpec::default()
+    };
+    let a = generate(&spec);
+    let b = generate(&spec);
+    assert_eq!(a.image, b.image);
+    assert_eq!(a.stats, b.stats);
+}

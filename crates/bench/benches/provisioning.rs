@@ -152,7 +152,9 @@ fn bench_rewriter() {
     let (mut m, id) = machine_with_enclave();
     let loaded = load(&mut m, id, &w.image, &LoaderConfig::default()).expect("loads");
     let s = time_it(100, || {
-        StackProtectorRewriter::new().rewrite(&loaded).expect("rewrites")
+        StackProtectorRewriter::new()
+            .rewrite(&loaded)
+            .expect("rewrites")
     });
     report(
         "rewriter",
@@ -183,7 +185,8 @@ fn bench_executor() {
         let base = 0x100000u64;
         let region_base = base + PAGE_SIZE as u64;
         let id = m.ecreate(base, (97 * PAGE_SIZE) as u64).expect("ecreate");
-        m.eadd(id, base, b"bootstrap", PagePerms::RWX).expect("eadd");
+        m.eadd(id, base, b"bootstrap", PagePerms::RWX)
+            .expect("eadd");
         m.eextend(id, base).expect("eextend");
         for p in 0..96usize {
             let va = region_base + (p * PAGE_SIZE) as u64;
@@ -195,7 +198,8 @@ fn bench_executor() {
         let loaded = load(&mut m, id, &w.image, &LoaderConfig::default()).expect("loads");
         let mapping = map_and_relocate(&mut m, id, &loaded, region_base, 96).expect("maps");
         let mut exec = Executor::new(&mut m, id, None);
-        exec.run(mapping.entry, &ExecConfig::default()).expect("runs")
+        exec.run(mapping.entry, &ExecConfig::default())
+            .expect("runs")
     });
     report("executor", "run_4k_insn_workload", &s, None);
 }
@@ -211,9 +215,7 @@ fn bench_full_pipeline() {
 fn main() {
     // `cargo bench` forwards unknown args (e.g. `--bench`); a filter
     // substring may follow. Run everything whose group matches.
-    let filter: Option<String> = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'));
+    let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
     let benches: [(&str, fn()); 6] = [
         ("crypto", bench_sha256),
         ("disassembly", bench_decode),

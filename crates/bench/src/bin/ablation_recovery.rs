@@ -42,7 +42,8 @@ fn main() {
             seed: 7,
         });
         let id = m.ecreate(0x10000, PAGE_SIZE as u64).expect("ecreate");
-        m.eadd(id, 0x10000, b"engarde", PagePerms::RWX).expect("eadd");
+        m.eadd(id, 0x10000, b"engarde", PagePerms::RWX)
+            .expect("eadd");
         m.eextend(id, 0x10000).expect("eextend");
         m.einit(id).expect("einit");
         m.eenter(id).expect("enter");

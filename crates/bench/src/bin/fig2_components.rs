@@ -95,7 +95,10 @@ fn main() {
         ("Loading and Relocating", 188),
         ("Checking Executables linked against musl-libc", 1_949),
         ("Checking Executables Compiled with Stack Protection", 109),
-        ("Checking Executables Containing Indirect Function-Call Checks", 129),
+        (
+            "Checking Executables Containing Indirect Function-Call Checks",
+            129,
+        ),
         ("Client's side program", 349),
         ("Musl-libc", 90_728),
         ("Lib crypto (openssl)", 287_985),

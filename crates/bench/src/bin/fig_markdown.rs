@@ -6,9 +6,18 @@ use engarde_workloads::bench_suite::PolicyFigure;
 
 fn main() -> Result<(), engarde_core::EngardeError> {
     for (title, figure) in [
-        ("Fig. 3 — Library-linking policy", PolicyFigure::Fig3LibraryLinking),
-        ("Fig. 4 — Stack-protection policy", PolicyFigure::Fig4StackProtection),
-        ("Fig. 5 — Indirect function-call policy", PolicyFigure::Fig5Ifcc),
+        (
+            "Fig. 3 — Library-linking policy",
+            PolicyFigure::Fig3LibraryLinking,
+        ),
+        (
+            "Fig. 4 — Stack-protection policy",
+            PolicyFigure::Fig4StackProtection,
+        ),
+        (
+            "Fig. 5 — Indirect function-call policy",
+            PolicyFigure::Fig5Ifcc,
+        ),
     ] {
         println!("## {title} (cycles)\n");
         println!("| Benchmark | #Inst (ours = paper) | Disassembly (ours) | (paper) | Policy (ours) | (paper) | Loading (ours) | (paper) | P/D ours | P/D paper |");

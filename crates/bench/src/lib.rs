@@ -12,6 +12,8 @@
 //! - `fig5_ifcc` — the indirect-function-call table (Fig. 5),
 //! - `ablation_trampoline` — malloc batching granularity,
 //! - `ablation_hash_memo` — per-call-site vs memoised function hashing,
+//! - `ablation_cfg_memo` — shared memoized CFG/dataflow analysis vs
+//!   per-policy rescans,
 //! - `ablation_epc` — stock OpenSGX limits vs the paper's configuration.
 //!
 //! Every number comes out of the same full client↔provider protocol the
@@ -23,9 +25,7 @@
 
 use engarde_core::client::Client;
 use engarde_core::loader::LoaderConfig;
-use engarde_core::policy::{
-    IfccPolicy, LibraryLinkingPolicy, PolicyModule, StackProtectionPolicy,
-};
+use engarde_core::policy::{IfccPolicy, LibraryLinkingPolicy, PolicyModule, StackProtectionPolicy};
 use engarde_core::provider::CloudProvider;
 use engarde_core::provision::{BootstrapSpec, StageCycles, DEFAULT_ENCLAVE_BASE};
 use engarde_core::EngardeError;
@@ -265,8 +265,8 @@ mod tests {
     #[test]
     fn mcf_pipeline_matches_paper_shape() {
         let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
-        let row = run_pipeline(mcf, PolicyFigure::Fig3LibraryLinking, None, None)
-            .expect("pipeline runs");
+        let row =
+            run_pipeline(mcf, PolicyFigure::Fig3LibraryLinking, None, None).expect("pipeline runs");
         assert_eq!(row.instructions, 12_903);
         // Shape: policy checking dominates disassembly for mcf (paper
         // ratio 6.8); loading is orders of magnitude below both.
@@ -278,7 +278,11 @@ mod tests {
     fn ifcc_policy_is_cheap_for_mcf() {
         let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
         let row = run_pipeline(mcf, PolicyFigure::Fig5Ifcc, None, None).expect("pipeline runs");
-        // IFCC's scan is 1–2 orders below disassembly.
-        assert!(row.stages.policy_checking * 10 < row.stages.disassembly);
+        // IFCC now pays the one-time CFG/dataflow analysis on top of its
+        // scan, but policy checking stays well below disassembly.
+        assert!(row.stages.policy_checking * 5 < row.stages.disassembly);
+        // ...and the analysis really is charged (not an order of
+        // magnitude cheaper than the scan it powers).
+        assert!(row.stages.policy_checking * 100 > row.stages.disassembly);
     }
 }

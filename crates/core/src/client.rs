@@ -16,14 +16,16 @@
 //!    is detected.
 
 use crate::error::EngardeError;
-use crate::protocol::{classify_pages, section_extents, ContentManifest, PagePayload, SignedVerdict};
+use crate::protocol::{
+    classify_pages, section_extents, ContentManifest, PagePayload, SignedVerdict,
+};
 use crate::provision::BootstrapSpec;
 use engarde_crypto::channel::{ChannelClient, SealedBlock, Session};
 use engarde_crypto::rsa::RsaPublicKey;
 use engarde_crypto::sha256::{Digest, Sha256};
+use engarde_rand::{Rng, SeedableRng, StdRng};
 use engarde_sgx::attest::Quote;
 use engarde_sgx::epc::PAGE_SIZE;
-use engarde_rand::{Rng, SeedableRng, StdRng};
 
 /// The client's state across the provisioning protocol.
 pub struct Client {
@@ -146,9 +148,12 @@ impl Client {
             total_len: self.binary.len(),
             page_kinds,
         };
-        let session = self.session.as_mut().ok_or_else(|| EngardeError::Protocol {
-            what: "content transfer before channel establishment".into(),
-        })?;
+        let session = self
+            .session
+            .as_mut()
+            .ok_or_else(|| EngardeError::Protocol {
+                what: "content transfer before channel establishment".into(),
+            })?;
         let mut blocks = Vec::with_capacity(1 + manifest.page_count());
         blocks.push(session.seal(&manifest.to_bytes()));
         for (index, chunk) in self.binary.chunks(PAGE_SIZE).enumerate() {

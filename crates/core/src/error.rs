@@ -32,6 +32,15 @@ pub enum EngardeError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A policy asked for text bytes outside the loaded text section —
+    /// a hostile symbol table or branch target must reject the binary,
+    /// never panic the inspector.
+    TextRangeOutOfBounds {
+        /// Requested start virtual address.
+        start: u64,
+        /// Requested end virtual address (exclusive).
+        end: u64,
+    },
     /// A protocol message arrived out of order or malformed.
     Protocol {
         /// What went wrong.
@@ -60,6 +69,12 @@ impl fmt::Display for EngardeError {
             }
             EngardeError::PolicyViolation { policy, reason } => {
                 write!(f, "policy '{policy}' violated: {reason}")
+            }
+            EngardeError::TextRangeOutOfBounds { start, end } => {
+                write!(
+                    f,
+                    "text range {start:#x}..{end:#x} is outside the text section"
+                )
             }
             EngardeError::Protocol { what } => write!(f, "protocol violation: {what}"),
             EngardeError::OutOfEnclaveMemory { what } => {

@@ -391,7 +391,14 @@ impl<'m> Executor<'m> {
             };
             let insn = match decode_one(&bytes, cpu.rip) {
                 Ok(i) => i,
-                Err(e) => return Ok(fault(cpu.rip, format!("decode fault: {e}"), executed, max_depth)),
+                Err(e) => {
+                    return Ok(fault(
+                        cpu.rip,
+                        format!("decode fault: {e}"),
+                        executed,
+                        max_depth,
+                    ))
+                }
             };
             executed += 1;
             let next = cpu.rip + insn.len as u64;
@@ -433,7 +440,12 @@ impl<'m> Executor<'m> {
                     InsnKind::LeaRipRel { dest, target } => {
                         cpu.set(dest, target);
                     }
-                    InsnKind::AluRegReg { op, dest, src, width } => {
+                    InsnKind::AluRegReg {
+                        op,
+                        dest,
+                        src,
+                        width,
+                    } => {
                         let (a, b) = (cpu.get(dest), cpu.get(src));
                         if op == AluOp::Cmp {
                             cpu.last_cmp = Some((a, b, width));
@@ -441,7 +453,12 @@ impl<'m> Executor<'m> {
                             cpu.set_w(dest, Self::alu(op, a, b, width), width);
                         }
                     }
-                    InsnKind::AluImmReg { op, dest, imm, width } => {
+                    InsnKind::AluImmReg {
+                        op,
+                        dest,
+                        imm,
+                        width,
+                    } => {
                         let a = cpu.get(dest);
                         if op == AluOp::Cmp {
                             cpu.last_cmp = Some((a, imm as u64, width));
@@ -449,7 +466,12 @@ impl<'m> Executor<'m> {
                             cpu.set_w(dest, Self::alu(op, a, imm as u64, width), width);
                         }
                     }
-                    InsnKind::AluMemReg { op, dest, mem, width } => {
+                    InsnKind::AluMemReg {
+                        op,
+                        dest,
+                        mem,
+                        width,
+                    } => {
                         let addr = Self::effective_addr(&cpu, &mem)?;
                         let m = self.read_w(addr, width)?;
                         let a = cpu.get(dest);
@@ -459,7 +481,12 @@ impl<'m> Executor<'m> {
                             cpu.set_w(dest, Self::alu(op, a, m, width), width);
                         }
                     }
-                    InsnKind::AluRegMem { op, mem, src, width } => {
+                    InsnKind::AluRegMem {
+                        op,
+                        mem,
+                        src,
+                        width,
+                    } => {
                         let addr = Self::effective_addr(&cpu, &mem)?;
                         let m = self.read_w(addr, width)?;
                         let b = cpu.get(src);
@@ -469,7 +496,12 @@ impl<'m> Executor<'m> {
                             self.write_w(addr, Self::alu(op, m, b, width), width)?;
                         }
                     }
-                    InsnKind::AluImmMem { op, mem, imm, width } => {
+                    InsnKind::AluImmMem {
+                        op,
+                        mem,
+                        imm,
+                        width,
+                    } => {
                         let addr = Self::effective_addr(&cpu, &mem)?;
                         let m = self.read_w(addr, width)?;
                         if op == AluOp::Cmp {
@@ -572,7 +604,8 @@ mod tests {
         let region_base = ENCLAVE_BASE + PAGE_SIZE as u64;
         let size = ((1 + REGION_PAGES) * PAGE_SIZE) as u64;
         let id = m.ecreate(ENCLAVE_BASE, size).expect("ecreate");
-        m.eadd(id, ENCLAVE_BASE, b"engarde", PagePerms::RWX).expect("eadd");
+        m.eadd(id, ENCLAVE_BASE, b"engarde", PagePerms::RWX)
+            .expect("eadd");
         m.eextend(id, ENCLAVE_BASE).expect("eextend");
         for p in 0..REGION_PAGES {
             let va = region_base + (p * PAGE_SIZE) as u64;
@@ -712,7 +745,9 @@ mod tests {
         // Rewrite via a scratch load.
         let (mut scratch, sid, _, _) = provision(&w.image);
         let loaded = load(&mut scratch, sid, &w.image, &LoaderConfig::default()).expect("loads");
-        let (new_image, report) = StackProtectorRewriter::new().rewrite(&loaded).expect("rewrites");
+        let (new_image, report) = StackProtectorRewriter::new()
+            .rewrite(&loaded)
+            .expect("rewrites");
         assert!(report.functions_instrumented > 0);
 
         let (mut m, id, entry, chk) = provision(&new_image);
@@ -818,7 +853,11 @@ mod tests {
             .text(text)
             .function("entry_a", 0, entry_b)
             .function("entry_b", entry_b, 3 * PAGE_SIZE as u64 - entry_b)
-            .function("far_fn", 3 * PAGE_SIZE as u64, text_len - 3 * PAGE_SIZE as u64)
+            .function(
+                "far_fn",
+                3 * PAGE_SIZE as u64,
+                text_len - 3 * PAGE_SIZE as u64,
+            )
             .entry(0)
             .build();
         let (mut m, id, entry, chk) = provision(&image);
@@ -829,7 +868,9 @@ mod tests {
 
         let region_entry_b = entry + entry_b;
         let mut exec_b = Executor::new(&mut m, id, chk);
-        exec_b.run(region_entry_b, &ExecConfig::default()).expect("runs");
+        exec_b
+            .run(region_entry_b, &ExecConfig::default())
+            .expect("runs");
         let trace_b = exec_b.code_page_trace().to_vec();
 
         assert_ne!(

@@ -16,6 +16,8 @@
 //!   configuration) and the in-enclave state machine,
 //! - [`provider`] / [`client`] — the two mutually-distrusting parties,
 //! - [`loader`] — ELF validation + in-enclave disassembly,
+//! - [`analysis`] — the shared static-analysis engine (CFG, call graph,
+//!   reachability, constant propagation) the policies consume,
 //! - [`exec`] — an interpreter that runs the provisioned code against
 //!   the simulated enclave (proving W^X and the canary instrumentation
 //!   hold at runtime),
@@ -87,6 +89,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod client;
 pub mod error;
 pub mod exec;

@@ -124,7 +124,8 @@ pub fn load(
     let mut buffer_bytes = 0u64;
     let mut buffer_pages = 0usize;
     while offset < text.data.len() {
-        let insn = engarde_x86::decode::decode_one(&text.data[offset..], text_base + offset as u64)?;
+        let insn =
+            engarde_x86::decode::decode_one(&text.data[offset..], text_base + offset as u64)?;
         machine
             .counter_mut()
             .charge_native(costs::DECODE_PER_INSN + costs::DECODE_PER_BYTE * insn.len as u64);
@@ -172,9 +173,7 @@ pub fn load(
 
     // ---- NaCl structural validation ------------------------------------------
     let validation = if config.validate {
-        machine
-            .counter_mut()
-            .charge_native(insns.len() as u64 * 10);
+        machine.counter_mut().charge_native(insns.len() as u64 * 10);
         let roots: Vec<u64> = symbols.addresses().to_vec();
         Validator::new().validate(&insns, elf.header().e_entry, &roots)?
     } else {
@@ -245,7 +244,11 @@ mod tests {
         let before_sgx = m.counter().sgx_instructions();
         let loaded = load(&mut m, id, &image, &LoaderConfig::default()).expect("loads");
         let sgx_delta = m.counter().sgx_instructions() - before_sgx;
-        assert_eq!(sgx_delta as usize, loaded.buffer_pages * 2, "EEXIT+EENTER per page");
+        assert_eq!(
+            sgx_delta as usize,
+            loaded.buffer_pages * 2,
+            "EEXIT+EENTER per page"
+        );
     }
 
     #[test]

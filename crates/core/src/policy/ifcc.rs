@@ -18,7 +18,16 @@
 //! pattern, then checks each indirect call site for the `lea/sub/and/add`
 //! sequence with the register data dependences above and a mask that
 //! stays within the discovered table.
+//!
+//! The site list comes from the shared [`crate::analysis`] engine's CFG
+//! (no per-policy rescan), and the engine's constant-propagation pass
+//! adds a check the structural pattern alone cannot make: when the call
+//! operand folds to a concrete address, that address must be a CFG block
+//! leader inside the claimed jump table — a computed target that lands
+//! outside the table, or in the middle of an instruction, is rejected
+//! even if the `lea/sub/and/add` shape is present.
 
+use crate::analysis::ProgramAnalysis;
 use crate::error::EngardeError;
 use crate::policy::{PolicyContext, PolicyModule, PolicyReport};
 use engarde_sgx::perf::costs;
@@ -41,11 +50,22 @@ impl JumpTable {
 }
 
 /// Verifies IFCC instrumentation on all indirect calls.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct IfccPolicy {
     /// Also reject indirect *jumps* (IFCC covers calls; tail-call
     /// dispatch through registers would evade it).
     pub reject_indirect_jumps: bool,
+    /// Read the CFG from the shared [`crate::policy::AnalysisCache`]
+    /// (the default). When false the policy computes — and pays for —
+    /// a private analysis, which is the baseline arm of the
+    /// `ablation_cfg_memo` benchmark.
+    pub use_shared_analysis: bool,
+}
+
+impl Default for IfccPolicy {
+    fn default() -> Self {
+        IfccPolicy::new()
+    }
 }
 
 impl IfccPolicy {
@@ -54,6 +74,16 @@ impl IfccPolicy {
     pub fn new() -> Self {
         IfccPolicy {
             reject_indirect_jumps: true,
+            use_shared_analysis: true,
+        }
+    }
+
+    /// The per-policy-rescan baseline: a private analysis is computed
+    /// and charged on every check instead of sharing the memoized one.
+    pub fn without_shared_analysis() -> Self {
+        IfccPolicy {
+            use_shared_analysis: false,
+            ..IfccPolicy::new()
         }
     }
 
@@ -121,13 +151,27 @@ impl PolicyModule for IfccPolicy {
     }
 
     fn check(&self, ctx: &mut PolicyContext<'_>) -> Result<PolicyReport, EngardeError> {
+        // CFG + dataflow: shared memo by default, a private (fully
+        // charged) computation in the ablation baseline.
+        let private;
+        let analysis: &ProgramAnalysis = if self.use_shared_analysis {
+            ctx.analysis()
+        } else {
+            let (computed, cost) = ProgramAnalysis::compute(ctx.binary());
+            ctx.charge(cost);
+            private = computed;
+            &private
+        };
         let insns = &ctx.binary().insns;
-        // One linear scan: table discovery plus call-site collection.
+        // One linear scan for table discovery; the call sites come from
+        // the CFG's indirect-site index, not a rescan.
         ctx.charge(insns.len() as u64 * costs::SCAN_PER_INSN);
         let tables = Self::discover_tables(insns);
 
         let mut sites_checked = 0usize;
-        for (i, insn) in insns.iter().enumerate() {
+        let mut sites_resolved = 0usize;
+        for &i in &analysis.cfg.indirect_sites {
+            let insn = &insns[i];
             let reg = match insn.kind {
                 InsnKind::IndirectCallReg { reg } => reg,
                 InsnKind::IndirectCallMem { .. } => {
@@ -173,8 +217,7 @@ impl PolicyModule for IfccPolicy {
             if dest != reg {
                 return Err(violation("add does not feed the called register"));
             }
-            let and_i =
-                prev_non_nop(insns, add_i).ok_or_else(|| violation("no preceding and"))?;
+            let and_i = prev_non_nop(insns, add_i).ok_or_else(|| violation("no preceding and"))?;
             let InsnKind::AluImmReg {
                 op: AluOp::And,
                 dest: and_dest,
@@ -187,8 +230,7 @@ impl PolicyModule for IfccPolicy {
             if and_dest != reg {
                 return Err(violation("mask does not cover the called register"));
             }
-            let sub_i =
-                prev_non_nop(insns, and_i).ok_or_else(|| violation("no preceding sub"))?;
+            let sub_i = prev_non_nop(insns, and_i).ok_or_else(|| violation("no preceding sub"))?;
             let sub_matches = matches!(
                 insns[sub_i].kind,
                 InsnKind::AluRegReg { op: AluOp::Sub, dest: d, src: s, width: Width::W32 }
@@ -197,8 +239,7 @@ impl PolicyModule for IfccPolicy {
             if !sub_matches {
                 return Err(violation("missing sub of table base"));
             }
-            let lea_i =
-                prev_non_nop(insns, sub_i).ok_or_else(|| violation("no preceding lea"))?;
+            let lea_i = prev_non_nop(insns, sub_i).ok_or_else(|| violation("no preceding lea"))?;
             let InsnKind::LeaRipRel {
                 dest: lea_dest,
                 target,
@@ -221,13 +262,34 @@ impl PolicyModule for IfccPolicy {
             if (mask as u64) + 8 > table.len_bytes() {
                 return Err(violation("mask range exceeds the jump table"));
             }
+
+            // CFG-backed target validation: when dataflow folds the
+            // operand to a concrete address, that address must be a
+            // decoded instruction start inside the claimed table. The
+            // structural pattern alone cannot see a computed target
+            // that skips past the table or lands mid-instruction.
+            if let Some(resolved) = analysis.constants.target_of(i) {
+                sites_resolved += 1;
+                if resolved < table.start || resolved >= table.start + table.len_bytes() {
+                    return Err(violation(
+                        "computed target resolves outside the claimed jump table",
+                    ));
+                }
+                if analysis.cfg.block_containing(resolved).is_none()
+                    || insns.binary_search_by_key(&resolved, |x| x.addr).is_err()
+                {
+                    return Err(violation(
+                        "computed target is not an instruction start (mid-instruction target)",
+                    ));
+                }
+            }
         }
 
         Ok(PolicyReport {
             policy: self.name(),
             items_checked: sites_checked,
             detail: format!(
-                "{} jump table(s), {} total entries",
+                "{} jump table(s), {} total entries, {sites_resolved} site(s) constant-resolved",
                 tables.len(),
                 tables.iter().map(|t| t.entries).sum::<usize>()
             ),

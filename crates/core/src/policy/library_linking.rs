@@ -118,26 +118,27 @@ impl PolicyModule for LibraryLinkingPolicy {
                 .symbols
                 .function_end(target)
                 .unwrap_or_else(|| ctx.text_end());
-            let start_idx = ctx.insn_index_at(target).ok_or_else(|| {
-                EngardeError::PolicyViolation {
-                    policy: self.name(),
-                    reason: format!("call target {target:#x} is not an instruction boundary"),
-                }
-            })?;
+            let start_idx =
+                ctx.insn_index_at(target)
+                    .ok_or_else(|| EngardeError::PolicyViolation {
+                        policy: self.name(),
+                        reason: format!("call target {target:#x} is not an instruction boundary"),
+                    })?;
             let fn_insns = ctx.binary().insns[start_idx..]
                 .iter()
                 .take_while(|x| x.addr < end)
                 .count();
             ctx.charge(fn_insns as u64 * costs::LIBHASH_PER_INSN);
             functions_hashed += 1;
-            let digest = Sha256::digest(ctx.text_range(target, end));
+            let digest = Sha256::digest(ctx.text_range(target, end)?);
             let expected = &self.hashes[&name];
             if &digest != expected {
                 return Err(EngardeError::PolicyViolation {
                     policy: self.name(),
                     reason: format!(
                         "function '{name}' does not match {} v{} (hash {digest} != {expected})",
-                        self.library_name, crate::MUSL_DB_VERSION
+                        self.library_name,
+                        crate::MUSL_DB_VERSION
                     ),
                 });
             }
@@ -153,8 +154,8 @@ impl PolicyModule for LibraryLinkingPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::test_support::load_image;
     use crate::policy::run_policies;
+    use crate::policy::test_support::load_image;
     use engarde_workloads::bench_suite::{PaperBenchmark, PolicyFigure};
     use engarde_workloads::generator::{generate, WorkloadSpec};
     use engarde_workloads::libc::{Instrumentation, LibcLibrary};

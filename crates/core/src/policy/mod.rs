@@ -15,26 +15,75 @@
 
 pub mod ifcc;
 pub mod library_linking;
+pub mod reachability;
 pub mod stack_protection;
+pub mod wx_segments;
 
 pub use ifcc::IfccPolicy;
 pub use library_linking::LibraryLinkingPolicy;
+pub use reachability::CodeReachability;
 pub use stack_protection::StackProtectionPolicy;
+pub use wx_segments::WxSegments;
 
+use crate::analysis::ProgramAnalysis;
 use crate::error::EngardeError;
 use crate::loader::LoadedBinary;
 use engarde_sgx::perf::CycleCounter;
+use std::cell::OnceCell;
 
-/// What a policy module sees: the loaded binary plus a cycle meter.
+/// Memoized home of the shared [`ProgramAnalysis`] for one policy run.
+///
+/// [`run_policies`] creates one cache per binary and threads it through
+/// every policy's [`PolicyContext`]; the first policy that calls
+/// [`PolicyContext::analysis`] pays the full analysis cost, later
+/// policies read the memo for free — the effect the `ablation_cfg_memo`
+/// benchmark quantifies.
+#[derive(Default)]
+pub struct AnalysisCache {
+    memo: OnceCell<(ProgramAnalysis, u64)>,
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        AnalysisCache::default()
+    }
+
+    /// The analysis for `binary`, computing it on first use. Returns
+    /// the cycles to charge *this* call: the full analysis cost on a
+    /// miss, zero on a hit.
+    fn get_or_compute(&self, binary: &LoadedBinary) -> (&ProgramAnalysis, u64) {
+        let mut charged = 0;
+        let (analysis, _) = self.memo.get_or_init(|| {
+            let (analysis, cost) = ProgramAnalysis::compute(binary);
+            charged = cost;
+            (analysis, cost)
+        });
+        (analysis, charged)
+    }
+}
+
+/// What a policy module sees: the loaded binary, the shared analysis
+/// engine, and a cycle meter.
 pub struct PolicyContext<'a> {
     binary: &'a LoadedBinary,
     counter: &'a mut CycleCounter,
+    analysis: &'a AnalysisCache,
 }
 
 impl<'a> PolicyContext<'a> {
-    /// Creates a context over a loaded binary.
-    pub fn new(binary: &'a LoadedBinary, counter: &'a mut CycleCounter) -> Self {
-        PolicyContext { binary, counter }
+    /// Creates a context over a loaded binary with a (typically shared)
+    /// analysis cache.
+    pub fn new(
+        binary: &'a LoadedBinary,
+        counter: &'a mut CycleCounter,
+        analysis: &'a AnalysisCache,
+    ) -> Self {
+        PolicyContext {
+            binary,
+            counter,
+            analysis,
+        }
     }
 
     /// The loaded binary under inspection. The returned reference is
@@ -44,6 +93,16 @@ impl<'a> PolicyContext<'a> {
         self.binary
     }
 
+    /// The shared program analysis, computed lazily on first use. The
+    /// full analysis cost is charged to whichever policy calls this
+    /// first; subsequent calls (by any policy sharing the cache) are
+    /// free.
+    pub fn analysis(&mut self) -> &'a ProgramAnalysis {
+        let (analysis, cycles) = self.analysis.get_or_compute(self.binary);
+        self.counter.charge_native(cycles);
+        analysis
+    }
+
     /// Charges `cycles` of native policy work.
     pub fn charge(&mut self, cycles: u64) {
         self.counter.charge_native(cycles);
@@ -51,12 +110,18 @@ impl<'a> PolicyContext<'a> {
 
     /// Raw text bytes for `[start, end)` virtual addresses.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range lies outside the text section.
-    pub fn text_range(&self, start: u64, end: u64) -> &'a [u8] {
+    /// Returns [`EngardeError::TextRangeOutOfBounds`] when the range
+    /// lies outside the text section — a hostile symbol table must
+    /// reject the binary, never panic the inspector.
+    pub fn text_range(&self, start: u64, end: u64) -> Result<&'a [u8], EngardeError> {
         let base = self.binary.text_base;
-        &self.binary.text_bytes[(start - base) as usize..(end - base) as usize]
+        let text_end = base + self.binary.text_bytes.len() as u64;
+        if start < base || end > text_end || start > end {
+            return Err(EngardeError::TextRangeOutOfBounds { start, end });
+        }
+        Ok(&self.binary.text_bytes[(start - base) as usize..(end - base) as usize])
     }
 
     /// End of the text section (exclusive virtual address).
@@ -122,11 +187,14 @@ pub fn run_policies(
     counter: &mut CycleCounter,
 ) -> Result<Vec<PolicyReport>, EngardeError> {
     let mut reports = Vec::with_capacity(policies.len());
+    // One analysis cache per binary: the first policy that needs the
+    // CFG pays for it, the rest share the memo.
+    let cache = AnalysisCache::new();
     for policy in policies {
         if policy.requires_symbols() && binary.symbols.is_empty() {
             return Err(EngardeError::StrippedBinary);
         }
-        let mut ctx = PolicyContext::new(binary, counter);
+        let mut ctx = PolicyContext::new(binary, counter, &cache);
         reports.push(policy.check(&mut ctx)?);
     }
     Ok(reports)
@@ -149,7 +217,8 @@ pub(crate) mod test_support {
             seed: 77,
         });
         let id = m.ecreate(0x10000, PAGE_SIZE as u64).expect("ecreate");
-        m.eadd(id, 0x10000, b"engarde", PagePerms::RWX).expect("eadd");
+        m.eadd(id, 0x10000, b"engarde", PagePerms::RWX)
+            .expect("eadd");
         m.eextend(id, 0x10000).expect("eextend");
         m.einit(id).expect("einit");
         m.eenter(id).expect("enter");
@@ -233,7 +302,8 @@ mod tests {
         })
         .image;
         let (mut m, _, loaded) = test_support::load_image(&image);
-        let mut ctx = PolicyContext::new(&loaded, m.counter_mut());
+        let cache = AnalysisCache::new();
+        let mut ctx = PolicyContext::new(&loaded, m.counter_mut(), &cache);
         let first = ctx.binary().insns[0];
         assert_eq!(ctx.insn_index_at(first.addr), Some(0));
         // Mid-instruction addresses are not boundaries.
@@ -247,9 +317,68 @@ mod tests {
             .expect("some multi-byte instruction");
         assert_eq!(ctx.insn_index_at(multi.addr), Some(i));
         assert_eq!(ctx.insn_index_at(multi.addr + 1), None);
-        let bytes = ctx.text_range(first.addr, first.end());
+        let bytes = ctx.text_range(first.addr, first.end()).expect("in range");
         assert_eq!(bytes.len(), first.len as usize);
         assert!(ctx.text_end() > first.addr);
         ctx.charge(5);
+    }
+
+    #[test]
+    fn text_range_rejects_out_of_bounds_instead_of_panicking() {
+        let image = generate(&WorkloadSpec {
+            target_instructions: 2_000,
+            ..WorkloadSpec::default()
+        })
+        .image;
+        let (mut m, _, loaded) = test_support::load_image(&image);
+        let cache = AnalysisCache::new();
+        let ctx = PolicyContext::new(&loaded, m.counter_mut(), &cache);
+        let base = loaded.text_base;
+        let end = ctx.text_end();
+        // Below the text base, past the end, inverted, and wrapping
+        // ranges all come back as structured errors.
+        for (s, e) in [(0, 8), (base, end + 1), (end, base), (u64::MAX - 4, 4)] {
+            assert!(
+                matches!(
+                    ctx.text_range(s, e),
+                    Err(EngardeError::TextRangeOutOfBounds { .. })
+                ),
+                "range {s:#x}..{e:#x} must be rejected"
+            );
+        }
+        assert!(ctx.text_range(base, end).is_ok());
+    }
+
+    #[test]
+    fn analysis_cost_is_charged_once_per_cache() {
+        let image = generate(&WorkloadSpec {
+            target_instructions: 2_000,
+            ..WorkloadSpec::default()
+        })
+        .image;
+        let (mut m, _, loaded) = test_support::load_image(&image);
+        let cache = AnalysisCache::new();
+
+        let before = m.counter().native_cycles();
+        let mut ctx = PolicyContext::new(&loaded, m.counter_mut(), &cache);
+        ctx.analysis();
+        let first_cost = m.counter().native_cycles() - before;
+        assert!(first_cost > 0, "first use pays for the analysis");
+
+        let before = m.counter().native_cycles();
+        let mut ctx = PolicyContext::new(&loaded, m.counter_mut(), &cache);
+        ctx.analysis();
+        assert_eq!(
+            m.counter().native_cycles() - before,
+            0,
+            "second use hits the memo"
+        );
+
+        // A fresh cache pays again (per-binary scoping).
+        let fresh = AnalysisCache::new();
+        let before = m.counter().native_cycles();
+        let mut ctx = PolicyContext::new(&loaded, m.counter_mut(), &fresh);
+        ctx.analysis();
+        assert_eq!(m.counter().native_cycles() - before, first_cost);
     }
 }

@@ -42,10 +42,7 @@ pub struct StackProtectionPolicy {
 impl Default for StackProtectionPolicy {
     fn default() -> Self {
         StackProtectionPolicy {
-            exempt_prefixes: vec![
-                "__stack_chk_fail".into(),
-                "__llvm_jump_instr_table".into(),
-            ],
+            exempt_prefixes: vec!["__stack_chk_fail".into(), "__llvm_jump_instr_table".into()],
         }
     }
 }
@@ -184,11 +181,7 @@ impl PolicyModule for StackProtectionPolicy {
                 let Some(jne_pos) = next_non_nop(&fn_insns, cmp_pos + 1) else {
                     continue;
                 };
-                let InsnKind::CondJmp {
-                    cc: Cc::Ne,
-                    target,
-                } = fn_insns[jne_pos].kind
-                else {
+                let InsnKind::CondJmp { cc: Cc::Ne, target } = fn_insns[jne_pos].kind else {
                     continue;
                 };
                 // At the jne target: callq __stack_chk_fail.

@@ -1,0 +1,88 @@
+//! The W^X segment policy: EnGarde's dynamic-code-generation ban at the
+//! segment-table level.
+//!
+//! The paper forbids self-modifying and dynamically generated code;
+//! [`crate::exec`] enforces W^X on mapped pages at run time, but a
+//! hostile binary can also *ask* for writable-and-executable memory
+//! statically, via a `PT_LOAD` segment flagged `PF_W | PF_X`. This
+//! policy rejects such binaries before any page is mapped.
+
+use crate::error::EngardeError;
+use crate::policy::{PolicyContext, PolicyModule, PolicyReport};
+
+/// Cycles charged per program header inspected (a flag test on a
+/// 56-byte record already resident in enclave memory).
+const PER_PHDR: u64 = 20;
+
+/// Rejects ELF binaries with writable-and-executable load segments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WxSegments;
+
+impl WxSegments {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        WxSegments
+    }
+}
+
+impl PolicyModule for WxSegments {
+    fn name(&self) -> &'static str {
+        "wx-segments"
+    }
+
+    fn descriptor(&self) -> Vec<u8> {
+        b"wx-segments:v1".to_vec()
+    }
+
+    fn requires_symbols(&self) -> bool {
+        false
+    }
+
+    fn check(&self, ctx: &mut PolicyContext<'_>) -> Result<PolicyReport, EngardeError> {
+        let elf = &ctx.binary().elf;
+        let phdrs = elf.program_headers().len();
+        ctx.charge(phdrs as u64 * PER_PHDR);
+        if let Some(seg) = elf.wx_segments().next() {
+            return Err(EngardeError::PolicyViolation {
+                policy: self.name(),
+                reason: format!(
+                    "load segment at {:#x} (+{:#x}) is writable and executable — \
+                     dynamic code generation is banned",
+                    seg.p_vaddr, seg.p_memsz
+                ),
+            });
+        }
+        let loads = elf.load_segments().count();
+        Ok(PolicyReport {
+            policy: self.name(),
+            items_checked: loads,
+            detail: format!("{loads} load segment(s), none W|X"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::run_policies;
+    use crate::policy::test_support::load_image;
+    use engarde_workloads::generator::{generate, WorkloadSpec};
+
+    #[test]
+    fn clean_workload_passes() {
+        let w = generate(&WorkloadSpec {
+            target_instructions: 4_000,
+            ..WorkloadSpec::default()
+        });
+        let (mut m, _, loaded) = load_image(&w.image);
+        let policies: Vec<Box<dyn PolicyModule>> = vec![Box::new(WxSegments::new())];
+        let reports = run_policies(&policies, &loaded, m.counter_mut()).expect("no W|X");
+        assert!(reports[0].items_checked >= 3);
+        assert!(reports[0].detail.contains("none W|X"));
+    }
+
+    #[test]
+    fn does_not_require_symbols() {
+        assert!(!WxSegments::new().requires_symbols());
+    }
+}

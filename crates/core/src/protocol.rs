@@ -222,7 +222,10 @@ impl SignedVerdict {
     ///
     /// Returns [`EngardeError::Crypto`] when the signature does not
     /// verify — the provider tampered with the verdict.
-    pub fn verify(&self, enclave_key: &engarde_crypto::rsa::RsaPublicKey) -> Result<(), EngardeError> {
+    pub fn verify(
+        &self,
+        enclave_key: &engarde_crypto::rsa::RsaPublicKey,
+    ) -> Result<(), EngardeError> {
         let msg = Self::message(self.compliant, &self.detail, &self.content_digest);
         enclave_key.verify(&msg, &self.signature)?;
         Ok(())
@@ -276,13 +279,18 @@ mod tests {
     fn classification_clean_layout() {
         // Headers page, text pages, data page — no overlap.
         let extents = [
-            (0x1000, 0x1800, true),  // text spans pages 1-2
-            (0x3000, 0x500, false),  // data on page 3
+            (0x1000, 0x1800, true), // text spans pages 1-2
+            (0x3000, 0x500, false), // data on page 3
         ];
         let kinds = classify_pages(&extents, 0x3500).expect("clean");
         assert_eq!(
             kinds,
-            vec![PageKind::Data, PageKind::Code, PageKind::Code, PageKind::Data]
+            vec![
+                PageKind::Data,
+                PageKind::Code,
+                PageKind::Code,
+                PageKind::Data
+            ]
         );
     }
 

@@ -17,11 +17,11 @@ use crate::protocol::SignedVerdict;
 use crate::provision::{BootstrapSpec, EngardeEnclave, StageCycles, DEFAULT_ENCLAVE_BASE};
 use engarde_crypto::channel::SealedBlock;
 use engarde_crypto::rsa::RsaPublicKey;
+use engarde_rand::{SeedableRng, StdRng};
 use engarde_sgx::attest::{Quote, QuotingEnclave};
 use engarde_sgx::epc::{PagePerms, PAGE_SIZE};
 use engarde_sgx::host::HostOs;
 use engarde_sgx::machine::{EnclaveId, MachineConfig, SgxMachine};
-use engarde_rand::{SeedableRng, StdRng};
 use std::collections::HashMap;
 
 /// Everything the provider is allowed to learn from an inspection.
@@ -122,8 +122,12 @@ impl CloudProvider {
         // Client region: zero pages, writable until finalization.
         let region_base = spec.client_region_base(base);
         for p in 0..spec.client_region_pages {
-            self.host
-                .add_page(id, region_base + (p * PAGE_SIZE) as u64, &[], PagePerms::RWX)?;
+            self.host.add_page(
+                id,
+                region_base + (p * PAGE_SIZE) as u64,
+                &[],
+                PagePerms::RWX,
+            )?;
         }
         self.host.machine_mut().einit(id)?;
         self.host.machine_mut().eenter(id)?;
@@ -134,9 +138,11 @@ impl CloudProvider {
     }
 
     fn session(&self, id: EnclaveId) -> Result<&EngardeEnclave, EngardeError> {
-        self.sessions.get(&id).ok_or_else(|| EngardeError::Protocol {
-            what: format!("no EnGarde session for enclave {id}"),
-        })
+        self.sessions
+            .get(&id)
+            .ok_or_else(|| EngardeError::Protocol {
+                what: format!("no EnGarde session for enclave {id}"),
+            })
     }
 
     fn session_mut(&mut self, id: EnclaveId) -> Result<&mut EngardeEnclave, EngardeError> {
@@ -190,9 +196,12 @@ impl CloudProvider {
     ///
     /// Propagates channel and protocol failures from inside the enclave.
     pub fn deliver(&mut self, id: EnclaveId, block: &SealedBlock) -> Result<(), EngardeError> {
-        let mut session = self.sessions.remove(&id).ok_or_else(|| EngardeError::Protocol {
-            what: format!("no EnGarde session for enclave {id}"),
-        })?;
+        let mut session = self
+            .sessions
+            .remove(&id)
+            .ok_or_else(|| EngardeError::Protocol {
+                what: format!("no EnGarde session for enclave {id}"),
+            })?;
         let result = session.receive(self.host.machine_mut(), block);
         self.sessions.insert(id, session);
         result
@@ -208,9 +217,12 @@ impl CloudProvider {
     ///
     /// Protocol errors (incomplete content) and SGX failures.
     pub fn inspect_and_provision(&mut self, id: EnclaveId) -> Result<ProviderView, EngardeError> {
-        let mut session = self.sessions.remove(&id).ok_or_else(|| EngardeError::Protocol {
-            what: format!("no EnGarde session for enclave {id}"),
-        })?;
+        let mut session = self
+            .sessions
+            .remove(&id)
+            .ok_or_else(|| EngardeError::Protocol {
+                what: format!("no EnGarde session for enclave {id}"),
+            })?;
         if !session.content_complete() {
             self.sessions.insert(id, session);
             return Err(EngardeError::Protocol {

@@ -21,10 +21,10 @@ use crate::relocate::{map_and_relocate, MappedSegments};
 use engarde_crypto::channel::{ChannelServer, SealedBlock, Session};
 use engarde_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use engarde_crypto::sha256::{Digest, Sha256};
+use engarde_rand::Rng;
 use engarde_sgx::epc::{PagePerms, PAGE_SIZE};
 use engarde_sgx::machine::{EnclaveId, MeasurementLog, SgxMachine};
 use engarde_sgx::perf::costs;
-use engarde_rand::Rng;
 
 /// Default enclave base linear address.
 pub const DEFAULT_ENCLAVE_BASE: u64 = 0x0010_0000;
@@ -275,9 +275,12 @@ impl EngardeEnclave {
         machine: &mut SgxMachine,
         block: &SealedBlock,
     ) -> Result<(), EngardeError> {
-        let session = self.session.as_mut().ok_or_else(|| EngardeError::Protocol {
-            what: "content before channel establishment".into(),
-        })?;
+        let session = self
+            .session
+            .as_mut()
+            .ok_or_else(|| EngardeError::Protocol {
+                what: "content before channel establishment".into(),
+            })?;
         let decrypt_cost = block.ciphertext.len() as u64 * costs::DECRYPT_PER_BYTE;
         machine.counter_mut().charge_native(decrypt_cost);
         self.receive_cycles += decrypt_cost;
@@ -307,9 +310,12 @@ impl EngardeEnclave {
     }
 
     fn reassemble(&self) -> Result<Vec<u8>, EngardeError> {
-        let manifest = self.manifest.as_ref().ok_or_else(|| EngardeError::Protocol {
-            what: "no manifest received".into(),
-        })?;
+        let manifest = self
+            .manifest
+            .as_ref()
+            .ok_or_else(|| EngardeError::Protocol {
+                what: "no manifest received".into(),
+            })?;
         let mut image = Vec::with_capacity(manifest.total_len);
         for (i, page) in self.pages.iter().enumerate() {
             let page = page.as_ref().ok_or_else(|| EngardeError::Protocol {

@@ -144,7 +144,8 @@ mod tests {
         let region_base = ENCLAVE_BASE + PAGE_SIZE as u64;
         let size = (1 + REGION_PAGES) * PAGE_SIZE;
         let id = m.ecreate(ENCLAVE_BASE, size as u64).expect("ecreate");
-        m.eadd(id, ENCLAVE_BASE, b"bootstrap", PagePerms::RWX).expect("eadd");
+        m.eadd(id, ENCLAVE_BASE, b"bootstrap", PagePerms::RWX)
+            .expect("eadd");
         m.eextend(id, ENCLAVE_BASE).expect("eextend");
         for p in 0..REGION_PAGES {
             let va = region_base + (p * PAGE_SIZE) as u64;

@@ -73,10 +73,7 @@ impl StackProtectorRewriter {
     /// - [`EngardeError::Protocol`] for binaries the rewriter cannot
     ///   transform soundly (indirect control flow, unsupported
     ///   RIP-relative data references).
-    pub fn rewrite(
-        &self,
-        binary: &LoadedBinary,
-    ) -> Result<(Vec<u8>, RewriteReport), EngardeError> {
+    pub fn rewrite(&self, binary: &LoadedBinary) -> Result<(Vec<u8>, RewriteReport), EngardeError> {
         if binary.symbols.is_empty() {
             return Err(EngardeError::StrippedBinary);
         }
@@ -125,9 +122,11 @@ impl StackProtectorRewriter {
         // linked, otherwise append a synthetic one at the end.
         let existing_fail = binary.symbols.addr_of("__stack_chk_fail");
         let fail_label = match existing_fail {
-            Some(addr) => *addr_label.get(&addr).ok_or_else(|| EngardeError::Protocol {
-                what: "__stack_chk_fail symbol does not start an instruction".into(),
-            })?,
+            Some(addr) => *addr_label
+                .get(&addr)
+                .ok_or_else(|| EngardeError::Protocol {
+                    what: "__stack_chk_fail symbol does not start an instruction".into(),
+                })?,
             None => asm.label(),
         };
 
@@ -234,12 +233,13 @@ impl StackProtectorRewriter {
 
         // New entry offset.
         let old_entry = binary.elf.header().e_entry;
-        let entry_label = addr_label
-            .get(&old_entry)
-            .copied()
-            .ok_or_else(|| EngardeError::Protocol {
-                what: "entry point is not an instruction start".into(),
-            })?;
+        let entry_label =
+            addr_label
+                .get(&old_entry)
+                .copied()
+                .ok_or_else(|| EngardeError::Protocol {
+                    what: "entry point is not an instruction start".into(),
+                })?;
         let entry_offset = asm
             .label_offset(entry_label)
             .expect("entry label bound during emission");
@@ -267,10 +267,7 @@ impl StackProtectorRewriter {
         // Symbols: sizes are gaps between new starts.
         new_symbols.sort_by_key(|(_, off)| *off);
         for (i, (name, off)) in new_symbols.iter().enumerate() {
-            let end = new_symbols
-                .get(i + 1)
-                .map(|(_, o)| *o)
-                .unwrap_or(text_len);
+            let end = new_symbols.get(i + 1).map(|(_, o)| *o).unwrap_or(text_len);
             builder.function(name, *off, end - off);
         }
         let _ = text_base;
@@ -288,9 +285,12 @@ fn lookup_target(
     target: u64,
     from: u64,
 ) -> Result<Label, EngardeError> {
-    labels.get(&target).copied().ok_or_else(|| EngardeError::Protocol {
-        what: format!("branch at {from:#x} targets {target:#x} outside the instruction set"),
-    })
+    labels
+        .get(&target)
+        .copied()
+        .ok_or_else(|| EngardeError::Protocol {
+            what: format!("branch at {from:#x} targets {target:#x} outside the instruction set"),
+        })
 }
 
 /// Stack bytes the rewriter reserves for the canary slot. Reserving the
@@ -349,12 +349,14 @@ mod tests {
             .expect("rewrites");
         assert!(report.functions_instrumented > 50);
         assert!(report.rets_instrumented >= report.functions_instrumented);
-        assert!(report.added_stack_chk_fail || loaded.symbols.addr_of("__stack_chk_fail").is_some());
+        assert!(
+            report.added_stack_chk_fail || loaded.symbols.addr_of("__stack_chk_fail").is_some()
+        );
 
         // The rewritten binary loads (decodes + NaCl-validates) and
         // passes the policy.
-        let reloaded = load(&mut m, id, &new_image, &LoaderConfig::default())
-            .expect("rewritten binary loads");
+        let reloaded =
+            load(&mut m, id, &new_image, &LoaderConfig::default()).expect("rewritten binary loads");
         run_policies(&sp_policy(), &reloaded, m.counter_mut())
             .expect("rewritten binary is compliant");
     }
@@ -363,7 +365,9 @@ mod tests {
     fn rewriting_preserves_call_graph_shape() {
         let image = plain_workload();
         let (mut m, id, loaded) = load_image(&image);
-        let (new_image, _) = StackProtectorRewriter::new().rewrite(&loaded).expect("rewrites");
+        let (new_image, _) = StackProtectorRewriter::new()
+            .rewrite(&loaded)
+            .expect("rewrites");
         let reloaded = load(&mut m, id, &new_image, &LoaderConfig::default()).expect("loads");
 
         // Every original function symbol survives at some new address.
@@ -388,7 +392,9 @@ mod tests {
     fn rewriting_grows_but_does_not_explode_the_binary() {
         let image = plain_workload();
         let (_m, _id, loaded) = load_image(&image);
-        let (new_image, report) = StackProtectorRewriter::new().rewrite(&loaded).expect("rewrites");
+        let (new_image, report) = StackProtectorRewriter::new()
+            .rewrite(&loaded)
+            .expect("rewrites");
         assert!(new_image.len() > image.len(), "instrumentation adds bytes");
         assert!(
             new_image.len() < image.len() * 2,
@@ -434,7 +440,9 @@ mod tests {
         })
         .image;
         let (mut m, id, loaded) = load_image(&image);
-        let (new_image, _) = StackProtectorRewriter::new().rewrite(&loaded).expect("rewrites");
+        let (new_image, _) = StackProtectorRewriter::new()
+            .rewrite(&loaded)
+            .expect("rewrites");
         let reloaded = load(&mut m, id, &new_image, &LoaderConfig::default()).expect("loads");
         run_policies(&sp_policy(), &reloaded, m.counter_mut()).expect("still compliant");
     }

@@ -129,9 +129,10 @@ impl SymbolHashTable {
         for (i, insn) in insns.iter().enumerate() {
             match insn.kind {
                 InsnKind::DirectCall { target } | InsnKind::LeaRipRel { target, .. }
-                    if valid.contains(&target) => {
-                        starts.insert(target);
-                    }
+                    if valid.contains(&target) =>
+                {
+                    starts.insert(target);
+                }
                 _ => {}
             }
             // Prologue after a flow break.
@@ -195,7 +196,11 @@ mod tests {
         assert!(!t.is_function_start(0x1001));
         assert_eq!(t.function_end(0x1000), Some(0x1040));
         assert_eq!(t.function_end(0x1040), Some(0x10c0));
-        assert_eq!(t.function_end(0x10c0), None, "last function has no successor");
+        assert_eq!(
+            t.function_end(0x10c0),
+            None,
+            "last function has no successor"
+        );
     }
 
     #[test]
@@ -251,7 +256,10 @@ mod tests {
             assert!(table.is_function_start(0), "entry recovered");
             assert!(table.is_function_start(f1_off), "call target recovered");
             assert!(table.is_function_start(f2_off), "nested target recovered");
-            assert!(table.name_at(f1_off).expect("named").starts_with("recovered_fn_"));
+            assert!(table
+                .name_at(f1_off)
+                .expect("named")
+                .starts_with("recovered_fn_"));
         }
 
         #[test]

@@ -1,0 +1,127 @@
+//! Property tests for the static-analysis engine, driven by the
+//! in-tree harness (`engarde_rand::harness::Property`).
+//!
+//! Each case generates a random workload (seed, size, instrumentation
+//! all drawn from the case rng), loads it through the real in-enclave
+//! loader, runs [`ProgramAnalysis::compute`], and checks a structural
+//! invariant. Failing case seeds are replayed via `ENGARDE_PROP_SEED`
+//! and pinned with `.regressions(&[..])`.
+
+use engarde_core::analysis::ProgramAnalysis;
+use engarde_core::loader::{load, LoadedBinary, LoaderConfig};
+use engarde_rand::harness::{pick, Property};
+use engarde_rand::{ChaChaRng, Rng};
+use engarde_sgx::epc::{PagePerms, PAGE_SIZE};
+use engarde_sgx::instr::SgxVersion;
+use engarde_sgx::machine::{MachineConfig, SgxMachine};
+use engarde_workloads::generator::{generate, WorkloadSpec};
+use engarde_workloads::libc::Instrumentation;
+
+/// Draws a random-but-valid workload spec from the case rng.
+fn random_spec(rng: &mut ChaChaRng) -> WorkloadSpec {
+    WorkloadSpec {
+        target_instructions: rng.gen_range(1_500usize..7_000),
+        instrumentation: *pick(rng, &[Instrumentation::None, Instrumentation::Ifcc]),
+        avg_app_fn_insns: rng.gen_range(20usize..60),
+        calls_per_app_fn: rng.gen_range(1usize..6),
+        jump_table_entries: rng.gen_range(8usize..64),
+        seed: rng.gen::<u64>(),
+        ..WorkloadSpec::default()
+    }
+}
+
+fn analyzed_case(rng: &mut ChaChaRng) -> (LoadedBinary, ProgramAnalysis) {
+    let image = generate(&random_spec(rng)).image;
+    let mut m = SgxMachine::new(MachineConfig {
+        epc_pages: 64,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed: 9,
+    });
+    let id = m.ecreate(0x10000, PAGE_SIZE as u64).expect("ecreate");
+    m.eadd(id, 0x10000, b"engarde", PagePerms::RWX)
+        .expect("eadd");
+    m.eextend(id, 0x10000).expect("eextend");
+    m.einit(id).expect("einit");
+    m.eenter(id).expect("enter");
+    let loaded = load(&mut m, id, &image, &LoaderConfig::default()).expect("loads");
+    let (analysis, _) = ProgramAnalysis::compute(&loaded);
+    (loaded, analysis)
+}
+
+#[test]
+fn every_insn_lands_in_exactly_one_block() {
+    Property::new("every_insn_lands_in_exactly_one_block")
+        .cases(10)
+        .regressions(&[])
+        .run(|rng| {
+            let (loaded, analysis) = analyzed_case(rng);
+            // Blocks are contiguous, in order, and cover every decoded
+            // instruction exactly once.
+            let mut next = 0usize;
+            for b in &analysis.cfg.blocks {
+                assert_eq!(b.insns.start, next, "no gap or overlap between blocks");
+                assert!(b.insns.end > b.insns.start, "no empty blocks");
+                next = b.insns.end;
+                assert_eq!(b.start, loaded.insns[b.insns.start].addr);
+                assert_eq!(b.end, loaded.insns[b.insns.end - 1].end());
+            }
+            assert_eq!(next, loaded.insns.len(), "blocks cover the whole buffer");
+            // block_containing agrees with the partition.
+            for (id, b) in analysis.cfg.blocks.iter().enumerate() {
+                assert_eq!(analysis.cfg.block_containing(b.start), Some(id));
+                assert_eq!(analysis.cfg.block_containing(b.end - 1), Some(id));
+            }
+        });
+}
+
+#[test]
+fn every_edge_targets_a_block_leader() {
+    Property::new("every_edge_targets_a_block_leader")
+        .cases(10)
+        .regressions(&[])
+        .run(|rng| {
+            let (_, analysis) = analyzed_case(rng);
+            for e in &analysis.cfg.edges {
+                assert!(e.from < analysis.cfg.blocks.len());
+                assert!(e.to < analysis.cfg.blocks.len());
+                let leader = analysis.cfg.blocks[e.to].start;
+                assert_eq!(
+                    analysis.cfg.block_at(leader),
+                    Some(e.to),
+                    "edge {e:?} must target a leader"
+                );
+            }
+        });
+}
+
+#[test]
+fn reachability_is_a_fixpoint() {
+    Property::new("reachability_is_a_fixpoint")
+        .cases(10)
+        .regressions(&[])
+        .run(|rng| {
+            let (loaded, analysis) = analyzed_case(rng);
+            // Closure: an edge out of a reachable block reaches a
+            // reachable block — one more propagation round changes
+            // nothing.
+            for e in &analysis.cfg.edges {
+                if analysis.reachable[e.from] {
+                    assert!(
+                        analysis.reachable[e.to],
+                        "edge {e:?} escapes the reachable set"
+                    );
+                }
+            }
+            // Roots are reachable whenever they start a block.
+            for &root in &analysis.roots {
+                if let Some(b) = analysis.cfg.block_at(root) {
+                    assert!(analysis.reachable[b], "root {root:#x} must be reachable");
+                }
+            }
+            // Recomputing from scratch is a no-op (determinism).
+            let (again, _) = ProgramAnalysis::compute(&loaded);
+            assert_eq!(analysis.reachable, again.reachable);
+            assert_eq!(analysis.constants.resolved, again.constants.resolved);
+        });
+}

@@ -367,7 +367,11 @@ impl BigUint {
         }
         // General case: Knuth Algorithm D (limb-based long division).
         // Normalise so the divisor's top limb has its high bit set.
-        let shift = divisor.limbs.last().expect("non-zero divisor").leading_zeros() as usize;
+        let shift = divisor
+            .limbs
+            .last()
+            .expect("non-zero divisor")
+            .leading_zeros() as usize;
         let u = self.shl(shift);
         let v = divisor.shl(shift);
         let n = v.limbs.len();

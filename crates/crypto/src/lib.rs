@@ -78,12 +78,18 @@ impl fmt::Display for CryptoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CryptoError::MessageTooLong { len, max } => {
-                write!(f, "message of {len} bytes exceeds RSA capacity of {max} bytes")
+                write!(
+                    f,
+                    "message of {len} bytes exceeds RSA capacity of {max} bytes"
+                )
             }
             CryptoError::DecryptionFailed => write!(f, "RSA decryption failed"),
             CryptoError::SignatureInvalid => write!(f, "signature verification failed"),
             CryptoError::KeyTooSmall { bits } => {
-                write!(f, "RSA modulus of {bits} bits is too small for this operation")
+                write!(
+                    f,
+                    "RSA modulus of {bits} bits is too small for this operation"
+                )
             }
             CryptoError::MalformedMessage => write!(f, "malformed wire message"),
             CryptoError::SequenceMismatch { expected, got } => {

@@ -335,10 +335,7 @@ mod tests {
     #[test]
     fn public_key_serialisation_round_trip() {
         let kp = keypair(512);
-        let pk = RsaPublicKey::from_parts(
-            &kp.public().modulus_be(),
-            &kp.public().exponent_be(),
-        );
+        let pk = RsaPublicKey::from_parts(&kp.public().modulus_be(), &kp.public().exponent_be());
         assert_eq!(&pk, kp.public());
     }
 

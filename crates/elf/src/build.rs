@@ -62,6 +62,7 @@ pub struct ElfBuilder {
     strip: bool,
     e_type: Option<u16>,
     e_machine: Option<u16>,
+    wx_text: bool,
 }
 
 impl ElfBuilder {
@@ -135,6 +136,13 @@ impl ElfBuilder {
     /// when a policy needs symbols).
     pub fn strip(&mut self) -> &mut Self {
         self.strip = true;
+        self
+    }
+
+    /// Marks the text segment writable as well as executable (W|X), for
+    /// building binaries the `WxSegments` policy must reject.
+    pub fn wx_text(&mut self) -> &mut Self {
+        self.wx_text = true;
         self
     }
 
@@ -357,10 +365,15 @@ impl ElfBuilder {
             p_memsz: 0,
             p_align: PAGE,
         });
-        // Text segment (RX).
+        // Text segment (RX; RWX only when a test explicitly asks for a
+        // W^X violation via `wx_text`).
         phdrs.push(ProgramHeader {
             p_type: PT_LOAD,
-            p_flags: PF_R | PF_X,
+            p_flags: if self.wx_text {
+                PF_R | PF_W | PF_X
+            } else {
+                PF_R | PF_X
+            },
             p_offset: text_off,
             p_vaddr: text_off,
             p_paddr: text_off,
@@ -520,6 +533,23 @@ mod tests {
     }
 
     #[test]
+    fn wx_text_builds_a_wx_segment() {
+        let img = ElfBuilder::new()
+            .text(vec![0xc3])
+            .data(vec![0u8; 8])
+            .wx_text()
+            .build();
+        let elf = ElfFile::parse(&img).expect("parse");
+        let wx: Vec<_> = elf.wx_segments().collect();
+        assert_eq!(wx.len(), 1);
+        assert_eq!(wx[0].p_flags, PF_R | PF_W | PF_X);
+        assert!(wx[0].is_wx() && wx[0].is_load());
+        // The default build has none.
+        let clean = ElfFile::parse(&ElfBuilder::new().text(vec![0xc3]).build()).expect("parse");
+        assert_eq!(clean.wx_segments().count(), 0);
+    }
+
+    #[test]
     fn text_larger_than_a_page() {
         let text: Vec<u8> = (0..10_000).map(|i| (i % 256) as u8).collect();
         let img = ElfBuilder::new().text(text.clone()).build();
@@ -586,10 +616,7 @@ mod tests {
         let elf = ElfFile::parse(&img).expect("parse");
         assert!(elf.dynamic_value(DT_RELA).is_some());
         assert_eq!(elf.dynamic_value(DT_RELAENT), Some(RELA_SIZE as u64));
-        assert!(elf
-            .program_headers()
-            .iter()
-            .any(|p| p.p_type == PT_DYNAMIC));
+        assert!(elf.program_headers().iter().any(|p| p.p_type == PT_DYNAMIC));
     }
 
     #[test]

@@ -99,7 +99,10 @@ impl fmt::Display for ElfError {
                 write!(f, "unsupported ELF class {class} (need ELFCLASS64)")
             }
             ElfError::BadEncoding { encoding } => {
-                write!(f, "unsupported data encoding {encoding} (need little-endian)")
+                write!(
+                    f,
+                    "unsupported data encoding {encoding} (need little-endian)"
+                )
             }
             ElfError::BadVersion { version } => write!(f, "unsupported ELF version {version}"),
             ElfError::BadMachine { machine } => {
@@ -111,7 +114,10 @@ impl fmt::Display for ElfError {
             ElfError::BadStringTable => write!(f, "malformed string table reference"),
             ElfError::BadRelocationTable => write!(f, "inconsistent relocation table description"),
             ElfError::NotPie { e_type } => {
-                write!(f, "not a position-independent executable (e_type = {e_type})")
+                write!(
+                    f,
+                    "not a position-independent executable (e_type = {e_type})"
+                )
             }
             ElfError::NotStatic => write!(f, "binary is dynamically linked"),
         }

@@ -276,6 +276,17 @@ impl ElfFile {
         &self.program_headers
     }
 
+    /// Iterates over loadable (`PT_LOAD`) segments.
+    pub fn load_segments(&self) -> impl Iterator<Item = &ProgramHeader> {
+        self.program_headers.iter().filter(|ph| ph.is_load())
+    }
+
+    /// Iterates over loadable segments mapped both writable and
+    /// executable — the W^X violations the `WxSegments` policy rejects.
+    pub fn wx_segments(&self) -> impl Iterator<Item = &ProgramHeader> {
+        self.load_segments().filter(|ph| ph.is_wx())
+    }
+
     /// All sections (including the null section).
     pub fn sections(&self) -> &[Section] {
         &self.sections
@@ -308,7 +319,10 @@ impl ElfFile {
 
     /// Returns the value of a `.dynamic` entry by tag.
     pub fn dynamic_value(&self, tag: i64) -> Option<u64> {
-        self.dynamic.iter().find(|d| d.d_tag == tag).map(|d| d.d_val)
+        self.dynamic
+            .iter()
+            .find(|d| d.d_tag == tag)
+            .map(|d| d.d_val)
     }
 
     /// Ensures the binary is a position-independent executable (`ET_DYN`),
@@ -447,8 +461,14 @@ mod tests {
         elf.require_pie().expect("is PIE");
         elf.require_static().expect("is static");
         assert_eq!(elf.text_sections().count(), 1);
-        assert_eq!(elf.section(".text").expect("has .text").data, vec![0x90, 0x90, 0xc3]);
-        assert_eq!(elf.section(".data").expect("has .data").data, vec![1, 2, 3, 4]);
+        assert_eq!(
+            elf.section(".text").expect("has .text").data,
+            vec![0x90, 0x90, 0xc3]
+        );
+        assert_eq!(
+            elf.section(".data").expect("has .data").data,
+            vec![1, 2, 3, 4]
+        );
         let bss = elf.section(".bss").expect("has .bss");
         assert_eq!(bss.header.sh_size, 32);
         assert!(bss.data.is_empty());

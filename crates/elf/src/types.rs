@@ -182,6 +182,27 @@ pub struct ProgramHeader {
 }
 
 impl ProgramHeader {
+    /// Whether this is a loadable (`PT_LOAD`) segment.
+    pub fn is_load(&self) -> bool {
+        self.p_type == PT_LOAD
+    }
+
+    /// Whether the segment is mapped writable (`PF_W`).
+    pub fn is_writable(&self) -> bool {
+        self.p_flags & PF_W != 0
+    }
+
+    /// Whether the segment is mapped executable (`PF_X`).
+    pub fn is_executable(&self) -> bool {
+        self.p_flags & PF_X != 0
+    }
+
+    /// Whether the segment is simultaneously writable and executable —
+    /// the W^X violation EnGarde's dynamic-code-generation ban targets.
+    pub fn is_wx(&self) -> bool {
+        self.is_writable() && self.is_executable()
+    }
+
     /// Serialises the program header to 56 bytes.
     pub fn to_bytes(&self) -> [u8; PHDR_SIZE] {
         let mut out = [0u8; PHDR_SIZE];

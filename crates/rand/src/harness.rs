@@ -120,7 +120,10 @@ impl Property {
         let mut rng = ChaChaRng::seed_from_u64(seed);
         let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
         if let Err(payload) = outcome {
-            eprintln!("[engarde-prop] property '{}' FAILED ({kind} case)", self.name);
+            eprintln!(
+                "[engarde-prop] property '{}' FAILED ({kind} case)",
+                self.name
+            );
             eprintln!("[engarde-prop]   case seed: {seed:#018x}");
             eprintln!(
                 "[engarde-prop]   replay: ENGARDE_PROP_SEED={seed:#x} cargo test {}",

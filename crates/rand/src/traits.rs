@@ -304,7 +304,7 @@ mod tests {
         let mut arr = [0u8; 32];
         rng.fill(&mut arr);
         assert_ne!(arr, [0u8; 32]);
-        let mut v = vec![0u8; 16];
+        let mut v = [0u8; 16];
         rng.fill(&mut v[..]);
         assert!(v.iter().any(|&b| b != 0));
     }

@@ -135,12 +135,13 @@ impl QuotingEnclave {
             &report.report_data,
             &nonce,
         );
-        let signature = machine
-            .device_key()
-            .sign(&msg)
-            .map_err(|_| SgxError::AttestationFailed {
-                what: "device key cannot sign the quote",
-            })?;
+        let signature =
+            machine
+                .device_key()
+                .sign(&msg)
+                .map_err(|_| SgxError::AttestationFailed {
+                    what: "device key cannot sign the quote",
+                })?;
         Ok(Quote {
             enclave_id: report.enclave_id,
             measurement: report.measurement,
@@ -183,7 +184,11 @@ mod tests {
         let nonce = [5u8; 32];
         let quote = QuotingEnclave::quote(&mut m, id, [1u8; 64], nonce).expect("quote");
         quote.verify(m.device_key().public()).expect("verifies");
-        let measurement = m.enclave(id).expect("enclave").measurement().expect("measured");
+        let measurement = m
+            .enclave(id)
+            .expect("enclave")
+            .measurement()
+            .expect("measured");
         quote
             .verify_full(m.device_key().public(), &measurement, &nonce)
             .expect("full check");
@@ -211,7 +216,11 @@ mod tests {
     fn nonce_replay_detected() {
         let mut m = machine();
         let id = initialized_enclave(&mut m);
-        let measurement = m.enclave(id).expect("enclave").measurement().expect("measured");
+        let measurement = m
+            .enclave(id)
+            .expect("enclave")
+            .measurement()
+            .expect("measured");
         let quote = QuotingEnclave::quote(&mut m, id, [0u8; 64], [1u8; 32]).expect("quote");
         // Verifier expected a different (fresh) nonce.
         let err = quote

@@ -269,7 +269,12 @@ impl Epc {
     /// # Errors
     ///
     /// Returns [`EpcError::BadPage`] for an invalid index.
-    pub fn write_plaintext(&mut self, idx: usize, offset: usize, data: &[u8]) -> Result<(), EpcError> {
+    pub fn write_plaintext(
+        &mut self,
+        idx: usize,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), EpcError> {
         if offset + data.len() > PAGE_SIZE {
             return Err(EpcError::BadPage);
         }
@@ -327,10 +332,7 @@ mod tests {
         assert!(PagePerms::RX.is_wx_exclusive());
         assert!(!PagePerms::RWX.is_wx_exclusive());
         assert_eq!(PagePerms::RWX.intersect(PagePerms::R), PagePerms::R);
-        assert_eq!(
-            PagePerms::RX.intersect(PagePerms::RW),
-            PagePerms::R
-        );
+        assert_eq!(PagePerms::RX.intersect(PagePerms::RW), PagePerms::R);
     }
 
     #[test]

@@ -228,13 +228,18 @@ mod tests {
 
     fn provisioned(host: &mut HostOs) -> (EnclaveId, u64, u64) {
         let base = 0x100000;
-        let id = host.create_enclave(base, 4 * PAGE_SIZE as u64).expect("create");
+        let id = host
+            .create_enclave(base, 4 * PAGE_SIZE as u64)
+            .expect("create");
         let code_page = base;
         let data_page = base + PAGE_SIZE as u64;
-        host.add_page(id, code_page, &[0xc3], PagePerms::RWX).expect("code");
-        host.add_page(id, data_page, &[0], PagePerms::RWX).expect("data");
+        host.add_page(id, code_page, &[0xc3], PagePerms::RWX)
+            .expect("code");
+        host.add_page(id, data_page, &[0], PagePerms::RWX)
+            .expect("data");
         host.machine_mut().einit(id).expect("einit");
-        host.finalize_provisioned_enclave(id, &[code_page]).expect("finalize");
+        host.finalize_provisioned_enclave(id, &[code_page])
+            .expect("finalize");
         (id, code_page, data_page)
     }
 
@@ -244,7 +249,10 @@ mod tests {
         let (id, code, data) = provisioned(&mut h);
         assert_eq!(h.effective_perms(id, code), Some(PagePerms::RX));
         assert_eq!(h.effective_perms(id, data), Some(PagePerms::RW));
-        assert!(h.effective_perms(id, code).expect("perms").is_wx_exclusive());
+        assert!(h
+            .effective_perms(id, code)
+            .expect("perms")
+            .is_wx_exclusive());
         assert!(h.is_extension_locked(id));
     }
 
@@ -294,7 +302,9 @@ mod tests {
     fn dynamic_pages_allowed_before_lockout_refused_after() {
         let mut h = host(SgxVersion::V2);
         let base = 0x100000;
-        let id = h.create_enclave(base, 8 * PAGE_SIZE as u64).expect("create");
+        let id = h
+            .create_enclave(base, 8 * PAGE_SIZE as u64)
+            .expect("create");
         h.add_page(id, base, &[0xc3], PagePerms::RWX).expect("code");
         h.machine_mut().einit(id).expect("einit");
         // Post-EINIT, pre-provisioning: EAUG growth works (SGX2).
@@ -304,8 +314,11 @@ mod tests {
             .enclave_write(id, dyn_page, &[1, 2])
             .expect("usable");
         // After EnGarde finalizes: locked.
-        h.finalize_provisioned_enclave(id, &[base]).expect("finalize");
-        let err = h.add_page_dynamic(id, base + 5 * PAGE_SIZE as u64).unwrap_err();
+        h.finalize_provisioned_enclave(id, &[base])
+            .expect("finalize");
+        let err = h
+            .add_page_dynamic(id, base + 5 * PAGE_SIZE as u64)
+            .unwrap_err();
         assert!(matches!(err, SgxError::ExtensionLocked { .. }));
     }
 
@@ -313,7 +326,9 @@ mod tests {
     fn dynamic_pages_unsupported_on_v1() {
         let mut h = host(SgxVersion::V1);
         let base = 0x100000;
-        let id = h.create_enclave(base, 4 * PAGE_SIZE as u64).expect("create");
+        let id = h
+            .create_enclave(base, 4 * PAGE_SIZE as u64)
+            .expect("create");
         h.add_page(id, base, &[0xc3], PagePerms::RWX).expect("code");
         h.machine_mut().einit(id).expect("einit");
         assert!(matches!(
@@ -344,6 +359,8 @@ mod tests {
         let (id, code, data) = provisioned(&mut h);
         // In-enclave writes to the sealed code page fault; data page ok.
         assert!(h.machine_mut().enclave_write(id, code, &[0x90]).is_err());
-        h.machine_mut().enclave_write(id, data, &[1, 2, 3]).expect("data writable");
+        h.machine_mut()
+            .enclave_write(id, data, &[1, 2, 3])
+            .expect("data writable");
     }
 }

@@ -117,7 +117,10 @@ impl fmt::Display for SgxError {
                 write!(f, "permission denied for page {vaddr:#x}")
             }
             SgxError::ExtensionLocked { id } => {
-                write!(f, "enclave {id} is locked against extension after provisioning")
+                write!(
+                    f,
+                    "enclave {id} is locked against extension after provisioning"
+                )
             }
             SgxError::AttestationFailed { what } => write!(f, "attestation failed: {what}"),
         }

@@ -58,7 +58,8 @@ impl MeasurementLog {
     pub fn eadd(&mut self, offset: u64, perms: PagePerms) {
         self.hasher.update(b"EADD");
         self.hasher.update(&offset.to_le_bytes());
-        self.hasher.update(&[perms.r as u8, perms.w as u8, perms.x as u8]);
+        self.hasher
+            .update(&[perms.r as u8, perms.w as u8, perms.x as u8]);
     }
 
     /// Records the 16 `EEXTEND` leaves measuring a full page at
@@ -70,7 +71,8 @@ impl MeasurementLog {
         page[..len].copy_from_slice(&data[..len]);
         for chunk in 0..PAGE_SIZE / 256 {
             self.hasher.update(b"EEXTEND");
-            self.hasher.update(&(offset + (chunk * 256) as u64).to_le_bytes());
+            self.hasher
+                .update(&(offset + (chunk * 256) as u64).to_le_bytes());
             self.hasher.update(&page[chunk * 256..(chunk + 1) * 256]);
         }
     }
@@ -360,7 +362,10 @@ impl SgxMachine {
     /// range, or [`SgxError::Epc`] when the EPC cannot hold the SECS page.
     pub fn ecreate(&mut self, base: u64, size: u64) -> Result<EnclaveId, SgxError> {
         self.step(SgxInstr::Ecreate);
-        if size == 0 || !base.is_multiple_of(PAGE_SIZE as u64) || !size.is_multiple_of(PAGE_SIZE as u64) {
+        if size == 0
+            || !base.is_multiple_of(PAGE_SIZE as u64)
+            || !size.is_multiple_of(PAGE_SIZE as u64)
+        {
             return Err(SgxError::BadParameter {
                 what: "enclave range must be non-empty and page-aligned",
             });
@@ -639,7 +644,10 @@ impl SgxMachine {
     /// pages.
     pub fn ewb(&mut self, id: EnclaveId, vaddr: u64) -> Result<EvictedPage, SgxError> {
         self.step(SgxInstr::Ewb);
-        let enclave = self.enclaves.get(&id).ok_or(SgxError::NoSuchEnclave { id })?;
+        let enclave = self
+            .enclaves
+            .get(&id)
+            .ok_or(SgxError::NoSuchEnclave { id })?;
         if !enclave.blocked.contains(&vaddr) {
             return Err(SgxError::WrongState {
                 what: "EWB requires the page to be EBLOCKed",
@@ -733,7 +741,10 @@ impl SgxMachine {
             nonce[0..8].copy_from_slice(&page.version.to_be_bytes());
             ctr_xor(&key, &nonce, 0, &mut plaintext);
         }
-        let enclave = self.enclaves.get(&id).ok_or(SgxError::NoSuchEnclave { id })?;
+        let enclave = self
+            .enclaves
+            .get(&id)
+            .ok_or(SgxError::NoSuchEnclave { id })?;
         if enclave.pages.contains_key(&page.vaddr) {
             return Err(SgxError::BadParameter {
                 what: "page already resident",
@@ -773,7 +784,10 @@ impl SgxMachine {
                 what: "EAUG requires SGX2",
             });
         }
-        let enclave = self.enclaves.get(&id).ok_or(SgxError::NoSuchEnclave { id })?;
+        let enclave = self
+            .enclaves
+            .get(&id)
+            .ok_or(SgxError::NoSuchEnclave { id })?;
         if enclave.state != EnclaveState::Initialized {
             return Err(SgxError::WrongState {
                 what: "EAUG targets initialized enclaves (use EADD while building)",
@@ -883,7 +897,10 @@ impl SgxMachine {
             .pages
             .get(&vaddr)
             .ok_or(SgxError::BadAddress { vaddr })?;
-        let entry = self.epc.epcm_mut(idx).ok_or(SgxError::BadAddress { vaddr })?;
+        let entry = self
+            .epc
+            .epcm_mut(idx)
+            .ok_or(SgxError::BadAddress { vaddr })?;
         entry.perms = pending.perms;
         entry.perms_locked = true;
         Ok(())
@@ -939,7 +956,12 @@ impl SgxMachine {
     ///
     /// [`SgxError::BadAddress`] for unmapped ranges,
     /// [`SgxError::PermissionDenied`] when a page is not writable.
-    pub fn enclave_write(&mut self, id: EnclaveId, vaddr: u64, data: &[u8]) -> Result<(), SgxError> {
+    pub fn enclave_write(
+        &mut self,
+        id: EnclaveId,
+        vaddr: u64,
+        data: &[u8],
+    ) -> Result<(), SgxError> {
         let enclave = self
             .enclaves
             .get(&id)
@@ -954,7 +976,10 @@ impl SgxMachine {
                 .pages
                 .get(&page_base)
                 .ok_or(SgxError::BadAddress { vaddr: addr })?;
-            let entry = self.epc.epcm(idx).ok_or(SgxError::BadAddress { vaddr: addr })?;
+            let entry = self
+                .epc
+                .epcm(idx)
+                .ok_or(SgxError::BadAddress { vaddr: addr })?;
             if !entry.perms.w {
                 return Err(SgxError::PermissionDenied { vaddr: page_base });
             }
@@ -1113,7 +1138,9 @@ mod tests {
     }
 
     fn build_enclave(m: &mut SgxMachine, pages: usize) -> EnclaveId {
-        let id = m.ecreate(0x10000, (pages * PAGE_SIZE) as u64).expect("ecreate");
+        let id = m
+            .ecreate(0x10000, (pages * PAGE_SIZE) as u64)
+            .expect("ecreate");
         for i in 0..pages {
             let vaddr = 0x10000 + (i * PAGE_SIZE) as u64;
             let data = vec![i as u8; PAGE_SIZE];
@@ -1143,12 +1170,17 @@ mod tests {
         let build = |tweak: u8| {
             let mut m = small_machine();
             let id = m.ecreate(0x10000, PAGE_SIZE as u64).expect("ecreate");
-            m.eadd(id, 0x10000, &[tweak; 64], PagePerms::RWX).expect("eadd");
+            m.eadd(id, 0x10000, &[tweak; 64], PagePerms::RWX)
+                .expect("eadd");
             m.eextend(id, 0x10000).expect("eextend");
             m.einit(id).expect("einit")
         };
         assert_eq!(build(1), build(1), "same content, same measurement");
-        assert_ne!(build(1), build(2), "different content, different measurement");
+        assert_ne!(
+            build(1),
+            build(2),
+            "different content, different measurement"
+        );
     }
 
     #[test]
@@ -1295,7 +1327,8 @@ mod tests {
         let mut m = small_machine();
         let a = build_enclave(&mut m, 1);
         let id_b = m.ecreate(0x40000, PAGE_SIZE as u64).expect("ecreate");
-        m.eadd(id_b, 0x40000, &[9; 32], PagePerms::RWX).expect("eadd");
+        m.eadd(id_b, 0x40000, &[9; 32], PagePerms::RWX)
+            .expect("eadd");
         m.eextend(id_b, 0x40000).expect("eextend");
         m.einit(id_b).expect("einit");
         let ka = m.egetkey(a, b"seal").expect("key a");
@@ -1306,7 +1339,11 @@ mod tests {
             m.egetkey(a, b"other").expect("key"),
             "keys are bound to labels"
         );
-        assert_eq!(ka, m.egetkey(a, b"seal").expect("key"), "derivation is stable");
+        assert_eq!(
+            ka,
+            m.egetkey(a, b"seal").expect("key"),
+            "derivation is stable"
+        );
     }
 
     #[test]
@@ -1455,7 +1492,8 @@ mod tests {
         m.eblock(id, 0x10000).expect("eblock");
         m.etrack(id).expect("etrack");
         let evicted = m.ewb(id, 0x10000).expect("ewb");
-        m.eadd(id, 0x13000, &[3; 8], PagePerms::RWX).expect("fits now");
+        m.eadd(id, 0x13000, &[3; 8], PagePerms::RWX)
+            .expect("fits now");
         m.eextend(id, 0x13000).expect("eextend");
         m.einit(id).expect("einit");
         // Swap back in after evicting another.
@@ -1476,11 +1514,9 @@ mod tests {
         m.eaug(id, 0x11000).expect("eaug");
         // Unusable until the enclave accepts it.
         m.eaccept(id, 0x11000).expect("eaccept");
-        m.enclave_write(id, 0x11000, &[5, 6, 7]).expect("write new page");
-        assert_eq!(
-            m.enclave_read(id, 0x11000, 3).expect("read"),
-            vec![5, 6, 7]
-        );
+        m.enclave_write(id, 0x11000, &[5, 6, 7])
+            .expect("write new page");
+        assert_eq!(m.enclave_read(id, 0x11000, 3).expect("read"), vec![5, 6, 7]);
         // EAUG'd pages are zeroed.
         assert_eq!(m.enclave_read(id, 0x11800, 4).expect("read"), vec![0; 4]);
     }
@@ -1495,7 +1531,9 @@ mod tests {
         });
         let id = build_enclave(&mut m1, 1);
         let _ = id;
-        let id2 = m1.ecreate(0x40000, (2 * PAGE_SIZE) as u64).expect("ecreate");
+        let id2 = m1
+            .ecreate(0x40000, (2 * PAGE_SIZE) as u64)
+            .expect("ecreate");
         m1.eadd(id2, 0x40000, &[], PagePerms::RWX).expect("eadd");
         m1.einit(id2).expect("einit");
         assert!(matches!(
@@ -1504,7 +1542,9 @@ mod tests {
         ));
 
         let mut m2 = small_machine();
-        let building = m2.ecreate(0x50000, (2 * PAGE_SIZE) as u64).expect("ecreate");
+        let building = m2
+            .ecreate(0x50000, (2 * PAGE_SIZE) as u64)
+            .expect("ecreate");
         assert!(matches!(
             m2.eaug(building, 0x50000),
             Err(SgxError::WrongState { .. })

@@ -78,6 +78,20 @@ pub mod costs {
     pub const LOAD_PER_RELOCATION: u64 = 30;
     /// Cost of copying one byte into enclave memory.
     pub const COPY_PER_BYTE: u64 = 1;
+    /// Per-instruction cost of basic-block recovery (leader marking and
+    /// block assembly) in the shared analysis engine. Cheaper than a
+    /// policy scan: it reads only the successor metadata already stored
+    /// in each instruction record.
+    pub const CFG_PER_INSN: u64 = 40;
+    /// Per-edge cost of CFG construction (edge-list append plus the
+    /// leader lookup that maps a target address to its block).
+    pub const CFG_PER_EDGE: u64 = 25;
+    /// Cost of one forward-dataflow transfer step (one instruction
+    /// visited by the constant-propagation worklist; blocks may be
+    /// revisited until the fixpoint, so total steps exceed insn count).
+    pub const DATAFLOW_PER_STEP: u64 = 90;
+    /// Per-block cost of the reachability fixpoint over the CFG.
+    pub const REACH_PER_BLOCK: u64 = 30;
     /// AES-CTR + HMAC cost per received ciphertext byte (the channel
     /// decryption EnGarde performs while receiving client content).
     pub const DECRYPT_PER_BYTE: u64 = 20;

@@ -1,0 +1,161 @@
+//! Adversarial binaries: images that **pass** the load-time NaCl
+//! validation but carry the evasions the analysis-backed policies must
+//! reject.
+//!
+//! Each builder returns a complete ELF64 PIE. The load-time validator
+//! only checks *direct* branch targets and bridges reachability across
+//! `nop` padding, so an indirect jump whose target is computed through
+//! `movabs` slips through — the constant-propagation pass in
+//! `engarde-core`'s analysis engine is what catches it. The W|X image
+//! abuses the segment table instead of the instruction stream.
+
+use engarde_elf::build::{ElfBuilder, TEXT_VADDR};
+use engarde_x86::encode::Assembler;
+use engarde_x86::reg::Reg;
+use engarde_x86::validate::BUNDLE_SIZE;
+
+/// An adversarial image plus the addresses that make it interesting.
+#[derive(Clone, Debug)]
+pub struct AdversarialImage {
+    /// The serialised ELF.
+    pub image: Vec<u8>,
+    /// The hidden target the indirect jump computes (0 for the W|X
+    /// image, which has no indirect jump).
+    pub hidden_target: u64,
+}
+
+fn wrap(text: Vec<u8>) -> Vec<u8> {
+    let len = text.len() as u64;
+    ElfBuilder::new()
+        .text(text)
+        .function("_start", 0, len)
+        .entry(0)
+        .build()
+}
+
+/// A jump into the **middle** of a decoded instruction: the entry
+/// computes `victim + 2` with `movabs` and jumps there indirectly.
+///
+/// Linear-sweep disassembly decodes the victim `movabs` as one
+/// instruction; the load-time validator sees no direct branch to check
+/// and bridges reachability across the padding `nop`s, so the image
+/// loads cleanly. Only constant propagation exposes that the jump
+/// target is not an instruction start.
+pub fn mid_instruction_jump() -> AdversarialImage {
+    let mut asm = Assembler::new();
+    // Victim lands at the second bundle; its immediate starts 2 bytes in
+    // (REX + opcode), which is where the hidden jump aims.
+    let victim_off = BUNDLE_SIZE;
+    let hidden_target = TEXT_VADDR + victim_off + 2;
+    asm.movabs(Reg::Rax, hidden_target);
+    asm.jmp_reg(Reg::Rax);
+    asm.align_to(BUNDLE_SIZE); // nop padding bridges reachability
+    debug_assert_eq!(asm.offset(), victim_off);
+    asm.movabs(Reg::Rcx, 0x1122_3344_5566_7788);
+    asm.ret();
+    AdversarialImage {
+        image: wrap(asm.finish()),
+        hidden_target,
+    }
+}
+
+/// Overlapping instruction streams: the victim `movabs` immediate
+/// *contains* a complete hidden instruction sequence
+/// (`xor %eax, %eax; ret`), and the indirect jump targets the first
+/// immediate byte. The linear sweep decodes only the outer `movabs`;
+/// at run time the jump would execute the hidden bytes — an instruction
+/// stream the inspector never saw.
+pub fn overlapping_instructions() -> AdversarialImage {
+    // 31 c0 = xor %eax,%eax; c3 = ret; 90-padding fills the immediate.
+    let hidden_stream: [u8; 8] = [0x31, 0xc0, 0xc3, 0x90, 0x90, 0x90, 0x90, 0x90];
+    let mut asm = Assembler::new();
+    let victim_off = BUNDLE_SIZE;
+    let hidden_target = TEXT_VADDR + victim_off + 2;
+    asm.movabs(Reg::Rax, hidden_target);
+    asm.jmp_reg(Reg::Rax);
+    asm.align_to(BUNDLE_SIZE);
+    debug_assert_eq!(asm.offset(), victim_off);
+    asm.movabs(Reg::Rcx, u64::from_le_bytes(hidden_stream));
+    asm.ret();
+    AdversarialImage {
+        image: wrap(asm.finish()),
+        hidden_target,
+    }
+}
+
+/// A structurally clean program whose text segment is mapped writable
+/// **and** executable — the static request for dynamic code generation
+/// the `wx-segments` policy bans.
+pub fn wx_segment() -> AdversarialImage {
+    let mut asm = Assembler::new();
+    asm.xor_rr32(Reg::Rax, Reg::Rax);
+    asm.ret();
+    let text = asm.finish();
+    let len = text.len() as u64;
+    let image = ElfBuilder::new()
+        .text(text)
+        .function("_start", 0, len)
+        .entry(0)
+        .wx_text()
+        .build();
+    AdversarialImage {
+        image,
+        hidden_target: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engarde_elf::parse::ElfFile;
+    use engarde_x86::decode::decode_all;
+    use engarde_x86::validate::Validator;
+
+    fn loads_cleanly(image: &[u8]) {
+        let elf = ElfFile::parse(image).expect("parses");
+        elf.require_pie().expect("PIE");
+        let text = elf.section(".text").expect(".text");
+        let insns = decode_all(&text.data, text.header.sh_addr).expect("decodes");
+        let roots: Vec<u64> = elf.function_symbols().map(|s| s.symbol.st_value).collect();
+        Validator::new()
+            .validate(&insns, elf.header().e_entry, &roots)
+            .expect("passes load-time NaCl validation");
+    }
+
+    #[test]
+    fn mid_instruction_jump_passes_load_time_validation() {
+        let adv = mid_instruction_jump();
+        loads_cleanly(&adv.image);
+        // The hidden target is NOT an instruction start.
+        let elf = ElfFile::parse(&adv.image).expect("parses");
+        let text = elf.section(".text").expect(".text");
+        let insns = decode_all(&text.data, text.header.sh_addr).expect("decodes");
+        assert!(insns.iter().all(|i| i.addr != adv.hidden_target));
+        assert!(insns
+            .iter()
+            .any(|i| i.addr < adv.hidden_target && adv.hidden_target < i.end()));
+    }
+
+    #[test]
+    fn overlapping_stream_is_decodable_at_the_hidden_target() {
+        let adv = overlapping_instructions();
+        loads_cleanly(&adv.image);
+        let elf = ElfFile::parse(&adv.image).expect("parses");
+        let text = elf.section(".text").expect(".text");
+        // Decode starting at the hidden target: a complete, valid
+        // second stream overlapping the victim movabs.
+        let off = (adv.hidden_target - text.header.sh_addr) as usize;
+        let hidden =
+            decode_all(&text.data[off..off + 3], adv.hidden_target).expect("hidden stream decodes");
+        assert_eq!(hidden.len(), 2, "xor; ret");
+        assert!(matches!(hidden[1].kind, engarde_x86::insn::InsnKind::Ret));
+    }
+
+    #[test]
+    fn wx_image_parses_with_a_wx_load_segment() {
+        let adv = wx_segment();
+        loads_cleanly(&adv.image);
+        let elf = ElfFile::parse(&adv.image).expect("parses");
+        assert_eq!(elf.wx_segments().count(), 1);
+    }
+}

@@ -191,10 +191,7 @@ impl PaperBenchmark {
     /// Builds the [`WorkloadSpec`] for this benchmark under a figure.
     pub fn spec(&self, figure: PolicyFigure) -> WorkloadSpec {
         WorkloadSpec {
-            name: self
-                .name
-                .to_ascii_lowercase()
-                .replace(['.', '-'], "_"),
+            name: self.name.to_ascii_lowercase().replace(['.', '-'], "_"),
             target_instructions: self.instructions_for(figure),
             instrumentation: figure.instrumentation(),
             avg_app_fn_insns: self.avg_app_fn_insns,
@@ -246,8 +243,14 @@ mod tests {
     #[test]
     fn instruction_counts_match_paper_tables() {
         let nginx = PaperBenchmark::by_name("Nginx").expect("nginx");
-        assert_eq!(nginx.instructions_for(PolicyFigure::Fig3LibraryLinking), 262_228);
-        assert_eq!(nginx.instructions_for(PolicyFigure::Fig4StackProtection), 271_106);
+        assert_eq!(
+            nginx.instructions_for(PolicyFigure::Fig3LibraryLinking),
+            262_228
+        );
+        assert_eq!(
+            nginx.instructions_for(PolicyFigure::Fig4StackProtection),
+            271_106
+        );
         assert_eq!(nginx.instructions_for(PolicyFigure::Fig5Ifcc), 267_669);
         let mcf = PaperBenchmark::by_name("429.mcf").expect("mcf");
         assert_eq!(mcf.insns_fig3, 12_903);

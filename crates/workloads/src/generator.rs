@@ -285,7 +285,9 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
     // pool so generated binaries are *executable*, not only checkable.
     let callable_libc: Vec<Label> = libc_labels
         .iter()
-        .filter(|(i, _)| used[*i] != "__stack_chk_fail" && used[*i] != "abort" && used[*i] != "_Exit")
+        .filter(|(i, _)| {
+            used[*i] != "__stack_chk_fail" && used[*i] != "abort" && used[*i] != "_Exit"
+        })
         .map(|(_, l)| *l)
         .collect();
 

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod bench_suite;
 pub mod generator;
 pub mod libc;
@@ -157,7 +158,15 @@ mod tests {
         let (elf, insns) = decode_workload(&w.image);
         let canary_loads = insns
             .iter()
-            .filter(|i| matches!(i.kind, InsnKind::MovFsToReg { fs_offset: 0x28, .. }))
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    InsnKind::MovFsToReg {
+                        fs_offset: 0x28,
+                        ..
+                    }
+                )
+            })
             .count();
         // Two loads (store + check) per protected function.
         let protected_fns = elf

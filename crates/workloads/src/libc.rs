@@ -70,68 +70,384 @@ pub const MUSL_VERSION: &str = "1.0.5";
 /// Real musl-libc exported function names used for the synthetic build.
 pub const MUSL_FUNCTION_NAMES: &[&str] = &[
     // string.h
-    "memcpy", "memmove", "memset", "memcmp", "memchr", "memrchr", "strcpy", "strncpy", "strcat",
-    "strncat", "strcmp", "strncmp", "strchr", "strrchr", "strstr", "strlen", "strnlen", "strspn",
-    "strcspn", "strpbrk", "strtok", "strtok_r", "strdup", "strndup", "strerror", "strcoll",
-    "strxfrm", "strcasecmp", "strncasecmp", "strsep", "stpcpy", "stpncpy", "strlcpy", "strlcat",
+    "memcpy",
+    "memmove",
+    "memset",
+    "memcmp",
+    "memchr",
+    "memrchr",
+    "strcpy",
+    "strncpy",
+    "strcat",
+    "strncat",
+    "strcmp",
+    "strncmp",
+    "strchr",
+    "strrchr",
+    "strstr",
+    "strlen",
+    "strnlen",
+    "strspn",
+    "strcspn",
+    "strpbrk",
+    "strtok",
+    "strtok_r",
+    "strdup",
+    "strndup",
+    "strerror",
+    "strcoll",
+    "strxfrm",
+    "strcasecmp",
+    "strncasecmp",
+    "strsep",
+    "stpcpy",
+    "stpncpy",
+    "strlcpy",
+    "strlcat",
     // stdlib.h
-    "malloc", "free", "calloc", "realloc", "posix_memalign", "aligned_alloc", "abort", "atexit",
-    "exit", "_Exit", "atoi", "atol", "atoll", "atof", "strtol", "strtoul", "strtoll", "strtoull",
-    "strtof", "strtod", "strtold", "rand", "srand", "rand_r", "qsort", "bsearch", "abs", "labs",
-    "llabs", "div", "ldiv", "lldiv", "mblen", "mbtowc", "wctomb", "mbstowcs", "wcstombs",
-    "getenv", "setenv", "unsetenv", "putenv", "system", "realpath", "mkstemp", "mkdtemp",
+    "malloc",
+    "free",
+    "calloc",
+    "realloc",
+    "posix_memalign",
+    "aligned_alloc",
+    "abort",
+    "atexit",
+    "exit",
+    "_Exit",
+    "atoi",
+    "atol",
+    "atoll",
+    "atof",
+    "strtol",
+    "strtoul",
+    "strtoll",
+    "strtoull",
+    "strtof",
+    "strtod",
+    "strtold",
+    "rand",
+    "srand",
+    "rand_r",
+    "qsort",
+    "bsearch",
+    "abs",
+    "labs",
+    "llabs",
+    "div",
+    "ldiv",
+    "lldiv",
+    "mblen",
+    "mbtowc",
+    "wctomb",
+    "mbstowcs",
+    "wcstombs",
+    "getenv",
+    "setenv",
+    "unsetenv",
+    "putenv",
+    "system",
+    "realpath",
+    "mkstemp",
+    "mkdtemp",
     // stdio.h
-    "fopen", "freopen", "fclose", "fflush", "fread", "fwrite", "fgetc", "fgets", "fputc",
-    "fputs", "getc", "getchar", "gets", "putc", "putchar", "puts", "ungetc", "fseek", "ftell",
-    "rewind", "fgetpos", "fsetpos", "clearerr", "feof", "ferror", "perror", "printf", "fprintf",
-    "sprintf", "snprintf", "vprintf", "vfprintf", "vsprintf", "vsnprintf", "scanf", "fscanf",
-    "sscanf", "vscanf", "vfscanf", "vsscanf", "remove", "rename", "tmpfile", "tmpnam", "setbuf",
-    "setvbuf", "fileno", "fdopen", "popen", "pclose", "flockfile", "funlockfile", "ftrylockfile",
-    "getline", "getdelim", "dprintf", "vdprintf",
+    "fopen",
+    "freopen",
+    "fclose",
+    "fflush",
+    "fread",
+    "fwrite",
+    "fgetc",
+    "fgets",
+    "fputc",
+    "fputs",
+    "getc",
+    "getchar",
+    "gets",
+    "putc",
+    "putchar",
+    "puts",
+    "ungetc",
+    "fseek",
+    "ftell",
+    "rewind",
+    "fgetpos",
+    "fsetpos",
+    "clearerr",
+    "feof",
+    "ferror",
+    "perror",
+    "printf",
+    "fprintf",
+    "sprintf",
+    "snprintf",
+    "vprintf",
+    "vfprintf",
+    "vsprintf",
+    "vsnprintf",
+    "scanf",
+    "fscanf",
+    "sscanf",
+    "vscanf",
+    "vfscanf",
+    "vsscanf",
+    "remove",
+    "rename",
+    "tmpfile",
+    "tmpnam",
+    "setbuf",
+    "setvbuf",
+    "fileno",
+    "fdopen",
+    "popen",
+    "pclose",
+    "flockfile",
+    "funlockfile",
+    "ftrylockfile",
+    "getline",
+    "getdelim",
+    "dprintf",
+    "vdprintf",
     // unistd / posix
-    "read", "write", "open", "close", "lseek", "access", "dup", "dup2", "pipe", "chdir",
-    "getcwd", "unlink", "rmdir", "mkdir", "stat", "fstat", "lstat", "chmod", "chown", "fork",
-    "execve", "execvp", "getpid", "getppid", "getuid", "geteuid", "getgid", "getegid", "setuid",
-    "setgid", "sleep", "usleep", "nanosleep", "alarm", "pause", "isatty", "ttyname", "sysconf",
-    "gethostname", "sethostname", "readlink", "symlink", "link", "truncate", "ftruncate",
-    "fsync", "fdatasync", "sync", "mmap", "munmap", "mprotect", "msync", "madvise", "brk",
-    "sbrk", "getpagesize",
+    "read",
+    "write",
+    "open",
+    "close",
+    "lseek",
+    "access",
+    "dup",
+    "dup2",
+    "pipe",
+    "chdir",
+    "getcwd",
+    "unlink",
+    "rmdir",
+    "mkdir",
+    "stat",
+    "fstat",
+    "lstat",
+    "chmod",
+    "chown",
+    "fork",
+    "execve",
+    "execvp",
+    "getpid",
+    "getppid",
+    "getuid",
+    "geteuid",
+    "getgid",
+    "getegid",
+    "setuid",
+    "setgid",
+    "sleep",
+    "usleep",
+    "nanosleep",
+    "alarm",
+    "pause",
+    "isatty",
+    "ttyname",
+    "sysconf",
+    "gethostname",
+    "sethostname",
+    "readlink",
+    "symlink",
+    "link",
+    "truncate",
+    "ftruncate",
+    "fsync",
+    "fdatasync",
+    "sync",
+    "mmap",
+    "munmap",
+    "mprotect",
+    "msync",
+    "madvise",
+    "brk",
+    "sbrk",
+    "getpagesize",
     // time.h
-    "time", "clock", "difftime", "mktime", "gmtime", "localtime", "gmtime_r", "localtime_r",
-    "asctime", "ctime", "strftime", "strptime", "clock_gettime", "clock_settime", "gettimeofday",
+    "time",
+    "clock",
+    "difftime",
+    "mktime",
+    "gmtime",
+    "localtime",
+    "gmtime_r",
+    "localtime_r",
+    "asctime",
+    "ctime",
+    "strftime",
+    "strptime",
+    "clock_gettime",
+    "clock_settime",
+    "gettimeofday",
     // signal.h
-    "signal", "raise", "kill", "sigaction", "sigemptyset", "sigfillset", "sigaddset",
-    "sigdelset", "sigismember", "sigprocmask", "sigsuspend", "sigwait",
+    "signal",
+    "raise",
+    "kill",
+    "sigaction",
+    "sigemptyset",
+    "sigfillset",
+    "sigaddset",
+    "sigdelset",
+    "sigismember",
+    "sigprocmask",
+    "sigsuspend",
+    "sigwait",
     // pthread
-    "pthread_create", "pthread_join", "pthread_detach", "pthread_self", "pthread_exit",
-    "pthread_mutex_init", "pthread_mutex_lock", "pthread_mutex_trylock", "pthread_mutex_unlock",
-    "pthread_mutex_destroy", "pthread_cond_init", "pthread_cond_wait", "pthread_cond_signal",
-    "pthread_cond_broadcast", "pthread_cond_destroy", "pthread_rwlock_init",
-    "pthread_rwlock_rdlock", "pthread_rwlock_wrlock", "pthread_rwlock_unlock",
-    "pthread_key_create", "pthread_setspecific", "pthread_getspecific", "pthread_once",
-    "pthread_attr_init", "pthread_attr_destroy", "pthread_attr_setstacksize",
+    "pthread_create",
+    "pthread_join",
+    "pthread_detach",
+    "pthread_self",
+    "pthread_exit",
+    "pthread_mutex_init",
+    "pthread_mutex_lock",
+    "pthread_mutex_trylock",
+    "pthread_mutex_unlock",
+    "pthread_mutex_destroy",
+    "pthread_cond_init",
+    "pthread_cond_wait",
+    "pthread_cond_signal",
+    "pthread_cond_broadcast",
+    "pthread_cond_destroy",
+    "pthread_rwlock_init",
+    "pthread_rwlock_rdlock",
+    "pthread_rwlock_wrlock",
+    "pthread_rwlock_unlock",
+    "pthread_key_create",
+    "pthread_setspecific",
+    "pthread_getspecific",
+    "pthread_once",
+    "pthread_attr_init",
+    "pthread_attr_destroy",
+    "pthread_attr_setstacksize",
     // math.h
-    "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh", "exp", "log",
-    "log2", "log10", "pow", "sqrt", "cbrt", "ceil", "floor", "round", "trunc", "fmod", "fabs",
-    "ldexp", "frexp", "modf", "hypot", "copysign", "nextafter", "fmin", "fmax", "fma",
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "sinh",
+    "cosh",
+    "tanh",
+    "exp",
+    "log",
+    "log2",
+    "log10",
+    "pow",
+    "sqrt",
+    "cbrt",
+    "ceil",
+    "floor",
+    "round",
+    "trunc",
+    "fmod",
+    "fabs",
+    "ldexp",
+    "frexp",
+    "modf",
+    "hypot",
+    "copysign",
+    "nextafter",
+    "fmin",
+    "fmax",
+    "fma",
     // ctype.h
-    "isalnum", "isalpha", "isblank", "iscntrl", "isdigit", "isgraph", "islower", "isprint",
-    "ispunct", "isspace", "isupper", "isxdigit", "tolower", "toupper",
+    "isalnum",
+    "isalpha",
+    "isblank",
+    "iscntrl",
+    "isdigit",
+    "isgraph",
+    "islower",
+    "isprint",
+    "ispunct",
+    "isspace",
+    "isupper",
+    "isxdigit",
+    "tolower",
+    "toupper",
     // network
-    "socket", "bind", "listen", "accept", "connect", "send", "recv", "sendto", "recvfrom",
-    "shutdown", "setsockopt", "getsockopt", "getsockname", "getpeername", "gethostbyname",
-    "getaddrinfo", "freeaddrinfo", "gai_strerror", "inet_addr", "inet_ntoa", "inet_pton",
-    "inet_ntop", "htons", "htonl", "ntohs", "ntohl", "select", "poll", "epoll_create",
-    "epoll_ctl", "epoll_wait",
+    "socket",
+    "bind",
+    "listen",
+    "accept",
+    "connect",
+    "send",
+    "recv",
+    "sendto",
+    "recvfrom",
+    "shutdown",
+    "setsockopt",
+    "getsockopt",
+    "getsockname",
+    "getpeername",
+    "gethostbyname",
+    "getaddrinfo",
+    "freeaddrinfo",
+    "gai_strerror",
+    "inet_addr",
+    "inet_ntoa",
+    "inet_pton",
+    "inet_ntop",
+    "htons",
+    "htonl",
+    "ntohs",
+    "ntohl",
+    "select",
+    "poll",
+    "epoll_create",
+    "epoll_ctl",
+    "epoll_wait",
     // misc internals every static musl binary carries
-    "__libc_start_main", "__libc_csu_init", "__errno_location", "__stack_chk_fail",
-    "__assert_fail", "__fpclassify", "__overflow", "__uflow", "__lockfile", "__unlockfile",
-    "__stdio_read", "__stdio_write", "__stdio_seek", "__stdio_close", "__towrite", "__toread",
-    "__fwritex", "__intscan", "__floatscan", "__shlim", "__shgetc", "__syscall_ret",
-    "__vdsosym", "__dls2", "__dls3", "__init_tls", "__copy_tls", "__set_thread_area",
-    "__block_all_sigs", "__restore_sigs", "__wait", "__wake", "__timedwait", "__clone",
-    "__unmapself", "__expand_heap", "__malloc0", "__memalign", "__bin_chunk", "__brk",
-    "__madvise", "__mmap", "__mprotect", "__munmap", "__vm_lock", "__vm_unlock",
+    "__libc_start_main",
+    "__libc_csu_init",
+    "__errno_location",
+    "__stack_chk_fail",
+    "__assert_fail",
+    "__fpclassify",
+    "__overflow",
+    "__uflow",
+    "__lockfile",
+    "__unlockfile",
+    "__stdio_read",
+    "__stdio_write",
+    "__stdio_seek",
+    "__stdio_close",
+    "__towrite",
+    "__toread",
+    "__fwritex",
+    "__intscan",
+    "__floatscan",
+    "__shlim",
+    "__shgetc",
+    "__syscall_ret",
+    "__vdsosym",
+    "__dls2",
+    "__dls3",
+    "__init_tls",
+    "__copy_tls",
+    "__set_thread_area",
+    "__block_all_sigs",
+    "__restore_sigs",
+    "__wait",
+    "__wake",
+    "__timedwait",
+    "__clone",
+    "__unmapself",
+    "__expand_heap",
+    "__malloc0",
+    "__memalign",
+    "__bin_chunk",
+    "__brk",
+    "__madvise",
+    "__mmap",
+    "__mprotect",
+    "__munmap",
+    "__vm_lock",
+    "__vm_unlock",
 ];
 
 /// Deterministic seed for a named workload (FNV-1a of the name).
@@ -261,10 +577,7 @@ pub(crate) fn emit_canary_release(asm: &mut Assembler) {
 /// Emits the epilogue check: reload the canary, compare, `jne` to a
 /// `__stack_chk_fail` call. `fail` must be bound to code that calls
 /// `__stack_chk_fail`.
-pub(crate) fn emit_canary_epilogue(
-    asm: &mut Assembler,
-    fail: engarde_x86::encode::Label,
-) {
+pub(crate) fn emit_canary_epilogue(asm: &mut Assembler, fail: engarde_x86::encode::Label) {
     asm.mov_fs_to_reg(Reg::Rax, 0x28);
     asm.cmp_rsp_reg(Reg::Rax);
     asm.jcc_label(Cc::Ne, fail);
@@ -280,8 +593,8 @@ pub fn body_profile(name: &str, instrumentation: Instrumentation) -> (u64, usize
     // musl function sizes: mostly small leaves, some heavyweights.
     let base = 6 + rng.below(30) as usize;
     let body_insns = match name {
-        "printf" | "vfprintf" | "vsnprintf" | "qsort" | "strtod" | "__floatscan"
-        | "__intscan" | "malloc" | "realloc" | "getaddrinfo" | "strftime" => base + 180,
+        "printf" | "vfprintf" | "vsnprintf" | "qsort" | "strtod" | "__floatscan" | "__intscan"
+        | "malloc" | "realloc" | "getaddrinfo" | "strftime" => base + 180,
         _ if rng.below(10) == 0 => base + 60, // occasional mid-size function
         _ => base,
     };
@@ -396,7 +709,8 @@ impl LibcLibrary {
         // Append one extra bundle of nops — size change = different bytes
         // and different hash, still valid code.
         let _ = last;
-        f.code.extend(std::iter::repeat_n(0x90, BUNDLE_SIZE as usize));
+        f.code
+            .extend(std::iter::repeat_n(0x90, BUNDLE_SIZE as usize));
         f.insn_count += BUNDLE_SIZE as usize;
         copy
     }
@@ -465,9 +779,13 @@ mod tests {
         assert_ne!(memcpy_plain.code, memcpy_prot.code);
         let insns = decode_all(&memcpy_prot.code, 0).expect("decodes");
         assert!(
-            insns
-                .iter()
-                .any(|i| matches!(i.kind, InsnKind::MovFsToReg { fs_offset: 0x28, .. })),
+            insns.iter().any(|i| matches!(
+                i.kind,
+                InsnKind::MovFsToReg {
+                    fs_offset: 0x28,
+                    ..
+                }
+            )),
             "stack-protected memcpy loads the canary"
         );
     }

@@ -81,7 +81,11 @@ pub fn format_insn(insn: &Insn, symbol: impl Fn(u64) -> Option<String>) -> Strin
         InsnKind::MovRegToMem { src, mem: m, width } => {
             format!("mov{} {src}, {}", width_suffix(width), mem(&m))
         }
-        InsnKind::MovMemToReg { dest, mem: m, width } => {
+        InsnKind::MovMemToReg {
+            dest,
+            mem: m,
+            width,
+        } => {
             format!("mov{} {}, {dest}", width_suffix(width), mem(&m))
         }
         InsnKind::MovRegToReg { dest, src, width } => {
@@ -106,16 +110,20 @@ pub fn format_insn(insn: &Insn, symbol: impl Fn(u64) -> Option<String>) -> Strin
             reg_name(src, width),
             reg_name(dest, width)
         ),
-        InsnKind::AluImmReg {
-            op, dest, imm, ..
-        } => format!("{} ${imm:#x}, {dest}", op.mnemonic()),
-        InsnKind::AluMemReg { op, dest, mem: m, .. } => {
+        InsnKind::AluImmReg { op, dest, imm, .. } => format!("{} ${imm:#x}, {dest}", op.mnemonic()),
+        InsnKind::AluMemReg {
+            op, dest, mem: m, ..
+        } => {
             format!("{} {}, {dest}", op.mnemonic(), mem(&m))
         }
-        InsnKind::AluRegMem { op, mem: m, src, .. } => {
+        InsnKind::AluRegMem {
+            op, mem: m, src, ..
+        } => {
             format!("{} {src}, {}", op.mnemonic(), mem(&m))
         }
-        InsnKind::AluImmMem { op, mem: m, imm, .. } => {
+        InsnKind::AluImmMem {
+            op, mem: m, imm, ..
+        } => {
             format!("{} ${imm:#x}, {}", op.mnemonic(), mem(&m))
         }
         InsnKind::PushReg { reg } => format!("push {reg}"),

@@ -407,7 +407,11 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Insn, DisasmError> {
             let m = modrm!();
             let src = Reg::from_bits(rex.r, m.reg_field);
             match m.rm {
-                RmOperand::Reg(dest) => InsnKind::MovRegToReg { dest, src, width: w },
+                RmOperand::Reg(dest) => InsnKind::MovRegToReg {
+                    dest,
+                    src,
+                    width: w,
+                },
                 RmOperand::Mem(mem) => InsnKind::MovRegToMem { src, mem, width: w },
             }
         }
@@ -416,7 +420,11 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Insn, DisasmError> {
             let m = modrm!();
             let dest = Reg::from_bits(rex.r, m.reg_field);
             match m.rm {
-                RmOperand::Reg(src) => InsnKind::MovRegToReg { dest, src, width: w },
+                RmOperand::Reg(src) => InsnKind::MovRegToReg {
+                    dest,
+                    src,
+                    width: w,
+                },
                 RmOperand::Mem(mem) => {
                     if fs_segment && mem.base.is_none() && mem.index.is_none() && !mem.rip_relative
                     {
@@ -426,7 +434,11 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Insn, DisasmError> {
                             fs_offset: mem.disp as u32,
                         }
                     } else {
-                        InsnKind::MovMemToReg { dest, mem, width: w }
+                        InsnKind::MovMemToReg {
+                            dest,
+                            mem,
+                            width: w,
+                        }
                     }
                 }
             }
@@ -441,7 +453,12 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Insn, DisasmError> {
                 },
                 RmOperand::Mem(mem) => InsnKind::Lea { dest, mem },
                 // lea with a register operand is undefined.
-                RmOperand::Reg(_) => return Err(DisasmError::UnknownOpcode { addr, opcode: op as u16 }),
+                RmOperand::Reg(_) => {
+                    return Err(DisasmError::UnknownOpcode {
+                        addr,
+                        opcode: op as u16,
+                    })
+                }
             }
         }
 
@@ -495,12 +512,19 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Insn, DisasmError> {
         0xc6 | 0xc7 => {
             let m = modrm!();
             if m.reg_field != 0 {
-                return Err(DisasmError::UnknownOpcode { addr, opcode: op as u16 });
+                return Err(DisasmError::UnknownOpcode {
+                    addr,
+                    opcode: op as u16,
+                });
             }
             let w = if op == 0xc6 { Width::W8 } else { width };
             let imm = if op == 0xc6 { simm!(1) } else { simm!(imm_z) };
             match m.rm {
-                RmOperand::Reg(dest) => InsnKind::MovImmToReg { dest, imm, width: w },
+                RmOperand::Reg(dest) => InsnKind::MovImmToReg {
+                    dest,
+                    imm,
+                    width: w,
+                },
                 RmOperand::Mem(mem) => InsnKind::MovImmToMem { mem, imm, width: w },
             }
         }

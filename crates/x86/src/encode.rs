@@ -244,6 +244,16 @@ impl Assembler {
         }
     }
 
+    /// `jmp *%reg` — indirect jump (`ff /4`), the linear-sweep-evasion
+    /// primitive the adversarial workloads use.
+    pub fn jmp_reg(&mut self, reg: Reg) {
+        if reg.needs_rex_bit() {
+            self.emit(&[0x41, 0xff, modrm(3, 4, reg.low3())]);
+        } else {
+            self.emit(&[0xff, modrm(3, 4, reg.low3())]);
+        }
+    }
+
     // ---- moves --------------------------------------------------------
 
     fn rex_rr(&self, w: bool, reg: Reg, rm: Reg) -> Option<u8> {
@@ -455,6 +465,17 @@ mod tests {
     }
 
     #[test]
+    fn jmp_reg_decodes_as_indirect_jump() {
+        let insns = roundtrip(|asm| {
+            asm.jmp_reg(Reg::Rax);
+            asm.jmp_reg(Reg::R11);
+            asm.ret();
+        });
+        assert_eq!(insns[0].kind, InsnKind::IndirectJmpReg { reg: Reg::Rax });
+        assert_eq!(insns[1].kind, InsnKind::IndirectJmpReg { reg: Reg::R11 });
+    }
+
+    #[test]
     fn backward_jump_fixup() {
         let mut asm = Assembler::new();
         let top = asm.label();
@@ -495,7 +516,10 @@ mod tests {
             asm.bind(table);
             asm.ret();
         });
-        assert!(matches!(insns[0].kind, InsnKind::LeaRipRel { dest: Reg::Rax, .. }));
+        assert!(matches!(
+            insns[0].kind,
+            InsnKind::LeaRipRel { dest: Reg::Rax, .. }
+        ));
         assert_eq!(
             insns[1].kind,
             InsnKind::AluRegReg {

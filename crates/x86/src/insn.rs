@@ -380,6 +380,25 @@ pub enum InsnKind {
     Privileged,
 }
 
+/// The statically-enumerable successors of one instruction — the edge
+/// material the CFG builder consumes.
+///
+/// Direct calls are *not* successors here: a `call` falls through to the
+/// return site within its own function, and the callee edge belongs to
+/// the call graph, not the intraprocedural CFG.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Successors {
+    /// The next-instruction address when execution can fall through
+    /// (straight-line code, `jcc` not taken, the return site of a call).
+    pub fall_through: Option<u64>,
+    /// The statically-known branch target (`jmp rel`, `jcc rel`).
+    pub branch: Option<u64>,
+    /// True when the instruction transfers control to a target that is
+    /// not statically encoded (`jmp *%reg`, `jmp *mem`): the successor
+    /// set is open until dataflow analysis resolves the operand.
+    pub indirect: bool,
+}
+
 impl InsnKind {
     /// True for instructions that never fall through (`ret`,
     /// unconditional `jmp`).
@@ -417,6 +436,42 @@ impl InsnKind {
                 | InsnKind::Ret
         )
     }
+
+    /// True for calls, direct or indirect (the call-graph edge sources).
+    pub fn is_call(&self) -> bool {
+        matches!(
+            self,
+            InsnKind::DirectCall { .. }
+                | InsnKind::IndirectCallReg { .. }
+                | InsnKind::IndirectCallMem { .. }
+        )
+    }
+
+    /// True for control transfers whose target is not statically encoded
+    /// (indirect jumps and calls).
+    pub fn is_indirect_branch(&self) -> bool {
+        matches!(
+            self,
+            InsnKind::IndirectCallReg { .. }
+                | InsnKind::IndirectCallMem { .. }
+                | InsnKind::IndirectJmpReg { .. }
+                | InsnKind::IndirectJmpMem { .. }
+        )
+    }
+
+    /// True when this instruction terminates a basic block: any jump
+    /// (direct, conditional, indirect) or `ret`. Calls do *not* end a
+    /// block — they fall through to their return site.
+    pub fn ends_block(&self) -> bool {
+        matches!(
+            self,
+            InsnKind::DirectJmp { .. }
+                | InsnKind::CondJmp { .. }
+                | InsnKind::IndirectJmpReg { .. }
+                | InsnKind::IndirectJmpMem { .. }
+                | InsnKind::Ret
+        )
+    }
 }
 
 /// A decoded instruction with full length metadata.
@@ -444,6 +499,33 @@ impl Insn {
     /// Address of the byte after this instruction (fall-through target).
     pub fn end(&self) -> u64 {
         self.addr + self.len as u64
+    }
+
+    /// The instruction's intraprocedural successors — the CFG edge
+    /// material (fall-through, direct branch target, indirect marker).
+    pub fn successors(&self) -> Successors {
+        match self.kind {
+            InsnKind::Ret => Successors::default(),
+            InsnKind::DirectJmp { target } => Successors {
+                branch: Some(target),
+                ..Default::default()
+            },
+            InsnKind::CondJmp { target, .. } => Successors {
+                fall_through: Some(self.end()),
+                branch: Some(target),
+                indirect: false,
+            },
+            InsnKind::IndirectJmpReg { .. } | InsnKind::IndirectJmpMem { .. } => Successors {
+                indirect: true,
+                ..Default::default()
+            },
+            // Calls (direct and indirect) fall through to the return
+            // site; the callee edge lives in the call graph.
+            _ => Successors {
+                fall_through: Some(self.end()),
+                ..Default::default()
+            },
+        }
     }
 }
 
@@ -500,6 +582,64 @@ mod tests {
         assert_eq!(InsnKind::Ret.branch_target(), None);
         assert!(InsnKind::Ret.is_control_transfer());
         assert!(!InsnKind::Nop.is_control_transfer());
+    }
+
+    #[test]
+    fn block_and_call_classification() {
+        assert!(InsnKind::Ret.ends_block());
+        assert!(InsnKind::DirectJmp { target: 0 }.ends_block());
+        assert!(InsnKind::CondJmp {
+            cc: Cc::E,
+            target: 0
+        }
+        .ends_block());
+        assert!(InsnKind::IndirectJmpReg { reg: Reg::Rax }.ends_block());
+        assert!(!InsnKind::DirectCall { target: 0 }.ends_block());
+        assert!(!InsnKind::Nop.ends_block());
+        assert!(InsnKind::DirectCall { target: 0 }.is_call());
+        assert!(InsnKind::IndirectCallReg { reg: Reg::Rcx }.is_call());
+        assert!(!InsnKind::DirectJmp { target: 0 }.is_call());
+        assert!(InsnKind::IndirectJmpReg { reg: Reg::Rax }.is_indirect_branch());
+        assert!(InsnKind::IndirectCallMem {
+            mem: MemOperand::base_disp(Reg::Rbx, 8)
+        }
+        .is_indirect_branch());
+        assert!(!InsnKind::DirectCall { target: 0 }.is_indirect_branch());
+    }
+
+    #[test]
+    fn successor_enumeration() {
+        let at = |kind, len| Insn {
+            addr: 0x100,
+            len,
+            prefix_len: 0,
+            opcode_len: 1,
+            modrm_len: 0,
+            disp_len: 0,
+            imm_len: 0,
+            kind,
+        };
+        let ret = at(InsnKind::Ret, 1).successors();
+        assert_eq!(ret, Successors::default());
+        let jmp = at(InsnKind::DirectJmp { target: 0x40 }, 5).successors();
+        assert_eq!(jmp.branch, Some(0x40));
+        assert_eq!(jmp.fall_through, None);
+        let jcc = at(
+            InsnKind::CondJmp {
+                cc: Cc::Ne,
+                target: 0x40,
+            },
+            2,
+        )
+        .successors();
+        assert_eq!(jcc.branch, Some(0x40));
+        assert_eq!(jcc.fall_through, Some(0x102));
+        let ind = at(InsnKind::IndirectJmpReg { reg: Reg::Rax }, 2).successors();
+        assert!(ind.indirect);
+        assert_eq!(ind.branch, None);
+        let call = at(InsnKind::DirectCall { target: 0x40 }, 5).successors();
+        assert_eq!(call.fall_through, Some(0x105));
+        assert_eq!(call.branch, None, "callee edge belongs to the call graph");
     }
 
     #[test]

@@ -145,10 +145,16 @@ impl fmt::Display for DisasmError {
                 )
             }
             DisasmError::TargetOutOfRegion { addr, target } => {
-                write!(f, "branch at {addr:#x} targets {target:#x} outside the code region")
+                write!(
+                    f,
+                    "branch at {addr:#x} targets {target:#x} outside the code region"
+                )
             }
             DisasmError::Unreachable { addr } => {
-                write!(f, "instruction at {addr:#x} is unreachable from the start address")
+                write!(
+                    f,
+                    "instruction at {addr:#x} is unreachable from the start address"
+                )
             }
             DisasmError::ForbiddenInstruction { addr, what } => {
                 write!(f, "{what} at {addr:#x} cannot execute inside an enclave")

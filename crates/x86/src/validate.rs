@@ -287,7 +287,10 @@ mod tests {
         let err = validate(&code, 0).unwrap_err();
         assert!(matches!(
             err,
-            DisasmError::ForbiddenInstruction { addr: 0, what: "syscall" }
+            DisasmError::ForbiddenInstruction {
+                addr: 0,
+                what: "syscall"
+            }
         ));
     }
 

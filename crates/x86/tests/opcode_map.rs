@@ -87,7 +87,13 @@ fn classified_kinds_cover_the_policy_surface() {
             matches!(k, InsnKind::IndirectCallReg { .. })
         }),
         (vec![0x64, 0x48, 0x8b, 0x04, 0x25, 0x28, 0, 0, 0], |k| {
-            matches!(k, InsnKind::MovFsToReg { fs_offset: 0x28, .. })
+            matches!(
+                k,
+                InsnKind::MovFsToReg {
+                    fs_offset: 0x28,
+                    ..
+                }
+            )
         }),
         (vec![0x48, 0x8d, 0x05, 0, 0, 0, 0], |k| {
             matches!(k, InsnKind::LeaRipRel { .. })
@@ -102,7 +108,11 @@ fn classified_kinds_cover_the_policy_surface() {
     ];
     for (bytes, check) in cases {
         let insn = decode_one(&bytes, 0).expect("decodes");
-        assert!(check(&insn.kind), "{bytes:x?} classified as {:?}", insn.kind);
+        assert!(
+            check(&insn.kind),
+            "{bytes:x?} classified as {:?}",
+            insn.kind
+        );
     }
 }
 

@@ -126,8 +126,7 @@ fn provision(binary: Vec<u8>, seed: u64) -> Result<(bool, String), EngardeError>
 fn calls_any(image: &[u8], names: &[&str]) -> bool {
     let elf = engarde::elf::parse::ElfFile::parse(image).expect("parses");
     let text = elf.section(".text").expect(".text");
-    let insns =
-        engarde::x86::decode::decode_all(&text.data, text.header.sh_addr).expect("decodes");
+    let insns = engarde::x86::decode::decode_all(&text.data, text.header.sh_addr).expect("decodes");
     let by_addr: std::collections::HashMap<u64, String> = elf
         .function_symbols()
         .map(|s| (s.symbol.st_value, s.name.clone()))

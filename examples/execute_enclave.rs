@@ -112,7 +112,7 @@ fn main() -> Result<(), EngardeError> {
     asm.sub_ri8(Reg::Rsp, 120);
     asm.mov_fs_to_reg(Reg::Rax, 0x28);
     asm.mov_reg_to_rsp(Reg::Rax); // canary store
-    // A "buffer overflow": the program overwrites its own canary slot.
+                                  // A "buffer overflow": the program overwrites its own canary slot.
     asm.mov_ri32(Reg::Rax, 0x41414141);
     asm.mov_reg_to_rsp(Reg::Rax);
     asm.mov_fs_to_reg(Reg::Rax, 0x28);

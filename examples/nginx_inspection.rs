@@ -10,9 +10,7 @@
 
 use engarde::client::Client;
 use engarde::loader::LoaderConfig;
-use engarde::policy::{
-    IfccPolicy, LibraryLinkingPolicy, PolicyModule, StackProtectionPolicy,
-};
+use engarde::policy::{IfccPolicy, LibraryLinkingPolicy, PolicyModule, StackProtectionPolicy};
 use engarde::provider::CloudProvider;
 use engarde::provision::{BootstrapSpec, DEFAULT_ENCLAVE_BASE};
 use engarde::sgx::instr::SgxVersion;

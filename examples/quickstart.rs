@@ -79,10 +79,7 @@ fn main() -> Result<(), engarde::EngardeError> {
     let quote = provider.attest(enclave, nonce)?;
     let enclave_key = provider.enclave_public_key(enclave)?;
     client.verify_quote(&quote, &enclave_key)?;
-    println!(
-        "client: quote verified (measurement {})",
-        quote.measurement
-    );
+    println!("client: quote verified (measurement {})", quote.measurement);
 
     // ---- 4. Encrypted channel + content transfer -----------------------
     let wrapped = client.establish_channel(&enclave_key)?;

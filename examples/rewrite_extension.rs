@@ -29,7 +29,11 @@ fn sp() -> Vec<Box<dyn PolicyModule>> {
     vec![Box::new(StackProtectionPolicy::new())]
 }
 
-fn provision(spec: &BootstrapSpec, binary: Vec<u8>, seed: u64) -> Result<(bool, String), EngardeError> {
+fn provision(
+    spec: &BootstrapSpec,
+    binary: Vec<u8>,
+    seed: u64,
+) -> Result<(bool, String), EngardeError> {
     let mut provider = CloudProvider::new(MachineConfig {
         epc_pages: 2_048,
         version: SgxVersion::V2,
@@ -80,9 +84,8 @@ fn main() -> Result<(), EngardeError> {
 
     // The extension: same policy, rewriting enabled (note: a DIFFERENT
     // measurement — both parties must agree to it).
-    let rewriting =
-        BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &sp(), 256, 512)
-            .with_rewriting();
+    let rewriting = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &sp(), 256, 512)
+        .with_rewriting();
     assert_ne!(
         strict.expected_measurement(DEFAULT_ENCLAVE_BASE),
         rewriting.expected_measurement(DEFAULT_ENCLAVE_BASE),

@@ -15,6 +15,12 @@ cargo build --release --offline
 echo "== tier-1: test suite (offline) =="
 cargo test -q --offline --workspace
 
+echo "== lint: clippy, warnings denied =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== lint: rustfmt drift =="
+cargo fmt --check
+
 echo "== hermetic: dependency graph has zero registry packages =="
 # Every package with a non-null "source" came from a registry or git
 # remote; a hermetic tree has none.

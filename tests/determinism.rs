@@ -54,7 +54,13 @@ fn run_protocol(root_seed: u64) -> Transcript {
         ..WorkloadSpec::default()
     });
 
-    let spec = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &policies(), 256, 512);
+    let spec = BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &policies(),
+        256,
+        512,
+    );
     let mut provider = CloudProvider::new(MachineConfig {
         epc_pages: 2_048,
         version: SgxVersion::V2,

@@ -69,9 +69,7 @@ fn run_protocol() -> (CloudProvider, EnclaveId, Vec<u8>, Vec<Vec<u8>>) {
 
 /// Returns true when `needle` occurs in `haystack`.
 fn contains(haystack: &[u8], needle: &[u8]) -> bool {
-    haystack
-        .windows(needle.len())
-        .any(|w| w == needle)
+    haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 #[test]

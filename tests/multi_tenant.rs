@@ -100,8 +100,12 @@ fn two_tenants_interleaved_with_different_policies_and_verdicts() {
         }
     }
 
-    let view_a = provider.inspect_and_provision(a.enclave).expect("inspect A");
-    let view_b = provider.inspect_and_provision(b.enclave).expect("inspect B");
+    let view_a = provider
+        .inspect_and_provision(a.enclave)
+        .expect("inspect A");
+    let view_b = provider
+        .inspect_and_provision(b.enclave)
+        .expect("inspect B");
     assert!(view_a.compliant, "A is compliant");
     assert!(!view_b.compliant, "B is rejected");
 
@@ -109,8 +113,14 @@ fn two_tenants_interleaved_with_different_policies_and_verdicts() {
     // fails (wrong key and wrong digest).
     let key_a = provider.enclave_public_key(a.enclave).expect("key A");
     let key_b = provider.enclave_public_key(b.enclave).expect("key B");
-    let verdict_a = provider.signed_verdict(a.enclave).expect("verdict A").clone();
-    let verdict_b = provider.signed_verdict(b.enclave).expect("verdict B").clone();
+    let verdict_a = provider
+        .signed_verdict(a.enclave)
+        .expect("verdict A")
+        .clone();
+    let verdict_b = provider
+        .signed_verdict(b.enclave)
+        .expect("verdict B")
+        .clone();
     assert!(a.client.verify_verdict(&verdict_a, &key_a).expect("A ok"));
     assert!(!b.client.verify_verdict(&verdict_b, &key_b).expect("B ok"));
     assert!(a.client.verify_verdict(&verdict_b, &key_b).is_err());

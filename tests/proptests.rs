@@ -238,7 +238,11 @@ fn decoder_length_accounting_is_exact() {
             if let Ok(insn) = decode_one(&bytes, 0) {
                 assert!(insn.len as usize <= bytes.len());
                 assert_eq!(
-                    insn.prefix_len + insn.opcode_len + insn.modrm_len + insn.disp_len + insn.imm_len,
+                    insn.prefix_len
+                        + insn.opcode_len
+                        + insn.modrm_len
+                        + insn.disp_len
+                        + insn.imm_len,
                     insn.len
                 );
                 assert!(insn.len >= 1);

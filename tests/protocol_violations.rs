@@ -4,9 +4,9 @@
 use engarde::client::Client;
 use engarde::loader::LoaderConfig;
 use engarde::policy::{IfccPolicy, PolicyModule};
+use engarde::protocol::{ContentManifest, PageKind, PagePayload};
 use engarde::provider::CloudProvider;
 use engarde::provision::{BootstrapSpec, DEFAULT_ENCLAVE_BASE};
-use engarde::protocol::{ContentManifest, PageKind, PagePayload};
 use engarde::sgx::instr::SgxVersion;
 use engarde::sgx::machine::MachineConfig;
 use engarde::workloads::generator::{generate, WorkloadSpec};
@@ -17,7 +17,13 @@ fn policies() -> Vec<Box<dyn PolicyModule>> {
 }
 
 fn spec() -> BootstrapSpec {
-    BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &policies(), 128, 512)
+    BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &policies(),
+        128,
+        512,
+    )
 }
 
 fn provider(seed: u64) -> CloudProvider {
@@ -40,7 +46,9 @@ fn binary() -> Vec<u8> {
 #[test]
 fn content_before_channel_is_refused() {
     let mut p = provider(1);
-    let id = p.create_engarde_enclave(spec(), policies()).expect("create");
+    let id = p
+        .create_engarde_enclave(spec(), policies())
+        .expect("create");
     // Craft a syntactically-valid sealed block with a random key — the
     // enclave has no session yet.
     let fake = engarde::crypto::channel::SealedBlock {
@@ -73,7 +81,9 @@ fn client_refuses_channel_before_attestation() {
 #[test]
 fn inspect_before_any_content_is_refused() {
     let mut p = provider(3);
-    let id = p.create_engarde_enclave(spec(), policies()).expect("create");
+    let id = p
+        .create_engarde_enclave(spec(), policies())
+        .expect("create");
     let err = p.inspect_and_provision(id).unwrap_err();
     assert!(matches!(err, EngardeError::Protocol { .. }));
 }
@@ -91,7 +101,9 @@ fn unknown_enclave_ids_are_refused_everywhere() {
 #[test]
 fn page_index_out_of_range_is_refused() {
     let mut p = provider(5);
-    let id = p.create_engarde_enclave(spec(), policies()).expect("create");
+    let id = p
+        .create_engarde_enclave(spec(), policies())
+        .expect("create");
     let mut c = Client::new(
         binary(),
         &spec(),
@@ -140,7 +152,9 @@ fn manifest_total_len_must_match_pages() {
 #[test]
 fn double_provisioning_the_same_enclave_is_refused() {
     let mut p = provider(6);
-    let id = p.create_engarde_enclave(spec(), policies()).expect("create");
+    let id = p
+        .create_engarde_enclave(spec(), policies())
+        .expect("create");
     let mut c = Client::new(
         binary(),
         &spec(),
@@ -171,7 +185,9 @@ fn double_provisioning_the_same_enclave_is_refused() {
 #[test]
 fn verdict_for_different_content_is_detected() {
     let mut p = provider(7);
-    let id = p.create_engarde_enclave(spec(), policies()).expect("create");
+    let id = p
+        .create_engarde_enclave(spec(), policies())
+        .expect("create");
     let mut c = Client::new(
         binary(),
         &spec(),

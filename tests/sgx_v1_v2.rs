@@ -25,13 +25,18 @@ fn host(version: SgxVersion) -> HostOs {
 
 fn provisioned_enclave(h: &mut HostOs) -> (EnclaveId, u64, u64) {
     let base = 0x200000;
-    let id = h.create_enclave(base, 8 * PAGE_SIZE as u64).expect("create");
+    let id = h
+        .create_enclave(base, 8 * PAGE_SIZE as u64)
+        .expect("create");
     let code = base;
     let data = base + PAGE_SIZE as u64;
-    h.add_page(id, code, &[0x90, 0xc3], PagePerms::RWX).expect("code");
-    h.add_page(id, data, &[0u8; 16], PagePerms::RWX).expect("data");
+    h.add_page(id, code, &[0x90, 0xc3], PagePerms::RWX)
+        .expect("code");
+    h.add_page(id, data, &[0u8; 16], PagePerms::RWX)
+        .expect("data");
     h.machine_mut().einit(id).expect("einit");
-    h.finalize_provisioned_enclave(id, &[code]).expect("finalize");
+    h.finalize_provisioned_enclave(id, &[code])
+        .expect("finalize");
     (id, code, data)
 }
 
@@ -65,7 +70,10 @@ fn v2_blocks_writes_at_the_machine_level() {
     h.attack_flip_pte(id, code, PagePerms::RWX).expect("attack");
     // Even with the PTE flipped, the machine refuses the write because
     // the EPCM says the page is not writable.
-    let err = h.machine_mut().enclave_write(id, code, &[0xcc]).unwrap_err();
+    let err = h
+        .machine_mut()
+        .enclave_write(id, code, &[0xcc])
+        .unwrap_err();
     assert!(matches!(err, SgxError::PermissionDenied { .. }));
 }
 

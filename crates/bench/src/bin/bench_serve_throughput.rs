@@ -1,0 +1,323 @@
+//! Multi-tenant service throughput: replays a mixed tenant workload
+//! (all seven paper benchmarks plus adversarial and stalling fixtures)
+//! through `engarde-serve` at several fleet sizes and writes
+//! `BENCH_serve.json`.
+//!
+//! The headline numbers come from the deterministic virtual-time
+//! scheduler: session durations are SGX cost-model cycle deltas, so
+//! throughput, latency percentiles, and the speedup-vs-one-shard curve
+//! are bit-reproducible and independent of the host's core count. A
+//! threaded wall-clock run is recorded as auxiliary data, and an
+//! overload run with a tiny admission queue exercises `Busy`
+//! backpressure for the rejection-rate figure.
+//!
+//! ```text
+//! bench_serve_throughput [--sessions N] [--shards 1,2,4] [--scale P]
+//!                        [--seed S] [--arrival-gap CYCLES]
+//!                        [--capacity N] [--out PATH] [--skip-threaded]
+//! ```
+
+use engarde_serve::regimes;
+use engarde_serve::service::{ProvisioningService, SchedMode, ServiceConfig, ServiceResult};
+use engarde_serve::{ServeError, SessionRunConfig};
+use engarde_sgx::instr::SgxVersion;
+use engarde_sgx::machine::MachineConfig;
+use engarde_sgx::perf::CLOCK_GHZ;
+use engarde_workloads::traffic::{mixed_traffic, TrafficItem, TrafficSpec};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Args {
+    sessions: usize,
+    shard_counts: Vec<usize>,
+    scale_percent: usize,
+    seed: u64,
+    arrival_gap: u64,
+    capacity: usize,
+    out: String,
+    skip_threaded: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            sessions: 24,
+            shard_counts: vec![1, 2, 4],
+            scale_percent: 5,
+            seed: 0x5E12_7E00,
+            arrival_gap: 2_000_000,
+            capacity: 1024,
+            out: "BENCH_serve.json".into(),
+            skip_threaded: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--sessions" => args.sessions = take().parse().expect("--sessions"),
+            "--shards" => {
+                args.shard_counts = take()
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--shards"))
+                    .collect();
+            }
+            "--scale" => args.scale_percent = take().parse().expect("--scale"),
+            "--seed" => args.seed = take().parse().expect("--seed"),
+            "--arrival-gap" => args.arrival_gap = take().parse().expect("--arrival-gap"),
+            "--capacity" => args.capacity = take().parse().expect("--capacity"),
+            "--out" => args.out = take(),
+            "--skip-threaded" => args.skip_threaded = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(
+        !args.shard_counts.is_empty(),
+        "need at least one fleet size"
+    );
+    args
+}
+
+/// One virtual-time measurement at a given fleet size.
+struct VirtualRun {
+    shards: usize,
+    admitted: u64,
+    rejected: u64,
+    evicted: u64,
+    compliant: u64,
+    noncompliant: u64,
+    makespan_cycles: u64,
+    throughput_per_sec: f64,
+    p50_latency_cycles: u64,
+    p99_latency_cycles: u64,
+    queue_depth_highwater: usize,
+    /// Fingerprint of all verdicts + cycle totals, for determinism
+    /// comparison across repeat runs.
+    fingerprint: String,
+}
+
+fn machine(seed: u64) -> MachineConfig {
+    MachineConfig {
+        epc_pages: 8_192,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed,
+    }
+}
+
+fn submit_all(
+    svc: &mut ProvisioningService,
+    traffic: &[TrafficItem],
+    musl: &Arc<HashMap<String, engarde_crypto::sha256::Digest>>,
+) -> u64 {
+    let mut rejected = 0;
+    for item in traffic {
+        match svc.submit(regimes::request_for(item, musl)) {
+            Ok(()) => {}
+            Err(ServeError::Busy { .. }) => rejected += 1,
+            Err(e) => panic!("submit {}: {e}", item.name),
+        }
+    }
+    rejected
+}
+
+fn fingerprint(result: &ServiceResult) -> String {
+    use engarde_crypto::sha256::Sha256;
+    let mut h = Sha256::new();
+    for r in &result.reports {
+        h.update(r.name.as_bytes());
+        h.update(&r.cycles.to_be_bytes());
+        h.update(&r.latency_cycles.to_be_bytes());
+        h.update(&[match &r.outcome {
+            engarde_serve::SessionOutcome::Compliant => 0u8,
+            engarde_serve::SessionOutcome::NonCompliant => 1,
+            engarde_serve::SessionOutcome::Evicted { .. } => 2,
+            engarde_serve::SessionOutcome::Failed { .. } => 3,
+        }]);
+        if let Some(v) = &r.verdict {
+            h.update(&[v.compliant as u8]);
+            h.update(v.detail.as_bytes());
+            h.update(&v.signature);
+        }
+    }
+    h.update(&result.makespan_cycles.to_be_bytes());
+    h.finalize().to_hex()
+}
+
+fn run_virtual(
+    shards: usize,
+    args: &Args,
+    traffic: &[TrafficItem],
+    musl: &Arc<HashMap<String, engarde_crypto::sha256::Digest>>,
+    capacity: usize,
+) -> (VirtualRun, ServiceResult) {
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: args.arrival_gap,
+        },
+        machine: machine(args.seed),
+        queue_capacity: capacity,
+        run: SessionRunConfig::default(),
+    });
+    let rejected = submit_all(&mut svc, traffic, musl);
+    let result = svc.drain();
+    let m = result.metrics.counters();
+    let makespan = result.makespan_cycles.max(1);
+    let model_seconds = makespan as f64 / (CLOCK_GHZ * 1e9);
+    let run = VirtualRun {
+        shards,
+        admitted: m.admitted,
+        rejected,
+        evicted: m.evicted,
+        compliant: m.compliant,
+        noncompliant: m.noncompliant,
+        makespan_cycles: result.makespan_cycles,
+        throughput_per_sec: m.completed as f64 / model_seconds,
+        p50_latency_cycles: result.metrics.latency_percentile(50).unwrap_or(0),
+        p99_latency_cycles: result.metrics.latency_percentile(99).unwrap_or(0),
+        queue_depth_highwater: m.queue_depth_highwater,
+        fingerprint: fingerprint(&result),
+    };
+    (run, result)
+}
+
+fn main() {
+    let args = parse_args();
+    let musl = Arc::new(regimes::musl_hashes());
+    let traffic = mixed_traffic(&TrafficSpec {
+        sessions: args.sessions,
+        scale_percent: args.scale_percent,
+        adversarial_every: 4,
+        stall_every: 8,
+        seed: args.seed,
+    });
+    eprintln!(
+        "bench_serve_throughput: {} sessions (scale {}%), fleets {:?}",
+        args.sessions, args.scale_percent, args.shard_counts
+    );
+
+    let mut runs = Vec::new();
+    for &shards in &args.shard_counts {
+        let (run, _) = run_virtual(shards, &args, &traffic, &musl, args.capacity);
+        eprintln!(
+            "  {} shard(s): makespan {} cycles, throughput {:.2}/s, p99 latency {} cycles",
+            shards, run.makespan_cycles, run.throughput_per_sec, run.p99_latency_cycles
+        );
+        runs.push(run);
+    }
+
+    // Determinism: repeat the largest fleet and compare fingerprints
+    // (verdict bytes, per-session cycle totals, makespan).
+    let &largest = args.shard_counts.iter().max().expect("non-empty");
+    let (repeat, _) = run_virtual(largest, &args, &traffic, &musl, args.capacity);
+    let reference = runs
+        .iter()
+        .find(|r| r.shards == largest)
+        .expect("largest fleet measured");
+    let deterministic = repeat.fingerprint == reference.fingerprint;
+    eprintln!("  deterministic at {largest} shard(s): {deterministic}");
+
+    // Overload: tiny queue in front of one shard with back-to-back
+    // arrivals — exercises Busy backpressure for the rejection figure.
+    let overload_traffic = mixed_traffic(&TrafficSpec {
+        sessions: args.sessions.min(8),
+        scale_percent: args.scale_percent,
+        adversarial_every: 0,
+        stall_every: 0,
+        seed: args.seed ^ 0xBAD_CAFE,
+    });
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 1,
+        mode: SchedMode::VirtualTime { arrival_gap: 1 },
+        machine: machine(args.seed),
+        queue_capacity: 2,
+        run: SessionRunConfig::default(),
+    });
+    let overload_rejected = submit_all(&mut svc, &overload_traffic, &musl);
+    let overload = svc.drain();
+    let overload_total = overload_traffic.len() as u64;
+    let rejection_rate = overload_rejected as f64 / overload_total as f64;
+    eprintln!(
+        "  overload: {overload_rejected}/{overload_total} rejected (rate {rejection_rate:.2})"
+    );
+
+    // Auxiliary: real threads, wall-clock throughput (host-dependent).
+    let threaded = if args.skip_threaded {
+        None
+    } else {
+        let mut svc = ProvisioningService::start(ServiceConfig {
+            shards: largest,
+            mode: SchedMode::Threaded,
+            machine: machine(args.seed),
+            queue_capacity: args.capacity,
+            run: SessionRunConfig::default(),
+        });
+        let rejected = submit_all(&mut svc, &traffic, &musl);
+        let result = svc.drain();
+        let wall_secs = result.wall_nanos as f64 / 1e9;
+        eprintln!(
+            "  threaded x{largest}: {} reports in {wall_secs:.2}s wall",
+            result.reports.len()
+        );
+        Some((result, rejected, wall_secs))
+    };
+
+    let base_makespan = runs
+        .iter()
+        .find(|r| r.shards == *args.shard_counts.iter().min().expect("non-empty"))
+        .expect("base fleet measured")
+        .makespan_cycles;
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"sessions\": {},\n  \"scale_percent\": {},\n  \"seed\": {},\n  \"arrival_gap_cycles\": {},\n  \"clock_ghz\": {CLOCK_GHZ},\n",
+        args.sessions, args.scale_percent, args.seed, args.arrival_gap
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let speedup = base_makespan as f64 / r.makespan_cycles.max(1) as f64;
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"admitted\": {}, \"rejected\": {}, \"evicted\": {}, \"compliant\": {}, \"noncompliant\": {}, \"makespan_cycles\": {}, \"throughput_per_sec\": {:.4}, \"p50_latency_cycles\": {}, \"p99_latency_cycles\": {}, \"queue_depth_highwater\": {}, \"speedup_vs_min_fleet\": {:.4}, \"fingerprint\": \"{}\"}}{}\n",
+            r.shards,
+            r.admitted,
+            r.rejected,
+            r.evicted,
+            r.compliant,
+            r.noncompliant,
+            r.makespan_cycles,
+            r.throughput_per_sec,
+            r.p50_latency_cycles,
+            r.p99_latency_cycles,
+            r.queue_depth_highwater,
+            speedup,
+            r.fingerprint,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"deterministic\": {deterministic},\n"));
+    json.push_str(&format!(
+        "  \"overload\": {{\"sessions\": {overload_total}, \"rejected\": {overload_rejected}, \"rejection_rate\": {rejection_rate:.4}, \"queue_capacity\": 2, \"completed\": {}}},\n",
+        overload.metrics.counters().completed
+    ));
+    match &threaded {
+        Some((result, rejected, wall_secs)) => {
+            let m = result.metrics.counters();
+            json.push_str(&format!(
+                "  \"threaded\": {{\"shards\": {largest}, \"completed\": {}, \"rejected\": {rejected}, \"wall_seconds\": {wall_secs:.4}, \"wall_throughput_per_sec\": {:.4}}}\n",
+                m.completed,
+                m.completed as f64 / wall_secs.max(1e-9)
+            ));
+        }
+        None => json.push_str("  \"threaded\": null\n"),
+    }
+    json.push_str("}\n");
+
+    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", args.out);
+}

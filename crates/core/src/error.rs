@@ -41,6 +41,20 @@ pub enum EngardeError {
         /// Requested end virtual address (exclusive).
         end: u64,
     },
+    /// A page chunk arrived for an index the enclave already holds — a
+    /// hostile client replaying or overwriting delivered content. The
+    /// enclave fails closed instead of silently accepting the new bytes.
+    DuplicatePage {
+        /// Index of the replayed page within the client content.
+        index: usize,
+    },
+    /// A page chunk named an index the manifest never declared.
+    PageIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of pages the manifest declared.
+        pages: usize,
+    },
     /// A protocol message arrived out of order or malformed.
     Protocol {
         /// What went wrong.
@@ -74,6 +88,15 @@ impl fmt::Display for EngardeError {
                 write!(
                     f,
                     "text range {start:#x}..{end:#x} is outside the text section"
+                )
+            }
+            EngardeError::DuplicatePage { index } => {
+                write!(f, "page {index} was already delivered (replay refused)")
+            }
+            EngardeError::PageIndexOutOfRange { index, pages } => {
+                write!(
+                    f,
+                    "page index {index} is outside the manifest's {pages} pages"
                 )
             }
             EngardeError::Protocol { what } => write!(f, "protocol violation: {what}"),

@@ -109,28 +109,37 @@ impl CloudProvider {
 
         let base = DEFAULT_ENCLAVE_BASE;
         let id = self.host.create_enclave(base, spec.enclave_size())?;
-        // Bootstrap pages: EnGarde's code + policy configuration.
-        let bytes = spec.to_bootstrap_bytes();
-        let mut chunks: Vec<&[u8]> = bytes.chunks(PAGE_SIZE).collect();
-        while chunks.len() < spec.bootstrap_pages() {
-            chunks.push(&[]);
+        // Build the enclave; on any failure (EPC exhaustion mid-build
+        // included) tear the partial enclave down so its pages are not
+        // leaked — a service retrying under pressure depends on this.
+        let built = (|host: &mut HostOs| -> Result<(), EngardeError> {
+            // Bootstrap pages: EnGarde's code + policy configuration.
+            let bytes = spec.to_bootstrap_bytes();
+            let mut chunks: Vec<&[u8]> = bytes.chunks(PAGE_SIZE).collect();
+            while chunks.len() < spec.bootstrap_pages() {
+                chunks.push(&[]);
+            }
+            for (i, chunk) in chunks.iter().enumerate() {
+                host.add_page(id, base + (i * PAGE_SIZE) as u64, chunk, PagePerms::RX)?;
+            }
+            // Client region: zero pages, writable until finalization.
+            let region_base = spec.client_region_base(base);
+            for p in 0..spec.client_region_pages {
+                host.add_page(
+                    id,
+                    region_base + (p * PAGE_SIZE) as u64,
+                    &[],
+                    PagePerms::RWX,
+                )?;
+            }
+            host.machine_mut().einit(id)?;
+            host.machine_mut().eenter(id)?;
+            Ok(())
+        })(&mut self.host);
+        if let Err(e) = built {
+            let _ = self.host.destroy_enclave(id);
+            return Err(e);
         }
-        for (i, chunk) in chunks.iter().enumerate() {
-            self.host
-                .add_page(id, base + (i * PAGE_SIZE) as u64, chunk, PagePerms::RX)?;
-        }
-        // Client region: zero pages, writable until finalization.
-        let region_base = spec.client_region_base(base);
-        for p in 0..spec.client_region_pages {
-            self.host.add_page(
-                id,
-                region_base + (p * PAGE_SIZE) as u64,
-                &[],
-                PagePerms::RWX,
-            )?;
-        }
-        self.host.machine_mut().einit(id)?;
-        self.host.machine_mut().eenter(id)?;
 
         let engarde = EngardeEnclave::boot(&mut self.rng, id, base, spec, policies);
         self.sessions.insert(id, engarde);
@@ -249,5 +258,56 @@ impl CloudProvider {
     /// provider cannot forge or flip it.
     pub fn signed_verdict(&self, id: EnclaveId) -> Option<&SignedVerdict> {
         self.verdicts.get(&id)
+    }
+
+    /// Whether an EnGarde session exists for `id`.
+    pub fn has_session(&self, id: EnclaveId) -> bool {
+        self.sessions.contains_key(&id)
+    }
+
+    /// Number of live EnGarde sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the session's content transfer is complete (manifest plus
+    /// every declared page received) — what a service layer polls before
+    /// scheduling inspection.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown enclaves.
+    pub fn content_complete(&self, id: EnclaveId) -> Result<bool, EngardeError> {
+        Ok(self.session(id)?.content_complete())
+    }
+
+    /// The enclave's measurement as recorded by the machine (what the
+    /// quote attests). `None` before `EINIT` or for unknown enclaves.
+    pub fn measurement(&self, id: EnclaveId) -> Option<engarde_crypto::sha256::Digest> {
+        self.host
+            .machine()
+            .enclave(id)
+            .and_then(|e| e.measurement())
+    }
+
+    /// Closes a session and tears the enclave down, releasing its EPC
+    /// pages for new tenants. The signed verdict (if one was produced)
+    /// survives so the client can still fetch it. Returns the number of
+    /// EPC pages released.
+    ///
+    /// This is the service layer's recycling and eviction path: evicted
+    /// sessions are destroyed mid-protocol, completed ones once their
+    /// tenant departs.
+    ///
+    /// # Errors
+    ///
+    /// Fails when neither a session nor an enclave exists for `id`.
+    pub fn close_session(&mut self, id: EnclaveId) -> Result<usize, EngardeError> {
+        let had_session = self.sessions.remove(&id).is_some();
+        match self.host.destroy_enclave(id) {
+            Ok(freed) => Ok(freed),
+            Err(_) if had_session => Ok(0),
+            Err(e) => Err(EngardeError::Sgx(e)),
+        }
     }
 }

@@ -294,8 +294,14 @@ impl EngardeEnclave {
             Some(ref manifest) => {
                 let payload = PagePayload::from_bytes(&plaintext)?;
                 if payload.index >= manifest.page_count() {
-                    return Err(EngardeError::Protocol {
-                        what: format!("page index {} out of range", payload.index),
+                    return Err(EngardeError::PageIndexOutOfRange {
+                        index: payload.index,
+                        pages: manifest.page_count(),
+                    });
+                }
+                if self.pages[payload.index].is_some() {
+                    return Err(EngardeError::DuplicatePage {
+                        index: payload.index,
                     });
                 }
                 self.pages[payload.index] = Some(payload.data);

@@ -1,0 +1,71 @@
+//! # engarde-serve
+//!
+//! A concurrent multi-tenant provisioning service over the EnGarde
+//! inspection stack: the paper's one-client protocol (attest → channel
+//! → deliver → inspect → verdict), operated at cloud scale.
+//!
+//! The layers:
+//!
+//! - [`session`] — the per-tenant protocol as a typed state machine;
+//!   illegal orderings (deliver before the channel opens, inspect before
+//!   the transfer completes, double-inspect) are
+//!   [`error::ServeError::IllegalTransition`] values, not stringly
+//!   protocol errors.
+//! - [`pool`] — shards: one [`CloudProvider`]-on-its-own-machine per
+//!   shard, running sessions with eviction (stalled clients, delivery
+//!   cycle budgets), retry-with-budget under transient EPC pressure, and
+//!   EPC recycling via enclave teardown.
+//! - [`service`] — admission control (bounded queue, `Busy`
+//!   backpressure) in front of the fleet, with two scheduler backends:
+//!   a deterministic virtual-time mode driven purely by the SGX cost
+//!   model (bit-reproducible; the headline measurement) and a real
+//!   `std::thread` worker pool for wall-clock numbers.
+//! - [`metrics`] — in-tree atomic counters, latency percentiles, and a
+//!   structured event log, exportable as JSON with zero dependencies.
+//! - [`regimes`] — glue from the workload traffic generator to
+//!   submittable session requests.
+//!
+//! # Examples
+//!
+//! ```
+//! use engarde_serve::regimes;
+//! use engarde_serve::service::{ProvisioningService, SchedMode, ServiceConfig};
+//! use engarde_workloads::traffic::{mixed_traffic, TrafficSpec};
+//! use std::sync::Arc;
+//!
+//! let musl = Arc::new(regimes::musl_hashes());
+//! let traffic = mixed_traffic(&TrafficSpec {
+//!     sessions: 2,
+//!     scale_percent: 5,
+//!     adversarial_every: 2,
+//!     ..TrafficSpec::default()
+//! });
+//! let mut svc = ProvisioningService::start(ServiceConfig {
+//!     shards: 2,
+//!     mode: SchedMode::VirtualTime { arrival_gap: 1_000_000 },
+//!     ..ServiceConfig::default()
+//! });
+//! for item in &traffic {
+//!     let _ = svc.submit(regimes::request_for(item, &musl));
+//! }
+//! let result = svc.drain();
+//! assert_eq!(result.reports.len(), 2);
+//! ```
+//!
+//! [`CloudProvider`]: engarde_core::provider::CloudProvider
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod metrics;
+pub mod pool;
+pub mod regimes;
+pub mod service;
+pub mod session;
+
+pub use error::{EvictReason, ServeError};
+pub use metrics::ServeMetrics;
+pub use pool::{SessionOutcome, SessionReport, SessionRunConfig, Shard};
+pub use service::{ProvisioningService, SchedMode, ServiceConfig, ServiceResult};
+pub use session::{PolicyFactory, SessionFsm, SessionPhase, SessionRequest};

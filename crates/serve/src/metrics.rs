@@ -1,0 +1,375 @@
+//! Built-in service observability: atomic counters, cycle/latency
+//! accounting, and a structured event log — all in-tree, exportable as
+//! JSON with no external dependencies.
+//!
+//! Counters are lock-free atomics so worker threads update them without
+//! contention; latency samples and events take a short mutex only at
+//! record time. Percentiles are computed at export.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What happened, for the structured event log.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// Session accepted into the queue.
+    Admitted,
+    /// Session refused: queue full.
+    RejectedBusy,
+    /// Session started on a shard.
+    Started,
+    /// Transient failure; the session will be retried.
+    Retried,
+    /// Session evicted (stall or budget).
+    Evicted,
+    /// Session finished with a verdict.
+    Completed,
+    /// Session failed terminally.
+    Failed,
+    /// Service entered drain.
+    DrainStarted,
+}
+
+impl EventKind {
+    fn name(self) -> &'static str {
+        match self {
+            EventKind::Admitted => "admitted",
+            EventKind::RejectedBusy => "rejected_busy",
+            EventKind::Started => "started",
+            EventKind::Retried => "retried",
+            EventKind::Evicted => "evicted",
+            EventKind::Completed => "completed",
+            EventKind::Failed => "failed",
+            EventKind::DrainStarted => "drain_started",
+        }
+    }
+}
+
+/// One structured log record.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic sequence number (assigned at record time).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The session's name (empty for service-wide events).
+    pub session: String,
+    /// Shard index, when known.
+    pub shard: Option<usize>,
+    /// Free-form detail (verdict, eviction reason, error).
+    pub detail: String,
+}
+
+/// Per-stage accumulated model cycles across all completed sessions.
+#[derive(Default)]
+struct StageTotals {
+    receive_decrypt: AtomicU64,
+    disassembly: AtomicU64,
+    policy_checking: AtomicU64,
+    loading_relocation: AtomicU64,
+}
+
+/// Service-wide metrics. One instance is shared (via `Arc`) between the
+/// admission path, every worker, and the drain path.
+#[derive(Default)]
+pub struct ServeMetrics {
+    admitted: AtomicU64,
+    rejected_busy: AtomicU64,
+    evicted: AtomicU64,
+    completed: AtomicU64,
+    compliant: AtomicU64,
+    noncompliant: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    queue_depth_highwater: AtomicUsize,
+    stage_cycles: StageTotals,
+    total_cycles: AtomicU64,
+    total_wall_nanos: AtomicU64,
+    latency_cycles: Mutex<Vec<u64>>,
+    events: Mutex<Vec<Event>>,
+    seq: AtomicU64,
+}
+
+/// Counter snapshot, as plain numbers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CounterSnapshot {
+    /// Sessions accepted into the queue.
+    pub admitted: u64,
+    /// Sessions refused with `Busy`.
+    pub rejected_busy: u64,
+    /// Sessions evicted mid-protocol.
+    pub evicted: u64,
+    /// Sessions that reached a verdict.
+    pub completed: u64,
+    /// ... of which compliant.
+    pub compliant: u64,
+    /// ... of which rejected by policy.
+    pub noncompliant: u64,
+    /// Sessions that failed terminally (non-eviction).
+    pub failed: u64,
+    /// Transient retries performed.
+    pub retries: u64,
+    /// Highest queue depth observed.
+    pub queue_depth_highwater: usize,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Records an event and bumps the matching counter.
+    pub fn record(&self, kind: EventKind, session: &str, shard: Option<usize>, detail: &str) {
+        match kind {
+            EventKind::Admitted => self.admitted.fetch_add(1, Ordering::Relaxed),
+            EventKind::RejectedBusy => self.rejected_busy.fetch_add(1, Ordering::Relaxed),
+            EventKind::Retried => self.retries.fetch_add(1, Ordering::Relaxed),
+            EventKind::Evicted => self.evicted.fetch_add(1, Ordering::Relaxed),
+            EventKind::Failed => self.failed.fetch_add(1, Ordering::Relaxed),
+            EventKind::Completed => self.completed.fetch_add(1, Ordering::Relaxed),
+            EventKind::Started | EventKind::DrainStarted => 0,
+        };
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.events.lock().expect("events lock");
+        events.push(Event {
+            seq,
+            kind,
+            session: session.to_string(),
+            shard,
+            detail: detail.to_string(),
+        });
+    }
+
+    /// Records a completed session's verdict polarity.
+    pub fn record_verdict(&self, compliant: bool) {
+        if compliant {
+            self.compliant.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.noncompliant.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a session's stage costs, total model cycles, end-to-end
+    /// latency (model cycles), and wall time.
+    pub fn record_timing(
+        &self,
+        stages: &engarde_core::provision::StageCycles,
+        cycles: u64,
+        latency_cycles: u64,
+        wall_nanos: u64,
+    ) {
+        self.stage_cycles
+            .receive_decrypt
+            .fetch_add(stages.receive_decrypt, Ordering::Relaxed);
+        self.stage_cycles
+            .disassembly
+            .fetch_add(stages.disassembly, Ordering::Relaxed);
+        self.stage_cycles
+            .policy_checking
+            .fetch_add(stages.policy_checking, Ordering::Relaxed);
+        self.stage_cycles
+            .loading_relocation
+            .fetch_add(stages.loading_relocation, Ordering::Relaxed);
+        self.total_cycles.fetch_add(cycles, Ordering::Relaxed);
+        self.total_wall_nanos
+            .fetch_add(wall_nanos, Ordering::Relaxed);
+        self.latency_cycles
+            .lock()
+            .expect("latency lock")
+            .push(latency_cycles);
+    }
+
+    /// Raises the queue-depth high-water mark to at least `depth`.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.queue_depth_highwater
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            compliant: self.compliant.load(Ordering::Relaxed),
+            noncompliant: self.noncompliant.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            queue_depth_highwater: self.queue_depth_highwater.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Latency percentile in model cycles (`q` in 0..=100). `None` with
+    /// no samples.
+    pub fn latency_percentile(&self, q: u32) -> Option<u64> {
+        let samples = self.latency_cycles.lock().expect("latency lock");
+        percentile(&samples, q)
+    }
+
+    /// Accumulated model cycles across sessions.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated wall time across sessions (threaded mode only).
+    pub fn total_wall_nanos(&self) -> u64 {
+        self.total_wall_nanos.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the event log, in sequence order.
+    pub fn events(&self) -> Vec<Event> {
+        let mut events = self.events.lock().expect("events lock").clone();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Serializes counters, stage totals, latency percentiles, and the
+    /// event log as a JSON object.
+    pub fn to_json(&self) -> String {
+        let c = self.counters();
+        let samples = self.latency_cycles.lock().expect("latency lock").clone();
+        let mut out = String::from("{\n");
+        let counter_fields = [
+            ("admitted", c.admitted),
+            ("rejected_busy", c.rejected_busy),
+            ("evicted", c.evicted),
+            ("completed", c.completed),
+            ("compliant", c.compliant),
+            ("noncompliant", c.noncompliant),
+            ("failed", c.failed),
+            ("retries", c.retries),
+            ("queue_depth_highwater", c.queue_depth_highwater as u64),
+        ];
+        out.push_str("  \"counters\": {");
+        for (i, (k, v)) in counter_fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{k}\": {v}"));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "  \"stage_cycles\": {{\"receive_decrypt\": {}, \"disassembly\": {}, \"policy_checking\": {}, \"loading_relocation\": {}}},\n",
+            self.stage_cycles.receive_decrypt.load(Ordering::Relaxed),
+            self.stage_cycles.disassembly.load(Ordering::Relaxed),
+            self.stage_cycles.policy_checking.load(Ordering::Relaxed),
+            self.stage_cycles.loading_relocation.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "  \"latency_cycles\": {{\"samples\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
+            samples.len(),
+            percentile(&samples, 50).unwrap_or(0),
+            percentile(&samples, 99).unwrap_or(0),
+            samples.iter().copied().max().unwrap_or(0),
+        ));
+        out.push_str(&format!(
+            "  \"total_cycles\": {},\n  \"total_wall_nanos\": {},\n",
+            self.total_cycles(),
+            self.total_wall_nanos()
+        ));
+        out.push_str("  \"events\": [\n");
+        let events = self.events();
+        for (i, e) in events.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"seq\": {}, \"kind\": \"{}\", \"session\": \"{}\", \"shard\": {}, \"detail\": \"{}\"}}{}\n",
+                e.seq,
+                e.kind.name(),
+                json_escape(&e.session),
+                e.shard.map_or("null".to_string(), |s| s.to_string()),
+                json_escape(&e.detail),
+                if i + 1 < events.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Nearest-rank percentile over unsorted samples.
+fn percentile(samples: &[u64], q: u32) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q as usize * sorted.len()).div_ceil(100)).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_events() {
+        let m = ServeMetrics::new();
+        m.record(EventKind::Admitted, "s0", None, "");
+        m.record(EventKind::Admitted, "s1", None, "");
+        m.record(EventKind::RejectedBusy, "s2", None, "depth 4");
+        m.record(EventKind::Completed, "s0", Some(1), "compliant");
+        m.record_verdict(true);
+        let c = m.counters();
+        assert_eq!(c.admitted, 2);
+        assert_eq!(c.rejected_busy, 1);
+        assert_eq!(c.completed, 1);
+        assert_eq!(c.compliant, 1);
+        let events = m.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[2].kind, EventKind::RejectedBusy);
+        assert_eq!(events[3].shard, Some(1));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 50), Some(50));
+        assert_eq!(percentile(&samples, 99), Some(99));
+        assert_eq!(percentile(&samples, 100), Some(100));
+        assert_eq!(percentile(&[42], 50), Some(42));
+        assert_eq!(percentile(&[], 50), None);
+    }
+
+    #[test]
+    fn json_export_escapes_and_parses_shape() {
+        let m = ServeMetrics::new();
+        m.record(EventKind::Failed, "we\"ird\n", Some(0), "tab\there");
+        let json = m.to_json();
+        assert!(json.contains("\\\"ird\\n"));
+        assert!(json.contains("tab\\there"));
+        assert!(json.contains("\"queue_depth_highwater\": 0"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn highwater_is_monotonic() {
+        let m = ServeMetrics::new();
+        m.observe_queue_depth(3);
+        m.observe_queue_depth(1);
+        assert_eq!(m.counters().queue_depth_highwater, 3);
+    }
+}

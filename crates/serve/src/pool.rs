@@ -1,0 +1,370 @@
+//! Shard workers: each shard owns one [`SgxMachine`]-backed
+//! [`CloudProvider`] and runs sessions to completion with eviction,
+//! retry-with-budget, and EPC recycling.
+//!
+//! A shard is the unit of parallelism: providers are not `Send`-shared —
+//! every shard's machine lives on exactly one worker (threaded mode) or
+//! is driven round-robin by the virtual-time scheduler. Either way the
+//! per-session logic is identical and lives in [`Shard::run_session`].
+//!
+//! [`SgxMachine`]: engarde_sgx::machine::SgxMachine
+
+use crate::error::{is_transient, EvictReason, ServeError};
+use crate::metrics::{EventKind, ServeMetrics};
+use crate::session::{SessionFsm, SessionPhase, SessionRequest};
+use engarde_core::protocol::SignedVerdict;
+use engarde_core::provider::CloudProvider;
+use engarde_core::provision::StageCycles;
+use engarde_crypto::sha256::Digest;
+use engarde_sgx::machine::{EnclaveId, MachineConfig};
+use std::collections::VecDeque;
+
+/// How one session ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SessionOutcome {
+    /// Inspection passed; the enclave was finalized.
+    Compliant,
+    /// Inspection produced a signed rejection verdict.
+    NonCompliant,
+    /// The service evicted the session mid-protocol.
+    Evicted {
+        /// Why.
+        reason: EvictReason,
+    },
+    /// A terminal failure (after retries, if the error was transient).
+    Failed {
+        /// The rendered error.
+        error: String,
+    },
+}
+
+/// Everything the service records about one finished session.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// The session's name.
+    pub name: String,
+    /// Shard that ran it.
+    pub shard: usize,
+    /// How it ended.
+    pub outcome: SessionOutcome,
+    /// Per-stage inspection costs (zero unless a verdict was reached).
+    pub stages: StageCycles,
+    /// Model cycles this session consumed on its shard's machine.
+    pub cycles: u64,
+    /// End-to-end latency in model cycles (duration + queueing delay;
+    /// the scheduler fills the queueing component in).
+    pub latency_cycles: u64,
+    /// Wall-clock time spent running the session.
+    pub wall_nanos: u64,
+    /// Transient retries performed.
+    pub retries: u32,
+    /// Sealed blocks the provider accepted.
+    pub blocks_delivered: usize,
+    /// SHA-256 fingerprint of the session's attested enclave key.
+    pub enclave_key_fp: Option<[u8; 32]>,
+    /// The enclave's measurement at attestation time.
+    pub measurement: Option<Digest>,
+    /// The enclave-signed verdict, when one was produced.
+    pub verdict: Option<SignedVerdict>,
+    /// Whether the tenant's client accepted the verdict signature.
+    pub client_verified: bool,
+    /// Instructions inspected.
+    pub instructions: usize,
+}
+
+impl SessionReport {
+    /// Whether the session reached a verdict (either polarity).
+    pub fn reached_verdict(&self) -> bool {
+        matches!(
+            self.outcome,
+            SessionOutcome::Compliant | SessionOutcome::NonCompliant
+        )
+    }
+}
+
+/// Per-session execution knobs, shared by both scheduler backends.
+#[derive(Clone, Debug)]
+pub struct SessionRunConfig {
+    /// Additional attempts allowed after a transient failure.
+    pub retry_budget: u32,
+    /// Model-cycle budget for the delivery phase; exceeding it evicts
+    /// the session (`DeliverBudgetExceeded`).
+    pub deliver_cycle_budget: Option<u64>,
+    /// Destroy compliant enclaves after inspection (recycling EPC). When
+    /// false, compliant enclaves are retained — the long-running-tenant
+    /// model — until pressure reclaims them.
+    pub release_enclaves: bool,
+    /// Under transient EPC pressure, reclaim the oldest retained enclave
+    /// before retrying.
+    pub reclaim_on_pressure: bool,
+}
+
+impl Default for SessionRunConfig {
+    fn default() -> Self {
+        SessionRunConfig {
+            retry_budget: 2,
+            deliver_cycle_budget: None,
+            release_enclaves: true,
+            reclaim_on_pressure: true,
+        }
+    }
+}
+
+/// One shard: a provider on its own SGX machine plus the enclaves it has
+/// retained for long-running tenants.
+pub struct Shard {
+    index: usize,
+    provider: CloudProvider,
+    retained: VecDeque<EnclaveId>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shard({}, {} retained)", self.index, self.retained.len())
+    }
+}
+
+/// What one protocol attempt produced (before outcome bookkeeping).
+struct AttemptOutput {
+    compliant: bool,
+    stages: StageCycles,
+    instructions: usize,
+    blocks_delivered: usize,
+    enclave_key_fp: Option<[u8; 32]>,
+    measurement: Option<Digest>,
+    verdict: Option<SignedVerdict>,
+    client_verified: bool,
+}
+
+impl Shard {
+    /// Boots shard `index` on a machine derived from `base` via
+    /// [`MachineConfig::shard`] — distinct device keys and RNG streams
+    /// per shard, deterministically.
+    pub fn new(index: usize, base: &MachineConfig) -> Self {
+        Shard {
+            index,
+            provider: CloudProvider::new(base.shard(index)),
+            retained: VecDeque::new(),
+        }
+    }
+
+    /// The shard's index in the fleet.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The shard's provider (assertions and host-state inspection).
+    pub fn provider(&self) -> &CloudProvider {
+        &self.provider
+    }
+
+    /// Enclaves retained for long-running tenants.
+    pub fn retained_enclaves(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Model cycles consumed on this shard's machine so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.provider.host().machine().counter().total_cycles()
+    }
+
+    /// Destroys the oldest retained enclave, returning the EPC pages it
+    /// freed. `None` when nothing is retained.
+    pub fn reclaim_oldest(&mut self) -> Option<usize> {
+        let id = self.retained.pop_front()?;
+        self.provider.close_session(id).ok()
+    }
+
+    /// Runs one session start to finish: create, attest, channel,
+    /// delivery (with stall/budget eviction), inspection, and teardown
+    /// or retention — retrying transient EPC-pressure failures within
+    /// `cfg.retry_budget`.
+    pub fn run_session(
+        &mut self,
+        req: &SessionRequest,
+        cfg: &SessionRunConfig,
+        metrics: &ServeMetrics,
+    ) -> SessionReport {
+        let wall_start = std::time::Instant::now();
+        let start_cycles = self.total_cycles();
+        metrics.record(EventKind::Started, &req.name, Some(self.index), "");
+
+        let mut retries = 0u32;
+        let result = loop {
+            match self.attempt(req, cfg) {
+                Ok(out) => break Ok(out),
+                Err(e) if is_transient(&e) && retries < cfg.retry_budget => {
+                    retries += 1;
+                    let reclaimed = if cfg.reclaim_on_pressure {
+                        self.reclaim_oldest()
+                    } else {
+                        None
+                    };
+                    metrics.record(
+                        EventKind::Retried,
+                        &req.name,
+                        Some(self.index),
+                        &match reclaimed {
+                            Some(pages) => format!("{e}; reclaimed {pages} EPC pages"),
+                            None => format!("{e}"),
+                        },
+                    );
+                }
+                Err(e) => break Err((e, retries)),
+            }
+        };
+
+        let cycles = self.total_cycles() - start_cycles;
+        let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+        match result {
+            Ok(out) => {
+                let outcome = if out.compliant {
+                    SessionOutcome::Compliant
+                } else {
+                    SessionOutcome::NonCompliant
+                };
+                metrics.record_verdict(out.compliant);
+                metrics.record(
+                    EventKind::Completed,
+                    &req.name,
+                    Some(self.index),
+                    if out.compliant {
+                        "compliant"
+                    } else {
+                        "noncompliant"
+                    },
+                );
+                SessionReport {
+                    name: req.name.clone(),
+                    shard: self.index,
+                    outcome,
+                    stages: out.stages,
+                    cycles,
+                    latency_cycles: cycles,
+                    wall_nanos,
+                    retries,
+                    blocks_delivered: out.blocks_delivered,
+                    enclave_key_fp: out.enclave_key_fp,
+                    measurement: out.measurement,
+                    verdict: out.verdict,
+                    client_verified: out.client_verified,
+                    instructions: out.instructions,
+                }
+            }
+            Err((e, retries)) => {
+                let outcome = match e {
+                    ServeError::Evicted { reason } => {
+                        metrics.record(
+                            EventKind::Evicted,
+                            &req.name,
+                            Some(self.index),
+                            &reason.to_string(),
+                        );
+                        SessionOutcome::Evicted { reason }
+                    }
+                    other => {
+                        let rendered = if retries > 0 {
+                            ServeError::RetriesExhausted {
+                                attempts: retries + 1,
+                                last: other.to_string(),
+                            }
+                            .to_string()
+                        } else {
+                            other.to_string()
+                        };
+                        metrics.record(EventKind::Failed, &req.name, Some(self.index), &rendered);
+                        SessionOutcome::Failed { error: rendered }
+                    }
+                };
+                SessionReport {
+                    name: req.name.clone(),
+                    shard: self.index,
+                    outcome,
+                    stages: StageCycles::default(),
+                    cycles,
+                    latency_cycles: cycles,
+                    wall_nanos,
+                    retries,
+                    blocks_delivered: 0,
+                    enclave_key_fp: None,
+                    measurement: None,
+                    verdict: None,
+                    client_verified: false,
+                    instructions: 0,
+                }
+            }
+        }
+    }
+
+    /// One protocol attempt. Any mid-protocol failure tears the enclave
+    /// down before returning so EPC pages are never leaked.
+    fn attempt(
+        &mut self,
+        req: &SessionRequest,
+        cfg: &SessionRunConfig,
+    ) -> Result<AttemptOutput, ServeError> {
+        let mut fsm = SessionFsm::create(&mut self.provider, req)?;
+        match self.drive(&mut fsm, req, cfg) {
+            Ok(out) => {
+                // Rejected content never keeps an enclave; compliant
+                // enclaves are recycled or retained per config.
+                if !out.compliant || cfg.release_enclaves {
+                    let _ = fsm.abort(&mut self.provider);
+                } else {
+                    self.retained.push_back(fsm.enclave());
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                let _ = fsm.abort(&mut self.provider);
+                Err(e)
+            }
+        }
+    }
+
+    /// The protocol body, separated so `attempt` can guarantee teardown.
+    fn drive(
+        &mut self,
+        fsm: &mut SessionFsm,
+        req: &SessionRequest,
+        cfg: &SessionRunConfig,
+    ) -> Result<AttemptOutput, ServeError> {
+        fsm.attest(&mut self.provider)?;
+        fsm.open_channel(&mut self.provider)?;
+
+        let blocks = fsm.content_blocks()?;
+        let deliver_start = self.total_cycles();
+        let take = req
+            .stall_after
+            .map_or(blocks.len(), |n| n.min(blocks.len()));
+        for block in blocks.iter().take(take) {
+            fsm.deliver(&mut self.provider, block)?;
+            if let Some(budget) = cfg.deliver_cycle_budget {
+                if self.total_cycles() - deliver_start > budget {
+                    return Err(ServeError::Evicted {
+                        reason: EvictReason::DeliverBudgetExceeded,
+                    });
+                }
+            }
+        }
+        if fsm.phase() != SessionPhase::Complete {
+            // The client went silent before the manifest was satisfied.
+            return Err(ServeError::Evicted {
+                reason: EvictReason::ClientStalled,
+            });
+        }
+
+        let measurement = self.provider.measurement(fsm.enclave());
+        let verdict = fsm.inspect(&mut self.provider)?;
+        Ok(AttemptOutput {
+            compliant: verdict.view.compliant,
+            stages: verdict.view.stages,
+            instructions: verdict.view.instructions,
+            blocks_delivered: fsm.blocks_delivered(),
+            enclave_key_fp: fsm.enclave_key_fingerprint(),
+            measurement,
+            verdict: Some(verdict.verdict),
+            client_verified: verdict.client_verified,
+        })
+    }
+}

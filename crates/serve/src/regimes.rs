@@ -1,0 +1,87 @@
+//! Bridges the workload traffic generator to the service: maps each
+//! [`PolicyRegime`] to its agreed policy modules and turns a
+//! [`TrafficItem`] into a submittable [`SessionRequest`].
+//!
+//! The workloads crate cannot depend on the core policy types (it sits
+//! below them in the crate graph), so the regime → modules mapping lives
+//! here on the serve side.
+
+use crate::session::{PolicyFactory, SessionRequest};
+use engarde_core::loader::LoaderConfig;
+use engarde_core::policy::{
+    CodeReachability, IfccPolicy, LibraryLinkingPolicy, PolicyModule, StackProtectionPolicy,
+    WxSegments,
+};
+use engarde_core::provision::BootstrapSpec;
+use engarde_crypto::sha256::Digest;
+use engarde_sgx::epc::PAGE_SIZE;
+use engarde_workloads::libc::{Instrumentation, LibcLibrary};
+use engarde_workloads::traffic::{PolicyRegime, TrafficItem};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The musl function-hash database used by the library-linking regime.
+/// Building the synthetic libc is the expensive part; callers should
+/// compute this once and share it.
+pub fn musl_hashes() -> HashMap<String, Digest> {
+    LibcLibrary::build(Instrumentation::None).function_hashes()
+}
+
+/// The policy factory for a regime. `musl` is the hash database from
+/// [`musl_hashes`] (only the library-linking regime reads it).
+pub fn policy_factory(regime: PolicyRegime, musl: &Arc<HashMap<String, Digest>>) -> PolicyFactory {
+    match regime {
+        PolicyRegime::LibraryLinking => {
+            let musl = Arc::clone(musl);
+            Arc::new(move || {
+                vec![
+                    Box::new(LibraryLinkingPolicy::new("musl-libc", (*musl).clone()))
+                        as Box<dyn PolicyModule>,
+                ]
+            })
+        }
+        PolicyRegime::StackProtection => {
+            Arc::new(|| vec![Box::new(StackProtectionPolicy::new()) as Box<dyn PolicyModule>])
+        }
+        PolicyRegime::Ifcc => {
+            Arc::new(|| vec![Box::new(IfccPolicy::new()) as Box<dyn PolicyModule>])
+        }
+        PolicyRegime::Analysis => Arc::new(|| {
+            vec![
+                Box::new(CodeReachability::new()) as Box<dyn PolicyModule>,
+                Box::new(WxSegments::new()) as Box<dyn PolicyModule>,
+            ]
+        }),
+    }
+}
+
+/// Builds the agreed bootstrap spec for an image under a regime's
+/// modules: client region sized to the image with headroom, 512-bit
+/// ephemeral keys (the test/bench size; the paper deploys 2048).
+pub fn spec_for(
+    image_len: usize,
+    regime: PolicyRegime,
+    musl: &Arc<HashMap<String, Digest>>,
+) -> BootstrapSpec {
+    let modules = policy_factory(regime, musl)();
+    let region_pages = (image_len / PAGE_SIZE) * 2 + 64;
+    BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &modules,
+        region_pages,
+        512,
+    )
+}
+
+/// Turns one traffic item into a submittable session request.
+pub fn request_for(item: &TrafficItem, musl: &Arc<HashMap<String, Digest>>) -> SessionRequest {
+    SessionRequest {
+        name: item.name.clone(),
+        binary: item.image.clone(),
+        spec: spec_for(item.image.len(), item.regime, musl),
+        policies: policy_factory(item.regime, musl),
+        client_seed: item.client_seed,
+        stall_after: item.stall_after,
+    }
+}

@@ -1,0 +1,360 @@
+//! The provisioning service: admission control in front of a shard
+//! fleet, with two interchangeable scheduler backends.
+//!
+//! - **Virtual time** ([`SchedMode::VirtualTime`]): sessions "arrive" on
+//!   a fixed model-cycle cadence and are assigned to the
+//!   earliest-available shard. Durations are the shards' actual machine
+//!   cycle deltas, so throughput, latency, queueing, and `Busy`
+//!   rejections are all functions of the cost model alone —
+//!   bit-reproducible for a fixed seed, independent of host load or core
+//!   count. This is the repo's headline measurement mode, consistent
+//!   with every other OpenSGX-style cycle figure.
+//! - **Threaded** ([`SchedMode::Threaded`]): real `std::thread` workers
+//!   pull from a bounded queue behind a mutex+condvar; results come back
+//!   over an `mpsc` channel. Wall-clock numbers from this mode are
+//!   auxiliary (they depend on host cores) but exercise the actual
+//!   concurrency: machines are never shared, one per worker thread.
+//!
+//! Both backends share [`Shard::run_session`] for the per-session
+//! protocol, eviction, and retry logic, and feed the same
+//! [`ServeMetrics`].
+
+use crate::error::ServeError;
+use crate::metrics::{EventKind, ServeMetrics};
+use crate::pool::{SessionReport, SessionRunConfig, Shard};
+use crate::session::SessionRequest;
+use engarde_sgx::machine::MachineConfig;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+
+/// Which scheduler drives the shard fleet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedMode {
+    /// Deterministic cost-model scheduling: session `i` arrives at
+    /// `i * arrival_gap` model cycles and runs on the earliest-available
+    /// shard. Bit-reproducible.
+    VirtualTime {
+        /// Model cycles between successive arrivals (the offered load).
+        arrival_gap: u64,
+    },
+    /// Real worker threads and wall-clock timing.
+    Threaded,
+}
+
+/// Service-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of shards (machines) in the fleet.
+    pub shards: usize,
+    /// Scheduler backend.
+    pub mode: SchedMode,
+    /// Base machine configuration; shard `i` runs on
+    /// [`MachineConfig::shard`]`(i)`.
+    pub machine: MachineConfig,
+    /// Admission bound: sessions allowed to wait. Beyond it, submission
+    /// fails with [`ServeError::Busy`].
+    pub queue_capacity: usize,
+    /// Per-session execution knobs (retries, budgets, recycling).
+    pub run: SessionRunConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 2,
+            mode: SchedMode::VirtualTime {
+                arrival_gap: 2_000_000,
+            },
+            machine: MachineConfig::default(),
+            queue_capacity: 8,
+            run: SessionRunConfig::default(),
+        }
+    }
+}
+
+/// Everything the service hands back after [`ProvisioningService::drain`].
+pub struct ServiceResult {
+    /// Per-session reports. Virtual mode: submission order. Threaded
+    /// mode: sorted by session name (completion order is racy).
+    pub reports: Vec<SessionReport>,
+    /// The service metrics (counters, percentiles, event log).
+    pub metrics: Arc<ServeMetrics>,
+    /// The shard fleet with its providers — virtual mode only (threaded
+    /// shards live and die on their worker threads); empty otherwise.
+    /// Tests use these to assert host-side state across tenants.
+    pub shards: Vec<Shard>,
+    /// Fleet makespan in model cycles: when the last shard went idle
+    /// (virtual) or the busiest shard's total cycles (threaded).
+    pub makespan_cycles: u64,
+    /// Wall-clock time from service start to drain completion.
+    pub wall_nanos: u64,
+}
+
+struct VirtualState {
+    shards: Vec<Shard>,
+    /// Virtual instant each shard becomes free.
+    free_at: Vec<u64>,
+    /// `(arrival, start)` of every admitted session, for queue modeling.
+    scheduled: Vec<(u64, u64)>,
+    arrival_gap: u64,
+    reports: Vec<SessionReport>,
+}
+
+type Job = (SessionRequest, SessionRunConfig, Arc<ServeMetrics>);
+
+struct SharedQueue {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+enum WorkerMsg {
+    Report(Box<SessionReport>),
+    Done { cycles: u64 },
+}
+
+struct ThreadedState {
+    shared: Arc<SharedQueue>,
+    workers: Vec<thread::JoinHandle<()>>,
+    rx: mpsc::Receiver<WorkerMsg>,
+}
+
+enum Backend {
+    Virtual(VirtualState),
+    Threaded(ThreadedState),
+}
+
+/// The multi-tenant provisioning service.
+pub struct ProvisioningService {
+    cfg: ServiceConfig,
+    metrics: Arc<ServeMetrics>,
+    backend: Backend,
+    submitted: u64,
+    started: std::time::Instant,
+    draining: bool,
+}
+
+impl ProvisioningService {
+    /// Boots the fleet: `cfg.shards` machines with per-shard derived
+    /// seeds, plus worker threads in threaded mode.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let metrics = Arc::new(ServeMetrics::new());
+        let shards = cfg.shards.max(1);
+        let backend = match cfg.mode {
+            SchedMode::VirtualTime { arrival_gap } => Backend::Virtual(VirtualState {
+                shards: (0..shards).map(|i| Shard::new(i, &cfg.machine)).collect(),
+                free_at: vec![0; shards],
+                scheduled: Vec::new(),
+                arrival_gap,
+                reports: Vec::new(),
+            }),
+            SchedMode::Threaded => {
+                let shared = Arc::new(SharedQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                    available: Condvar::new(),
+                    shutdown: AtomicBool::new(false),
+                });
+                let (tx, rx) = mpsc::channel();
+                let workers = (0..shards)
+                    .map(|i| {
+                        let shared = Arc::clone(&shared);
+                        let tx = tx.clone();
+                        let machine = cfg.machine.clone();
+                        thread::spawn(move || worker_loop(i, machine, shared, tx))
+                    })
+                    .collect();
+                Backend::Threaded(ThreadedState {
+                    shared,
+                    workers,
+                    rx,
+                })
+            }
+        };
+        ProvisioningService {
+            cfg,
+            metrics,
+            backend,
+            submitted: 0,
+            started: std::time::Instant::now(),
+            draining: false,
+        }
+    }
+
+    /// The service metrics handle.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Submits one session.
+    ///
+    /// Virtual mode runs it synchronously under the cost-model clock;
+    /// threaded mode enqueues it for the worker fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Busy`] when admission control rejects the session,
+    /// [`ServeError::ShuttingDown`] after drain has begun.
+    pub fn submit(&mut self, req: SessionRequest) -> Result<(), ServeError> {
+        if self.draining {
+            return Err(ServeError::ShuttingDown);
+        }
+        let arrival_index = self.submitted;
+        match &mut self.backend {
+            Backend::Virtual(v) => {
+                let arrival = arrival_index * v.arrival_gap;
+                // Sessions admitted earlier that are still waiting (their
+                // start lies after this arrival) occupy queue slots now.
+                let waiting = v
+                    .scheduled
+                    .iter()
+                    .filter(|(_, start)| *start > arrival)
+                    .count();
+                if waiting >= self.cfg.queue_capacity {
+                    self.metrics.record(
+                        EventKind::RejectedBusy,
+                        &req.name,
+                        None,
+                        &format!("queue depth {waiting}"),
+                    );
+                    return Err(ServeError::Busy {
+                        queue_depth: waiting,
+                    });
+                }
+                self.metrics.observe_queue_depth(waiting + 1);
+                self.metrics
+                    .record(EventKind::Admitted, &req.name, None, "");
+                self.submitted += 1;
+
+                // Earliest-available shard; ties go to the lowest index.
+                let shard_idx = (0..v.shards.len())
+                    .min_by_key(|&i| (v.free_at[i], i))
+                    .expect("fleet is non-empty");
+                let start = v.free_at[shard_idx].max(arrival);
+                let before = v.shards[shard_idx].total_cycles();
+                let mut report =
+                    v.shards[shard_idx].run_session(&req, &self.cfg.run, &self.metrics);
+                let duration = v.shards[shard_idx].total_cycles() - before;
+                let end = start + duration;
+                v.free_at[shard_idx] = end;
+                v.scheduled.push((arrival, start));
+                report.latency_cycles = end - arrival;
+                self.metrics
+                    .record_timing(&report.stages, report.cycles, report.latency_cycles, 0);
+                v.reports.push(report);
+                Ok(())
+            }
+            Backend::Threaded(t) => {
+                let mut queue = t.shared.queue.lock().expect("queue lock");
+                if t.shared.shutdown.load(Ordering::SeqCst) {
+                    return Err(ServeError::ShuttingDown);
+                }
+                if queue.len() >= self.cfg.queue_capacity {
+                    let depth = queue.len();
+                    drop(queue);
+                    self.metrics.record(
+                        EventKind::RejectedBusy,
+                        &req.name,
+                        None,
+                        &format!("queue depth {depth}"),
+                    );
+                    return Err(ServeError::Busy { queue_depth: depth });
+                }
+                self.metrics
+                    .record(EventKind::Admitted, &req.name, None, "");
+                queue.push_back((req, self.cfg.run.clone(), Arc::clone(&self.metrics)));
+                self.metrics.observe_queue_depth(queue.len());
+                self.submitted += 1;
+                drop(queue);
+                t.shared.available.notify_one();
+                Ok(())
+            }
+        }
+    }
+
+    /// Graceful drain: stops admission, lets queued sessions finish,
+    /// joins the workers, and returns every report plus the metrics.
+    pub fn drain(mut self) -> ServiceResult {
+        self.draining = true;
+        self.metrics
+            .record(EventKind::DrainStarted, "", None, "graceful drain");
+        match self.backend {
+            Backend::Virtual(v) => {
+                let makespan = v.free_at.iter().copied().max().unwrap_or(0);
+                ServiceResult {
+                    reports: v.reports,
+                    metrics: self.metrics,
+                    shards: v.shards,
+                    makespan_cycles: makespan,
+                    wall_nanos: self.started.elapsed().as_nanos() as u64,
+                }
+            }
+            Backend::Threaded(t) => {
+                t.shared.shutdown.store(true, Ordering::SeqCst);
+                t.shared.available.notify_all();
+                for handle in t.workers {
+                    let _ = handle.join();
+                }
+                let mut reports = Vec::new();
+                let mut makespan = 0u64;
+                while let Ok(msg) = t.rx.try_recv() {
+                    match msg {
+                        WorkerMsg::Report(r) => reports.push(*r),
+                        WorkerMsg::Done { cycles, .. } => makespan = makespan.max(cycles),
+                    }
+                }
+                reports.sort_by(|a, b| a.name.cmp(&b.name));
+                ServiceResult {
+                    reports,
+                    metrics: self.metrics,
+                    shards: Vec::new(),
+                    makespan_cycles: makespan,
+                    wall_nanos: self.started.elapsed().as_nanos() as u64,
+                }
+            }
+        }
+    }
+}
+
+/// Threaded-mode worker: builds its shard (providers are not `Send`, so
+/// each machine is born and dies on its own thread), then pulls jobs
+/// until shutdown with an empty queue.
+fn worker_loop(
+    index: usize,
+    machine: MachineConfig,
+    shared: Arc<SharedQueue>,
+    tx: mpsc::Sender<WorkerMsg>,
+) {
+    let mut shard = Shard::new(index, &machine);
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("queue wait");
+            }
+        };
+        let Some((req, run_cfg, metrics)) = job else {
+            break;
+        };
+        let report = shard.run_session(&req, &run_cfg, &metrics);
+        metrics.record_timing(
+            &report.stages,
+            report.cycles,
+            report.latency_cycles,
+            report.wall_nanos,
+        );
+        if tx.send(WorkerMsg::Report(Box::new(report))).is_err() {
+            break;
+        }
+    }
+    let _ = tx.send(WorkerMsg::Done {
+        cycles: shard.total_cycles(),
+    });
+}

@@ -1,0 +1,334 @@
+//! Integration tests for the provisioning service: typed protocol
+//! transitions, deterministic virtual-time scheduling, eviction with
+//! EPC recycling, admission backpressure, threaded workers, and
+//! retry-under-EPC-pressure with reclamation.
+
+use engarde_core::provider::CloudProvider;
+use engarde_serve::pool::SessionOutcome;
+use engarde_serve::service::{ProvisioningService, SchedMode, ServiceConfig};
+use engarde_serve::session::SessionFsm;
+use engarde_serve::{regimes, ServeError, SessionRunConfig};
+use engarde_sgx::instr::SgxVersion;
+use engarde_sgx::machine::MachineConfig;
+use engarde_workloads::traffic::{mixed_traffic, ExpectedOutcome, TrafficSpec};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn machine(seed: u64) -> MachineConfig {
+    MachineConfig {
+        epc_pages: 4_096,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed,
+    }
+}
+
+fn musl() -> Arc<HashMap<String, engarde_crypto::sha256::Digest>> {
+    Arc::new(regimes::musl_hashes())
+}
+
+fn compliant_requests(n: usize, seed: u64) -> Vec<engarde_serve::SessionRequest> {
+    let musl = musl();
+    mixed_traffic(&TrafficSpec {
+        sessions: n,
+        scale_percent: 3,
+        adversarial_every: 0,
+        stall_every: 0,
+        seed,
+    })
+    .iter()
+    .map(|item| regimes::request_for(item, &musl))
+    .collect()
+}
+
+#[test]
+fn fsm_rejects_illegal_transitions_with_typed_errors() {
+    let mut provider = CloudProvider::new(machine(0xF5A));
+    let req = compliant_requests(1, 0xF5A).remove(0);
+    let mut fsm = SessionFsm::create(&mut provider, &req).expect("create");
+
+    // Channel and delivery before attestation are refused up front.
+    assert!(matches!(
+        fsm.open_channel(&mut provider),
+        Err(ServeError::IllegalTransition {
+            phase: "created",
+            action: "open channel"
+        })
+    ));
+    assert!(matches!(
+        fsm.content_blocks(),
+        Err(ServeError::IllegalTransition {
+            phase: "created",
+            ..
+        })
+    ));
+
+    fsm.attest(&mut provider).expect("attest");
+    // Double attestation is a typed error too.
+    assert!(matches!(
+        fsm.attest(&mut provider),
+        Err(ServeError::IllegalTransition {
+            phase: "attested",
+            action: "attest"
+        })
+    ));
+    // Inspection before the transfer even starts.
+    assert!(matches!(
+        fsm.inspect(&mut provider),
+        Err(ServeError::IllegalTransition {
+            phase: "attested",
+            action: "inspect"
+        })
+    ));
+
+    fsm.open_channel(&mut provider).expect("channel");
+    let blocks = fsm.content_blocks().expect("blocks");
+    assert!(blocks.len() > 2);
+    fsm.deliver(&mut provider, &blocks[0]).expect("deliver");
+    // Inspect mid-delivery: refused before the provider is touched.
+    assert!(matches!(
+        fsm.inspect(&mut provider),
+        Err(ServeError::IllegalTransition {
+            phase: "delivering",
+            action: "inspect"
+        })
+    ));
+    for block in &blocks[1..] {
+        fsm.deliver(&mut provider, block).expect("deliver");
+    }
+    let verdict = fsm.inspect(&mut provider).expect("inspect");
+    assert!(verdict.view.compliant);
+    assert!(verdict.client_verified);
+    // Double-inspection is refused: the first one finished the session.
+    assert!(matches!(
+        fsm.inspect(&mut provider),
+        Err(ServeError::IllegalTransition {
+            phase: "inspected",
+            action: "inspect"
+        })
+    ));
+    // Late delivery after inspection is likewise typed.
+    assert!(matches!(
+        fsm.deliver(&mut provider, &blocks[0]),
+        Err(ServeError::IllegalTransition {
+            phase: "inspected",
+            action: "deliver content"
+        })
+    ));
+}
+
+fn run_virtual(seed: u64) -> engarde_serve::ServiceResult {
+    let musl = musl();
+    let traffic = mixed_traffic(&TrafficSpec {
+        sessions: 6,
+        scale_percent: 3,
+        adversarial_every: 3,
+        stall_every: 0,
+        seed,
+    });
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 2,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: 1_000_000,
+        },
+        machine: machine(seed),
+        queue_capacity: 16,
+        run: SessionRunConfig::default(),
+    });
+    for item in &traffic {
+        svc.submit(regimes::request_for(item, &musl))
+            .expect("admit");
+    }
+    svc.drain()
+}
+
+#[test]
+fn virtual_time_mode_is_bit_reproducible() {
+    let a = run_virtual(0xD37);
+    let b = run_virtual(0xD37);
+    assert_eq!(a.reports.len(), 6);
+    assert_eq!(a.makespan_cycles, b.makespan_cycles);
+    for (x, y) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.shard, y.shard);
+        assert_eq!(x.outcome, y.outcome);
+        assert_eq!(x.cycles, y.cycles, "{}: cycle totals must match", x.name);
+        assert_eq!(x.latency_cycles, y.latency_cycles);
+        assert_eq!(
+            x.verdict, y.verdict,
+            "{}: verdicts must be identical",
+            x.name
+        );
+        assert_eq!(x.measurement, y.measurement);
+    }
+    // The mix contains both polarities and every verdict is client-valid.
+    assert!(a
+        .reports
+        .iter()
+        .any(|r| r.outcome == SessionOutcome::Compliant));
+    assert!(a
+        .reports
+        .iter()
+        .any(|r| r.outcome == SessionOutcome::NonCompliant));
+    assert!(a
+        .reports
+        .iter()
+        .filter(|r| r.reached_verdict())
+        .all(|r| r.client_verified));
+}
+
+#[test]
+fn stalled_client_is_evicted_and_epc_recycled() {
+    let musl = musl();
+    let traffic = mixed_traffic(&TrafficSpec {
+        sessions: 1,
+        scale_percent: 3,
+        adversarial_every: 0,
+        stall_every: 1,
+        seed: 0xEE1,
+    });
+    assert_eq!(traffic[0].expected, ExpectedOutcome::Evicted);
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 1,
+        machine: machine(0xEE1),
+        ..ServiceConfig::default()
+    });
+    svc.submit(regimes::request_for(&traffic[0], &musl))
+        .expect("admit");
+    let result = svc.drain();
+    assert!(matches!(
+        result.reports[0].outcome,
+        SessionOutcome::Evicted {
+            reason: engarde_serve::EvictReason::ClientStalled
+        }
+    ));
+    let m = result.metrics.counters();
+    assert_eq!(m.evicted, 1);
+    assert_eq!(m.completed, 0);
+    // Eviction tears the enclave down: no sessions, no EPC pages held.
+    let shard = &result.shards[0];
+    assert_eq!(shard.provider().session_count(), 0);
+    assert_eq!(shard.provider().host().machine().epc_used_pages(), 0);
+}
+
+#[test]
+fn admission_control_rejects_when_queue_is_full() {
+    let musl = musl();
+    let traffic = mixed_traffic(&TrafficSpec {
+        sessions: 4,
+        scale_percent: 3,
+        adversarial_every: 0,
+        stall_every: 0,
+        seed: 0xB5,
+    });
+    // One shard, one queue slot, arrivals every cycle: while session 0
+    // runs (millions of cycles), session 1 takes the only waiting slot
+    // and sessions 2 and 3 must bounce with `Busy`.
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 1,
+        mode: SchedMode::VirtualTime { arrival_gap: 1 },
+        machine: machine(0xB5),
+        queue_capacity: 1,
+        run: SessionRunConfig::default(),
+    });
+    let mut rejected = 0;
+    for item in &traffic {
+        match svc.submit(regimes::request_for(item, &musl)) {
+            Ok(()) => {}
+            Err(ServeError::Busy { queue_depth }) => {
+                assert!(queue_depth >= 1);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert_eq!(rejected, 2, "two of four arrivals must bounce");
+    let result = svc.drain();
+    let m = result.metrics.counters();
+    assert_eq!(m.admitted, 2);
+    assert_eq!(m.rejected_busy, 2);
+    assert_eq!(m.queue_depth_highwater, 1);
+    assert_eq!(result.reports.len(), 2);
+}
+
+#[test]
+fn threaded_mode_completes_all_sessions() {
+    let musl = musl();
+    let traffic = mixed_traffic(&TrafficSpec {
+        sessions: 3,
+        scale_percent: 3,
+        adversarial_every: 0,
+        stall_every: 0,
+        seed: 0x7E4,
+    });
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 2,
+        mode: SchedMode::Threaded,
+        machine: machine(0x7E4),
+        queue_capacity: 8,
+        run: SessionRunConfig::default(),
+    });
+    for item in &traffic {
+        svc.submit(regimes::request_for(item, &musl))
+            .expect("admit");
+    }
+    let result = svc.drain();
+    assert_eq!(result.reports.len(), 3);
+    assert!(result.reports.iter().all(|r| r.reached_verdict()));
+    assert!(result.reports.iter().all(|r| r.client_verified));
+    assert!(result.makespan_cycles > 0);
+    assert!(result.wall_nanos > 0);
+    let m = result.metrics.counters();
+    assert_eq!(m.admitted, 3);
+    assert_eq!(m.completed, 3);
+    // Submission after drain is refused.
+}
+
+#[test]
+fn transient_epc_pressure_is_retried_with_reclamation() {
+    // Stage 1: measure how many EPC pages one retained session occupies.
+    let probe_cfg = SessionRunConfig {
+        release_enclaves: false,
+        ..SessionRunConfig::default()
+    };
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 1,
+        machine: machine(0xEC0),
+        run: probe_cfg.clone(),
+        ..ServiceConfig::default()
+    });
+    let reqs = compliant_requests(2, 0xEC0);
+    svc.submit(reqs[0].clone()).expect("admit probe");
+    let result = svc.drain();
+    assert_eq!(result.reports[0].outcome, SessionOutcome::Compliant);
+    let used = result.shards[0]
+        .provider()
+        .host()
+        .machine()
+        .epc_used_pages();
+    assert!(used > 0, "retained enclave must hold EPC pages");
+
+    // Stage 2: an EPC that fits one enclave but not two. The second
+    // session hits OutOfPages, the retry path reclaims the retained
+    // enclave, and both sessions still reach verdicts.
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 1,
+        machine: MachineConfig {
+            epc_pages: used + used / 2,
+            ..machine(0xEC0)
+        },
+        run: probe_cfg,
+        ..ServiceConfig::default()
+    });
+    for req in &reqs {
+        svc.submit(req.clone()).expect("admit");
+    }
+    let result = svc.drain();
+    assert!(result
+        .reports
+        .iter()
+        .all(|r| r.outcome == SessionOutcome::Compliant));
+    let m = result.metrics.counters();
+    assert!(m.retries >= 1, "EPC pressure must trigger a retry");
+    assert!(result.reports[1].retries >= 1);
+}

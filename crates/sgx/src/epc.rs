@@ -223,6 +223,21 @@ impl Epc {
         Ok(())
     }
 
+    /// Frees every page owned by `enclave_id` (SECS included), scrubbing
+    /// contents. Returns the number of pages released — the bulk-reclaim
+    /// path behind enclave teardown.
+    pub fn free_owned(&mut self, enclave_id: u64) -> usize {
+        let mut freed = 0;
+        for idx in 0..self.epcm.len() {
+            if self.epcm[idx].is_some_and(|e| e.enclave_id == enclave_id) {
+                self.pages[idx] = None;
+                self.epcm[idx] = None;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
     /// The EPCM entry for a page.
     pub fn epcm(&self, idx: usize) -> Option<&EpcmEntry> {
         self.epcm.get(idx).and_then(|e| e.as_ref())

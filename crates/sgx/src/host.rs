@@ -193,6 +193,22 @@ impl HostOs {
         self.extension_locked.contains(&id)
     }
 
+    /// Tears an enclave down completely: frees its EPC pages, removes
+    /// its page-table entries, and clears its extension lock. Returns
+    /// the number of EPC pages released. This is how a provisioning
+    /// service recycles capacity when a tenant leaves or a session is
+    /// evicted.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown enclaves.
+    pub fn destroy_enclave(&mut self, id: EnclaveId) -> Result<usize, SgxError> {
+        let freed = self.machine.destroy_enclave(id)?;
+        self.page_tables.retain(|(eid, _), _| *eid != id);
+        self.extension_locked.remove(&id);
+        Ok(freed)
+    }
+
     /// Simulates a *malicious* host flipping page-table permissions after
     /// provisioning (the attack EnGarde's SGX2 requirement defeats).
     /// Returns the resulting effective permissions.
@@ -351,6 +367,44 @@ mod tests {
     fn effective_perms_unmapped_is_none() {
         let h = host(SgxVersion::V2);
         assert!(h.effective_perms(1, 0x100000).is_none());
+    }
+
+    #[test]
+    fn destroy_enclave_recycles_epc_and_clears_host_state() {
+        let mut h = host(SgxVersion::V2);
+        let before = h.machine().epc_used_pages();
+        let (id, code, _) = provisioned(&mut h);
+        assert!(h.machine().epc_used_pages() > before);
+        let freed = h.destroy_enclave(id).expect("destroy");
+        assert!(freed >= 3, "SECS + two pages, got {freed}");
+        assert_eq!(h.machine().epc_used_pages(), before);
+        assert!(h.machine().enclave(id).is_none());
+        assert!(h.pte_perms(id, code).is_none());
+        assert!(!h.is_extension_locked(id));
+        assert!(matches!(
+            h.destroy_enclave(id),
+            Err(SgxError::NoSuchEnclave { .. })
+        ));
+        // The freed pages are reusable: a fresh enclave builds fine.
+        let (id2, _, _) = provisioned(&mut h);
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn shard_configs_derive_distinct_stable_seeds() {
+        let base = MachineConfig {
+            epc_pages: 64,
+            version: SgxVersion::V2,
+            device_key_bits: 512,
+            seed: 77,
+        };
+        let s0 = base.shard(0);
+        let s1 = base.shard(1);
+        assert_ne!(s0.seed, s1.seed);
+        assert_ne!(s0.seed, base.seed);
+        assert_eq!(s0.seed, base.shard(0).seed, "derivation is stable");
+        assert_eq!(s0.epc_pages, base.epc_pages);
+        assert_eq!(s0.version, base.version);
     }
 
     #[test]

@@ -109,6 +109,26 @@ impl Default for MachineConfig {
     }
 }
 
+impl MachineConfig {
+    /// The configuration for shard `index` of a sharded fleet: identical
+    /// hardware, but a per-shard key/randomness seed derived from this
+    /// config's seed. Derivation is a fixed 64-bit mix, so a fleet built
+    /// from one base config is bit-reproducible.
+    pub fn shard(&self, index: usize) -> MachineConfig {
+        // SplitMix64 finalizer over (seed, index): cheap, well-mixed,
+        // and stable across platforms.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        MachineConfig {
+            seed: z ^ (z >> 31),
+            ..*self
+        }
+    }
+}
+
 /// Lifecycle state of an enclave.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EnclaveState {
@@ -599,6 +619,30 @@ impl SgxMachine {
             .ok_or(SgxError::BadAddress { vaddr })?;
         self.epc.free(idx)?;
         Ok(())
+    }
+
+    /// Forced enclave teardown: scrubs and frees every EPC page the
+    /// enclave owns (SECS included) and forgets the enclave. This is the
+    /// host's recycling path — a provisioning service destroys evicted
+    /// or completed enclaves to reuse their EPC pages for new tenants.
+    ///
+    /// Charges one `EREMOVE` per freed page, matching what a loop over
+    /// [`SgxMachine::eremove`] plus the SECS drop would cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown enclaves.
+    pub fn destroy_enclave(&mut self, id: EnclaveId) -> Result<usize, SgxError> {
+        if !self.enclaves.contains_key(&id) {
+            return Err(SgxError::NoSuchEnclave { id });
+        }
+        let freed = self.epc.free_owned(id);
+        for _ in 0..freed {
+            self.step(SgxInstr::Eremove);
+        }
+        self.enclaves.remove(&id);
+        self.versions.retain(|(eid, _), _| *eid != id);
+        Ok(freed)
     }
 
     // ---- paging: EBLOCK / ETRACK / EWB / ELDU ----------------------------

@@ -39,6 +39,7 @@ pub mod adversarial;
 pub mod bench_suite;
 pub mod generator;
 pub mod libc;
+pub mod traffic;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,288 @@
+//! Multi-tenant traffic generation for the `engarde-serve` service
+//! layer.
+//!
+//! A provisioning service faces a *mix* of tenants: well-behaved clients
+//! shipping compliant binaries under each of the paper's three policy
+//! regimes, hostile clients shipping the adversarial fixtures the
+//! analysis engine must reject, and broken clients that stall
+//! mid-transfer and have to be evicted. This module deterministically
+//! synthesises such a mix from a seed, so service benchmarks and tests
+//! replay bit-identical workloads.
+//!
+//! Policy *construction* lives above this crate (policies are
+//! `engarde-core` types); traffic items therefore name a
+//! [`PolicyRegime`], which the service layer maps to concrete policy
+//! modules.
+
+use crate::adversarial;
+use crate::bench_suite::{PolicyFigure, PAPER_BENCHMARKS};
+use crate::generator::generate;
+use std::collections::BTreeMap;
+
+/// Which agreed policy set a session runs under. The service layer maps
+/// each regime to concrete `engarde-core` policy modules.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PolicyRegime {
+    /// Library-linking compliance against the musl hash database.
+    LibraryLinking,
+    /// Stack-protection (canary) compliance.
+    StackProtection,
+    /// Indirect function-call (IFCC) compliance.
+    Ifcc,
+    /// The analysis-backed structural policies (code reachability and
+    /// W^X segments).
+    Analysis,
+}
+
+/// What a traffic item should do to a correctly-functioning service.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExpectedOutcome {
+    /// Inspection completes with a compliant verdict.
+    Compliant,
+    /// Inspection completes with a rejection verdict.
+    Rejected,
+    /// The client stalls mid-transfer; the service must evict the
+    /// session rather than wait forever.
+    Evicted,
+}
+
+/// One tenant session of a replayable traffic mix.
+#[derive(Clone, Debug)]
+pub struct TrafficItem {
+    /// Unique session name (benchmark plus session index).
+    pub name: String,
+    /// The client's ELF image.
+    pub image: Vec<u8>,
+    /// The policy regime this tenant agreed to.
+    pub regime: PolicyRegime,
+    /// The outcome a correct service must produce.
+    pub expected: ExpectedOutcome,
+    /// `Some(n)`: the client dies after sending `n` sealed blocks.
+    pub stall_after: Option<usize>,
+    /// Seed for the tenant's client-side randomness.
+    pub client_seed: u64,
+}
+
+/// Parameters of a deterministic traffic mix.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficSpec {
+    /// Total sessions to generate.
+    pub sessions: usize,
+    /// Percentage (1–100) of each paper benchmark's `#Inst` to target —
+    /// small values keep service tests and smoke benches fast while
+    /// preserving the relative size distribution.
+    pub scale_percent: usize,
+    /// Every `n`-th session is adversarial (0 disables).
+    pub adversarial_every: usize,
+    /// Every `n`-th session stalls mid-delivery (0 disables). Stall
+    /// slots take precedence over adversarial slots.
+    pub stall_every: usize,
+    /// Root seed; client seeds and workload variation derive from it.
+    pub seed: u64,
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec {
+            sessions: 16,
+            scale_percent: 10,
+            adversarial_every: 4,
+            stall_every: 0,
+            seed: 0x007A_FF1C,
+        }
+    }
+}
+
+/// Fixed-increment SplitMix64 — the same per-index derivation the rest
+/// of the stack uses for reproducible sub-seeds.
+fn derive_seed(root: u64, index: u64) -> u64 {
+    let mut z = root.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The smallest instruction target the generator handles comfortably
+/// with libc base content budgeted in.
+const MIN_SCALED_INSNS: usize = 2_000;
+
+fn regime_for(figure: PolicyFigure) -> PolicyRegime {
+    match figure {
+        PolicyFigure::Fig3LibraryLinking => PolicyRegime::LibraryLinking,
+        PolicyFigure::Fig4StackProtection => PolicyRegime::StackProtection,
+        PolicyFigure::Fig5Ifcc => PolicyRegime::Ifcc,
+    }
+}
+
+/// Generates the mixed tenant workload described by `spec`.
+///
+/// Compliant sessions cycle through all seven paper benchmarks, rotating
+/// the policy regime (library-linking, stack-protection, IFCC) per lap;
+/// adversarial sessions cycle through the mid-instruction-jump,
+/// overlapping-stream, and W|X fixtures (under the analysis regime) plus
+/// an uninstrumented binary submitted against the stack-protection
+/// policy; stalling sessions reuse compliant images but die after two
+/// blocks. The mix is a pure function of `spec`.
+pub fn mixed_traffic(spec: &TrafficSpec) -> Vec<TrafficItem> {
+    let figures = [
+        PolicyFigure::Fig3LibraryLinking,
+        PolicyFigure::Fig4StackProtection,
+        PolicyFigure::Fig5Ifcc,
+    ];
+    // Scaled images are deterministic per (benchmark, figure); cache so
+    // a 100-session mix doesn't regenerate the same ELF 100 times.
+    let mut cache: BTreeMap<(usize, usize), Vec<u8>> = BTreeMap::new();
+    let mut scaled_image = |bench_idx: usize, fig_idx: usize| -> Vec<u8> {
+        cache
+            .entry((bench_idx, fig_idx))
+            .or_insert_with(|| {
+                let b = &PAPER_BENCHMARKS[bench_idx];
+                let figure = figures[fig_idx];
+                let mut wspec = b.spec(figure);
+                wspec.target_instructions =
+                    (b.instructions_for(figure) * spec.scale_percent / 100).max(MIN_SCALED_INSNS);
+                // Keep shape parameters consistent with the shrunk size.
+                wspec.avg_app_fn_insns = wspec.avg_app_fn_insns.min(wspec.target_instructions / 8);
+                wspec.calls_per_app_fn = wspec.calls_per_app_fn.min(64);
+                wspec.relocation_count = wspec.relocation_count.min(256);
+                generate(&wspec).image
+            })
+            .clone()
+    };
+
+    let mut compliant_lap = 0usize;
+    let mut adversarial_lap = 0usize;
+    let mut out = Vec::with_capacity(spec.sessions);
+    for idx in 0..spec.sessions {
+        let client_seed = derive_seed(spec.seed, idx as u64);
+        let stall = spec.stall_every > 0 && (idx + 1).is_multiple_of(spec.stall_every);
+        let hostile = !stall
+            && spec.adversarial_every > 0
+            && (idx + 1).is_multiple_of(spec.adversarial_every);
+        let item = if hostile {
+            let kind = adversarial_lap % 4;
+            adversarial_lap += 1;
+            match kind {
+                0 => TrafficItem {
+                    name: format!("adv_midinsn-s{idx}"),
+                    image: adversarial::mid_instruction_jump().image,
+                    regime: PolicyRegime::Analysis,
+                    expected: ExpectedOutcome::Rejected,
+                    stall_after: None,
+                    client_seed,
+                },
+                1 => TrafficItem {
+                    name: format!("adv_overlap-s{idx}"),
+                    image: adversarial::overlapping_instructions().image,
+                    regime: PolicyRegime::Analysis,
+                    expected: ExpectedOutcome::Rejected,
+                    stall_after: None,
+                    client_seed,
+                },
+                2 => TrafficItem {
+                    name: format!("adv_wx-s{idx}"),
+                    image: adversarial::wx_segment().image,
+                    regime: PolicyRegime::Analysis,
+                    expected: ExpectedOutcome::Rejected,
+                    stall_after: None,
+                    client_seed,
+                },
+                _ => {
+                    // A plain (uninstrumented) binary submitted under the
+                    // stack-protection regime: a policy rejection rather
+                    // than an analysis rejection.
+                    let bench_idx = adversarial_lap % PAPER_BENCHMARKS.len();
+                    TrafficItem {
+                        name: format!("adv_nocanary-s{idx}"),
+                        image: scaled_image(bench_idx, 0),
+                        regime: PolicyRegime::StackProtection,
+                        expected: ExpectedOutcome::Rejected,
+                        stall_after: None,
+                        client_seed,
+                    }
+                }
+            }
+        } else {
+            let bench_idx = compliant_lap % PAPER_BENCHMARKS.len();
+            let fig_idx = (compliant_lap / PAPER_BENCHMARKS.len()) % figures.len();
+            compliant_lap += 1;
+            let bench = &PAPER_BENCHMARKS[bench_idx];
+            if stall {
+                TrafficItem {
+                    name: format!("stall_{}-s{idx}", bench.name.to_ascii_lowercase()),
+                    image: scaled_image(bench_idx, fig_idx),
+                    regime: regime_for(figures[fig_idx]),
+                    expected: ExpectedOutcome::Evicted,
+                    stall_after: Some(2),
+                    client_seed,
+                }
+            } else {
+                TrafficItem {
+                    name: format!("{}-s{idx}", bench.name.to_ascii_lowercase()),
+                    image: scaled_image(bench_idx, fig_idx),
+                    regime: regime_for(figures[fig_idx]),
+                    expected: ExpectedOutcome::Compliant,
+                    stall_after: None,
+                    client_seed,
+                }
+            }
+        };
+        out.push(item);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_is_deterministic_and_mixed() {
+        let spec = TrafficSpec {
+            sessions: 20,
+            scale_percent: 5,
+            adversarial_every: 4,
+            stall_every: 10,
+            seed: 9,
+        };
+        let a = mixed_traffic(&spec);
+        let b = mixed_traffic(&spec);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.image, y.image);
+            assert_eq!(x.client_seed, y.client_seed);
+            assert_eq!(x.expected, y.expected);
+        }
+        assert!(a.iter().any(|i| i.expected == ExpectedOutcome::Compliant));
+        assert!(a.iter().any(|i| i.expected == ExpectedOutcome::Rejected));
+        assert!(a.iter().any(|i| i.expected == ExpectedOutcome::Evicted));
+        // Stall slots outrank adversarial slots (session 20 is both).
+        assert!(a[19].name.starts_with("stall_"));
+    }
+
+    #[test]
+    fn traffic_covers_all_seven_benchmarks() {
+        let spec = TrafficSpec {
+            sessions: 7,
+            scale_percent: 5,
+            adversarial_every: 0,
+            stall_every: 0,
+            seed: 1,
+        };
+        let items = mixed_traffic(&spec);
+        for (item, bench) in items.iter().zip(&PAPER_BENCHMARKS) {
+            assert!(item.name.starts_with(&bench.name.to_ascii_lowercase()));
+            assert!(!item.image.is_empty());
+        }
+    }
+
+    #[test]
+    fn client_seeds_are_distinct() {
+        let items = mixed_traffic(&TrafficSpec::default());
+        let mut seeds: Vec<u64> = items.iter().map(|i| i.client_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), items.len());
+    }
+}

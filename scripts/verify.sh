@@ -21,6 +21,28 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== lint: rustfmt drift =="
 cargo fmt --check
 
+echo "== smoke: bench_serve_throughput (bounded) =="
+# A small bounded replay: proves the service bench runs end-to-end and
+# emits the documented JSON schema. The full run (EXPERIMENTS.md) uses
+# the defaults; this one is sized to finish in seconds.
+smoke_out=target/BENCH_serve_smoke.json
+cargo run --release --offline -q -p engarde-bench --bin bench_serve_throughput -- \
+    --sessions 6 --shards 1,2 --scale 3 --capacity 64 --skip-threaded \
+    --out "$smoke_out"
+jq -e '
+    .deterministic == true
+    and (.runs | length == 2)
+    and (.runs | all(
+        (.throughput_per_sec > 0)
+        and (.p50_latency_cycles > 0)
+        and (.p99_latency_cycles >= .p50_latency_cycles)
+        and (.fingerprint | type == "string")))
+    and (.runs[1].speedup_vs_min_fleet > 1)
+    and (.overload.rejection_rate > 0)
+' "$smoke_out" > /dev/null \
+    || { echo "FAIL: $smoke_out missing required keys/invariants" >&2; exit 1; }
+echo "OK: $smoke_out schema + invariants hold"
+
 echo "== hermetic: dependency graph has zero registry packages =="
 # Every package with a non-null "source" came from a registry or git
 # remote; a hermetic tree has none.

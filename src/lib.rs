@@ -16,6 +16,7 @@
 //! - [`x86`] — x86-64 decoder/encoder + NaCl validation,
 //! - [`sgx`] — the software SGX machine (OpenSGX stand-in),
 //! - [`workloads`] — synthetic paper benchmarks,
+//! - [`serve`] — the concurrent multi-tenant provisioning service,
 //! - the EnGarde core modules ([`provider`], [`client`], [`policy`], …).
 //!
 //! # Examples
@@ -37,6 +38,7 @@
 pub use engarde_crypto as crypto;
 pub use engarde_elf as elf;
 pub use engarde_rand as rand;
+pub use engarde_serve as serve;
 pub use engarde_sgx as sgx;
 pub use engarde_workloads as workloads;
 pub use engarde_x86 as x86;

@@ -1,163 +1,227 @@
-//! Multiple clients provisioning enclaves on one provider machine:
-//! sessions, channels, verdicts, and page permissions stay isolated.
+//! Multi-tenant provisioning through the `engarde-serve` service layer:
+//! a mixed fleet of compliant and hostile tenants runs end-to-end, with
+//! adversarial sessions rejected by signed verdict and zero cross-tenant
+//! leakage (per-session measurements, channel keys, and verdicts all
+//! stay distinct and bound to their own tenant).
 
-use engarde::client::Client;
-use engarde::loader::LoaderConfig;
-use engarde::policy::{LibraryLinkingPolicy, PolicyModule, StackProtectionPolicy};
+use engarde::crypto::CryptoError;
 use engarde::provider::CloudProvider;
-use engarde::provision::{BootstrapSpec, DEFAULT_ENCLAVE_BASE};
+use engarde::provision::DEFAULT_ENCLAVE_BASE;
+use engarde::serve::service::{ProvisioningService, SchedMode, ServiceConfig};
+use engarde::serve::{regimes, SessionOutcome, SessionRunConfig};
 use engarde::sgx::instr::SgxVersion;
-use engarde::sgx::machine::{EnclaveId, MachineConfig};
-use engarde::workloads::generator::{generate, WorkloadSpec};
-use engarde::workloads::libc::{Instrumentation, LibcLibrary};
+use engarde::sgx::machine::MachineConfig;
+use engarde::workloads::traffic::{mixed_traffic, ExpectedOutcome, TrafficSpec};
 use engarde::EngardeError;
+use std::collections::HashSet;
+use std::sync::Arc;
 
-fn musl() -> Vec<Box<dyn PolicyModule>> {
-    let lib = LibcLibrary::build(Instrumentation::None);
-    vec![Box::new(LibraryLinkingPolicy::new(
-        "musl-libc",
-        lib.function_hashes(),
-    ))]
-}
-
-fn sp() -> Vec<Box<dyn PolicyModule>> {
-    vec![Box::new(StackProtectionPolicy::new())]
-}
-
-struct Tenant {
-    client: Client,
-    enclave: EnclaveId,
-}
-
-fn attach(
-    provider: &mut CloudProvider,
-    spec: &BootstrapSpec,
-    policies: Vec<Box<dyn PolicyModule>>,
-    binary: Vec<u8>,
-    seed: u64,
-) -> Result<Tenant, EngardeError> {
-    let enclave = provider.create_engarde_enclave(spec.clone(), policies)?;
-    let mut client = Client::new(
-        binary,
-        spec,
-        DEFAULT_ENCLAVE_BASE,
-        provider.device_public_key(),
-        seed,
-    );
-    let nonce = client.challenge();
-    let quote = provider.attest(enclave, nonce)?;
-    let key = provider.enclave_public_key(enclave)?;
-    client.verify_quote(&quote, &key)?;
-    let wrapped = client.establish_channel(&key)?;
-    provider.open_channel(enclave, &wrapped)?;
-    Ok(Tenant { client, enclave })
-}
-
-#[test]
-fn two_tenants_interleaved_with_different_policies_and_verdicts() {
-    let mut provider = CloudProvider::new(MachineConfig {
+fn machine(seed: u64) -> MachineConfig {
+    MachineConfig {
         epc_pages: 4_096,
         version: SgxVersion::V2,
         device_key_bits: 512,
-        seed: 0x7E2A,
-    });
-    // Tenant A: musl policy, compliant binary.
-    let spec_a = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &musl(), 128, 512);
-    let bin_a = generate(&WorkloadSpec {
-        name: "tenant_a".into(),
-        target_instructions: 7_000,
-        ..WorkloadSpec::default()
-    });
-    let mut a = attach(&mut provider, &spec_a, musl(), bin_a.image, 0xA1).expect("tenant A");
+        seed,
+    }
+}
 
-    // Tenant B: stack-protection policy, *non-compliant* (plain) binary.
-    let spec_b = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &sp(), 128, 512);
-    let bin_b = generate(&WorkloadSpec {
-        name: "tenant_b".into(),
-        target_instructions: 7_000,
-        instrumentation: Instrumentation::None,
-        seed: 0xB0,
-        ..WorkloadSpec::default()
+#[test]
+fn mixed_tenant_fleet_isolates_sessions_and_rejects_adversaries() {
+    let musl = Arc::new(regimes::musl_hashes());
+    let traffic = mixed_traffic(&TrafficSpec {
+        sessions: 8,
+        scale_percent: 3,
+        adversarial_every: 3,
+        stall_every: 0,
+        seed: 0x3E2A,
     });
-    let mut b = attach(&mut provider, &spec_b, sp(), bin_b.image, 0xB1).expect("tenant B");
+    assert!(traffic
+        .iter()
+        .any(|t| t.expected == ExpectedOutcome::Rejected));
 
-    // Interleave the two transfers block by block.
-    let blocks_a = a.client.content_blocks().expect("A blocks");
-    let blocks_b = b.client.content_blocks().expect("B blocks");
-    let mut ia = blocks_a.iter();
-    let mut ib = blocks_b.iter();
-    loop {
-        match (ia.next(), ib.next()) {
-            (None, None) => break,
-            (xa, xb) => {
-                if let Some(block) = xa {
-                    provider.deliver(a.enclave, block).expect("deliver A");
-                }
-                if let Some(block) = xb {
-                    provider.deliver(b.enclave, block).expect("deliver B");
-                }
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 2,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: 1_500_000,
+        },
+        machine: machine(0x3E2A),
+        queue_capacity: 16,
+        run: SessionRunConfig::default(),
+    });
+    for item in &traffic {
+        svc.submit(regimes::request_for(item, &musl))
+            .expect("admit");
+    }
+    let result = svc.drain();
+    assert_eq!(result.reports.len(), traffic.len());
+
+    // Every session ends exactly as the traffic mix predicts, and every
+    // verdict carries a signature the tenant's own client accepted.
+    for (item, report) in traffic.iter().zip(&result.reports) {
+        assert_eq!(report.name, item.name);
+        match item.expected {
+            ExpectedOutcome::Compliant => {
+                assert_eq!(
+                    report.outcome,
+                    SessionOutcome::Compliant,
+                    "{} must pass inspection",
+                    item.name
+                );
             }
+            ExpectedOutcome::Rejected => {
+                assert_eq!(
+                    report.outcome,
+                    SessionOutcome::NonCompliant,
+                    "{} must be rejected by signed verdict",
+                    item.name
+                );
+            }
+            ExpectedOutcome::Evicted => unreachable!("no stalls in this mix"),
         }
+        let verdict = report.verdict.as_ref().expect("verdict present");
+        assert_eq!(
+            verdict.compliant,
+            report.outcome == SessionOutcome::Compliant
+        );
+        assert!(
+            report.client_verified,
+            "{}: tenant must accept its verdict signature",
+            item.name
+        );
+        // The attested measurement is the one this tenant's agreed spec
+        // predicts — not some other tenant's enclave.
+        let expected = regimes::spec_for(item.image.len(), item.regime, &musl)
+            .expected_measurement(DEFAULT_ENCLAVE_BASE);
+        assert_eq!(
+            report.measurement,
+            Some(expected),
+            "{}: measurement bound to own spec",
+            item.name
+        );
     }
 
-    let view_a = provider
-        .inspect_and_provision(a.enclave)
-        .expect("inspect A");
-    let view_b = provider
-        .inspect_and_provision(b.enclave)
-        .expect("inspect B");
-    assert!(view_a.compliant, "A is compliant");
-    assert!(!view_b.compliant, "B is rejected");
+    // No cross-tenant leakage: channel identities (enclave key
+    // fingerprints), verdict signatures, and verdict content digests are
+    // pairwise distinct.
+    let fps: HashSet<_> = result
+        .reports
+        .iter()
+        .map(|r| r.enclave_key_fp.expect("attested key"))
+        .collect();
+    assert_eq!(
+        fps.len(),
+        traffic.len(),
+        "every tenant gets a fresh channel key"
+    );
+    let sigs: HashSet<_> = result
+        .reports
+        .iter()
+        .map(|r| r.verdict.as_ref().expect("verdict").signature.clone())
+        .collect();
+    assert_eq!(sigs.len(), traffic.len(), "verdict signatures never repeat");
+    let digests: HashSet<_> = result
+        .reports
+        .iter()
+        .map(|r| {
+            *r.verdict
+                .as_ref()
+                .expect("verdict")
+                .content_digest
+                .as_bytes()
+        })
+        .collect();
+    assert_eq!(
+        digests.len(),
+        traffic.len(),
+        "verdicts bind distinct content"
+    );
 
-    // Each client sees and verifies its own verdict; cross-verification
-    // fails (wrong key and wrong digest).
-    let key_a = provider.enclave_public_key(a.enclave).expect("key A");
-    let key_b = provider.enclave_public_key(b.enclave).expect("key B");
-    let verdict_a = provider
-        .signed_verdict(a.enclave)
-        .expect("verdict A")
-        .clone();
-    let verdict_b = provider
-        .signed_verdict(b.enclave)
-        .expect("verdict B")
-        .clone();
-    assert!(a.client.verify_verdict(&verdict_a, &key_a).expect("A ok"));
-    assert!(!b.client.verify_verdict(&verdict_b, &key_b).expect("B ok"));
-    assert!(a.client.verify_verdict(&verdict_b, &key_b).is_err());
-    assert!(b.client.verify_verdict(&verdict_a, &key_a).is_err());
+    // Service-level accounting matches the mix.
+    let m = result.metrics.counters();
+    let expected_rejections = traffic
+        .iter()
+        .filter(|t| t.expected == ExpectedOutcome::Rejected)
+        .count() as u64;
+    assert_eq!(m.completed, traffic.len() as u64);
+    assert_eq!(m.noncompliant, expected_rejections);
+    assert_eq!(m.compliant, traffic.len() as u64 - expected_rejections);
+    assert_eq!(m.evicted, 0);
 
-    // Host state: A locked with W^X, B never finalized.
-    assert!(provider.host().is_extension_locked(a.enclave));
-    assert!(!provider.host().is_extension_locked(b.enclave));
-    for &page in &view_a.exec_pages {
-        assert!(provider
-            .host()
-            .effective_perms(a.enclave, page)
-            .expect("mapped")
-            .is_wx_exclusive());
+    // After drain with recycling on, no shard retains sessions or EPC
+    // pages: tenants cannot observe each other through residue.
+    for shard in &result.shards {
+        assert_eq!(shard.provider().session_count(), 0);
+        assert_eq!(shard.provider().host().machine().epc_used_pages(), 0);
     }
+}
+
+#[test]
+fn threaded_tenants_complete_with_isolated_channels() {
+    let musl = Arc::new(regimes::musl_hashes());
+    let traffic = mixed_traffic(&TrafficSpec {
+        sessions: 4,
+        scale_percent: 3,
+        adversarial_every: 4,
+        stall_every: 0,
+        seed: 0x7D11,
+    });
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 2,
+        mode: SchedMode::Threaded,
+        machine: machine(0x7D11),
+        queue_capacity: 8,
+        run: SessionRunConfig::default(),
+    });
+    for item in &traffic {
+        svc.submit(regimes::request_for(item, &musl))
+            .expect("admit");
+    }
+    let result = svc.drain();
+    assert_eq!(result.reports.len(), 4);
+    assert!(result.reports.iter().all(|r| r.reached_verdict()));
+    assert!(result.reports.iter().all(|r| r.client_verified));
+    let fps: HashSet<_> = result
+        .reports
+        .iter()
+        .map(|r| r.enclave_key_fp.expect("attested"))
+        .collect();
+    assert_eq!(fps.len(), 4, "distinct channel keys across worker threads");
+    // The mix's one adversarial session is rejected even under real
+    // thread interleaving.
+    assert!(result
+        .reports
+        .iter()
+        .any(|r| r.outcome == SessionOutcome::NonCompliant));
 }
 
 #[test]
 fn cross_tenant_block_delivery_fails_authentication() {
-    let mut provider = CloudProvider::new(MachineConfig {
-        epc_pages: 4_096,
-        version: SgxVersion::V2,
-        device_key_bits: 512,
+    // Provider-level isolation: a block sealed for tenant A's enclave is
+    // cryptographically useless against tenant B's.
+    let musl = Arc::new(regimes::musl_hashes());
+    let traffic = mixed_traffic(&TrafficSpec {
+        sessions: 2,
+        scale_percent: 3,
+        adversarial_every: 0,
+        stall_every: 0,
         seed: 0x7E2B,
     });
-    let spec = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &musl(), 128, 512);
-    let bin = generate(&WorkloadSpec {
-        target_instructions: 7_000,
-        ..WorkloadSpec::default()
-    });
-    let mut a = attach(&mut provider, &spec, musl(), bin.image.clone(), 0xA2).expect("A");
-    let b = attach(&mut provider, &spec, musl(), bin.image, 0xB2).expect("B");
-    // A's first block delivered to B's enclave: wrong session keys.
-    let blocks = a.client.content_blocks().expect("blocks");
-    let err = provider.deliver(b.enclave, &blocks[0]).unwrap_err();
+    let mut provider = CloudProvider::new(machine(0x7E2B));
+    let req_a = regimes::request_for(&traffic[0], &musl);
+    let req_b = regimes::request_for(&traffic[1], &musl);
+    let mut fsm_a = engarde::serve::SessionFsm::create(&mut provider, &req_a).expect("A");
+    let mut fsm_b = engarde::serve::SessionFsm::create(&mut provider, &req_b).expect("B");
+    fsm_a.attest(&mut provider).expect("attest A");
+    fsm_b.attest(&mut provider).expect("attest B");
+    fsm_a.open_channel(&mut provider).expect("channel A");
+    fsm_b.open_channel(&mut provider).expect("channel B");
+    let blocks_a = fsm_a.content_blocks().expect("blocks A");
+    // A's first block delivered into B's enclave: wrong session keys.
+    let err = fsm_b.deliver(&mut provider, &blocks_a[0]).unwrap_err();
     assert!(matches!(
         err,
-        EngardeError::Crypto(engarde::crypto::CryptoError::AuthenticationFailed)
+        engarde::serve::ServeError::Engarde(EngardeError::Crypto(
+            CryptoError::AuthenticationFailed
+        ))
     ));
 }

@@ -167,6 +167,91 @@ fn channel_round_trips_arbitrary_payload_sequences() {
         });
 }
 
+// ---- provisioning protocol frames ----------------------------------------
+
+#[test]
+fn manifest_parser_never_panics_on_arbitrary_bytes() {
+    use engarde::protocol::ContentManifest;
+    Property::new("manifest_parser_never_panics_on_arbitrary_bytes")
+        .cases(512)
+        .run(|rng| {
+            let bytes = vec_u8(rng, 0..256);
+            let _ = ContentManifest::from_bytes(&bytes); // must never panic
+        });
+}
+
+#[test]
+fn manifest_round_trips_and_corruption_fails_closed() {
+    use engarde::protocol::{ContentManifest, PageKind};
+    Property::new("manifest_round_trips_and_corruption_fails_closed").run(|rng| {
+        // A consistent manifest: page count matching total_len.
+        let pages = rng.gen_range(1usize..64);
+        let last_page_bytes = rng.gen_range(1usize..=4096);
+        let total_len = (pages - 1) * 4096 + last_page_bytes;
+        let page_kinds: Vec<PageKind> = (0..pages)
+            .map(|_| {
+                if rng.gen_range(0u8..2) == 1 {
+                    PageKind::Code
+                } else {
+                    PageKind::Data
+                }
+            })
+            .collect();
+        let m = ContentManifest {
+            total_len,
+            page_kinds,
+        };
+        let bytes = m.to_bytes();
+        assert_eq!(ContentManifest::from_bytes(&bytes).expect("round trip"), m);
+        // Any single-byte corruption must parse to a *different but
+        // consistent* manifest or fail — never panic, never alias the
+        // original.
+        let mut corrupted = bytes.clone();
+        let at = rng.gen_range(0usize..corrupted.len());
+        let flip: u8 = rng.gen::<u8>() | 1;
+        corrupted[at] ^= flip;
+        if let Ok(parsed) = ContentManifest::from_bytes(&corrupted) {
+            assert_ne!(parsed, m, "corruption at byte {at} went unnoticed");
+            assert_eq!(parsed.page_count(), parsed.total_len.div_ceil(4096));
+        }
+    });
+}
+
+#[test]
+fn page_payload_parser_never_panics_on_arbitrary_bytes() {
+    use engarde::protocol::PagePayload;
+    Property::new("page_payload_parser_never_panics_on_arbitrary_bytes")
+        .cases(512)
+        .run(|rng| {
+            let bytes = vec_u8(rng, 0..5000);
+            if let Ok(p) = PagePayload::from_bytes(&bytes) {
+                // Accepted payloads always satisfy the size invariant.
+                assert!(!p.data.is_empty() && p.data.len() <= 4096);
+            }
+        });
+}
+
+#[test]
+fn page_payload_round_trips() {
+    use engarde::protocol::PagePayload;
+    Property::new("page_payload_round_trips").run(|rng| {
+        let p = PagePayload {
+            index: rng.gen_range(0usize..100_000),
+            data: vec_u8(rng, 1..4097),
+        };
+        assert_eq!(
+            PagePayload::from_bytes(&p.to_bytes()).expect("round trip"),
+            p
+        );
+        // Oversized and empty payloads are refused symmetrically.
+        let oversized = PagePayload {
+            index: 0,
+            data: vec![0xAB; 4097],
+        };
+        assert!(PagePayload::from_bytes(&oversized.to_bytes()).is_err());
+    });
+}
+
 // ---- ELF ------------------------------------------------------------------
 
 #[test]

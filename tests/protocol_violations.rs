@@ -149,6 +149,81 @@ fn manifest_total_len_must_match_pages() {
     assert!(PagePayload::from_bytes(&p.to_bytes()).is_err());
 }
 
+/// Opens a raw channel to `id` with a hand-rolled client session, so
+/// tests can seal arbitrary (hostile) protocol messages.
+fn hand_session(
+    p: &mut CloudProvider,
+    id: engarde::sgx::machine::EnclaveId,
+    seed: u64,
+) -> engarde::crypto::channel::Session {
+    use engarde::crypto::channel::ChannelClient;
+    use engarde::rand::{SeedableRng, StdRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key = p.enclave_public_key(id).expect("enclave key");
+    let (wrapped, session) = ChannelClient::establish(&mut rng, &key).expect("establish");
+    p.open_channel(id, &wrapped).expect("open channel");
+    session
+}
+
+fn two_page_manifest() -> ContentManifest {
+    ContentManifest {
+        total_len: 4096 * 2,
+        page_kinds: vec![PageKind::Code, PageKind::Data],
+    }
+}
+
+#[test]
+fn duplicate_page_delivery_is_a_typed_replay_error() {
+    let mut p = provider(8);
+    let id = p
+        .create_engarde_enclave(spec(), policies())
+        .expect("create");
+    let mut session = hand_session(&mut p, id, 0xD0_B0);
+    p.deliver(id, &session.seal(&two_page_manifest().to_bytes()))
+        .expect("manifest");
+    let page = PagePayload {
+        index: 0,
+        data: vec![0x90; 4096],
+    };
+    p.deliver(id, &session.seal(&page.to_bytes()))
+        .expect("first copy of page 0");
+    // Replaying the same page index (fresh sequence number, so the
+    // channel layer accepts it) must fail closed with the typed error —
+    // a hostile provider could otherwise swap page contents mid-stream.
+    let err = p.deliver(id, &session.seal(&page.to_bytes())).unwrap_err();
+    assert!(
+        matches!(err, EngardeError::DuplicatePage { index: 0 }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn out_of_manifest_page_index_is_a_typed_error() {
+    let mut p = provider(9);
+    let id = p
+        .create_engarde_enclave(spec(), policies())
+        .expect("create");
+    let mut session = hand_session(&mut p, id, 0xBAD1);
+    p.deliver(id, &session.seal(&two_page_manifest().to_bytes()))
+        .expect("manifest");
+    // The manifest declared 2 pages; index 5 is outside it and must be
+    // refused before any buffer is touched.
+    let payload = PagePayload {
+        index: 5,
+        data: vec![0xCC; 4096],
+    };
+    let err = p
+        .deliver(id, &session.seal(&payload.to_bytes()))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngardeError::PageIndexOutOfRange { index: 5, pages: 2 }
+        ),
+        "got {err}"
+    );
+}
+
 #[test]
 fn double_provisioning_the_same_enclave_is_refused() {
     let mut p = provider(6);

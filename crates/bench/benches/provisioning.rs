@@ -196,7 +196,8 @@ fn bench_executor() {
         m.einit(id).expect("einit");
         m.eenter(id).expect("enter");
         let loaded = load(&mut m, id, &w.image, &LoaderConfig::default()).expect("loads");
-        let mapping = map_and_relocate(&mut m, id, &loaded, region_base, 96).expect("maps");
+        let mapping = map_and_relocate(&mut m, id, &loaded.elf, &loaded.raw_image, region_base, 96)
+            .expect("maps");
         let mut exec = Executor::new(&mut m, id, None);
         exec.run(mapping.entry, &ExecConfig::default())
             .expect("runs")

@@ -163,6 +163,7 @@ fn run_virtual(
         machine: machine(args.seed),
         queue_capacity: capacity,
         run: SessionRunConfig::default(),
+        verdict_cache: None,
     });
     let rejected = submit_all(&mut svc, traffic, musl);
     let result = svc.drain();
@@ -237,6 +238,7 @@ fn main() {
         machine: machine(args.seed),
         queue_capacity: 2,
         run: SessionRunConfig::default(),
+        verdict_cache: None,
     });
     let overload_rejected = submit_all(&mut svc, &overload_traffic, &musl);
     let overload = svc.drain();
@@ -256,6 +258,7 @@ fn main() {
             machine: machine(args.seed),
             queue_capacity: args.capacity,
             run: SessionRunConfig::default(),
+            verdict_cache: None,
         });
         let rejected = submit_all(&mut svc, &traffic, &musl);
         let result = svc.drain();

@@ -1,0 +1,275 @@
+//! Verdict-cache effectiveness: provisions a 16-tenant fleet that all
+//! ship the *same* binary against the matched control fleet where every
+//! tenant ships a *distinct* binary, and writes `BENCH_cache.json`.
+//!
+//! Three headline numbers:
+//!
+//! * `speedup_same_vs_distinct` — sessions per model-second of the
+//!   cached same-binary fleet over the all-distinct fleet (which can
+//!   never hit). This is the deployment win for homogeneous fleets
+//!   (auto-scaled replicas of one service binary).
+//! * `speedup_cached_vs_uncached` — the same fleet with the cache off,
+//!   isolating the cache's own contribution.
+//! * `verdicts_bit_identical` — cached and uncached runs of the same
+//!   fleet at the same seed must produce byte-identical signed
+//!   verdicts; the cache may only change *when* a verdict is computed,
+//!   never *what* it says.
+//!
+//! All measurements use the deterministic virtual-time scheduler, so
+//! cycle counts are bit-reproducible. A cross-shard run demonstrates
+//! that one shard's verdict serves another shard's tenant.
+//!
+//! ```text
+//! bench_verdict_cache [--sessions N] [--scale P] [--seed S]
+//!                     [--arrival-gap CYCLES] [--cache-capacity N]
+//!                     [--cross-shards N] [--out PATH]
+//! ```
+
+use engarde_serve::regimes;
+use engarde_serve::service::{ProvisioningService, SchedMode, ServiceConfig, ServiceResult};
+use engarde_serve::SessionRunConfig;
+use engarde_sgx::instr::SgxVersion;
+use engarde_sgx::machine::MachineConfig;
+use engarde_sgx::perf::CLOCK_GHZ;
+use engarde_workloads::traffic::{distinct_binary_traffic, repeated_binary_traffic, TrafficItem};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Args {
+    sessions: usize,
+    scale_percent: usize,
+    seed: u64,
+    arrival_gap: u64,
+    cache_capacity: usize,
+    cross_shards: usize,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            sessions: 16,
+            scale_percent: 5,
+            seed: 0x0CAC_4E00,
+            arrival_gap: 2_000_000,
+            cache_capacity: 64,
+            cross_shards: 2,
+            out: "BENCH_cache.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--sessions" => args.sessions = take().parse().expect("--sessions"),
+            "--scale" => args.scale_percent = take().parse().expect("--scale"),
+            "--seed" => args.seed = take().parse().expect("--seed"),
+            "--arrival-gap" => args.arrival_gap = take().parse().expect("--arrival-gap"),
+            "--cache-capacity" => args.cache_capacity = take().parse().expect("--cache-capacity"),
+            "--cross-shards" => args.cross_shards = take().parse().expect("--cross-shards"),
+            "--out" => args.out = take(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn machine(seed: u64) -> MachineConfig {
+    MachineConfig {
+        epc_pages: 8_192,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed,
+    }
+}
+
+/// One measured fleet run.
+struct FleetRun {
+    label: &'static str,
+    makespan_cycles: u64,
+    sessions_per_model_sec: f64,
+    compliant: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    cache_insertions: u64,
+    report_hits: u64,
+    verdict_fingerprint: String,
+}
+
+/// Hash of *what* the service decided, not *how fast*: session names,
+/// outcomes, and signed verdict bytes, sorted by name. Cycle counts,
+/// latencies, and the cache-hit bit are deliberately excluded so a
+/// cached and an uncached run of the same fleet hash identically iff
+/// the cache never changed a verdict.
+fn verdict_fingerprint(result: &ServiceResult) -> String {
+    use engarde_crypto::sha256::Sha256;
+    let mut reports: Vec<_> = result.reports.iter().collect();
+    reports.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut h = Sha256::new();
+    for r in reports {
+        h.update(r.name.as_bytes());
+        h.update(&[match &r.outcome {
+            engarde_serve::SessionOutcome::Compliant => 0u8,
+            engarde_serve::SessionOutcome::NonCompliant => 1,
+            engarde_serve::SessionOutcome::Evicted { .. } => 2,
+            engarde_serve::SessionOutcome::Failed { .. } => 3,
+        }]);
+        if let Some(v) = &r.verdict {
+            h.update(&[v.compliant as u8]);
+            h.update(v.detail.as_bytes());
+            h.update(&v.signature);
+        }
+    }
+    h.finalize().to_hex()
+}
+
+fn run_fleet(
+    label: &'static str,
+    traffic: &[TrafficItem],
+    cache: Option<usize>,
+    shards: usize,
+    args: &Args,
+    musl: &Arc<HashMap<String, engarde_crypto::sha256::Digest>>,
+) -> FleetRun {
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: args.arrival_gap,
+        },
+        machine: machine(args.seed),
+        queue_capacity: traffic.len().max(1) * 2,
+        run: SessionRunConfig::default(),
+        verdict_cache: cache,
+    });
+    for item in traffic {
+        svc.submit(regimes::request_for(item, musl))
+            .unwrap_or_else(|e| panic!("submit {}: {e}", item.name));
+    }
+    let result = svc.drain();
+    let m = result.metrics.counters();
+    let makespan = result.makespan_cycles.max(1);
+    let model_seconds = makespan as f64 / (CLOCK_GHZ * 1e9);
+    let run = FleetRun {
+        label,
+        makespan_cycles: result.makespan_cycles,
+        sessions_per_model_sec: m.completed as f64 / model_seconds,
+        compliant: m.compliant,
+        cache_hits: m.cache_hits,
+        cache_misses: m.cache_misses,
+        cache_evictions: m.cache_evictions,
+        cache_insertions: m.cache_insertions,
+        report_hits: result.reports.iter().filter(|r| r.cache_hit).count() as u64,
+        verdict_fingerprint: verdict_fingerprint(&result),
+    };
+    eprintln!(
+        "  {label}: makespan {} cycles, {:.2} sessions/model-s, hits {} misses {}",
+        run.makespan_cycles, run.sessions_per_model_sec, run.cache_hits, run.cache_misses
+    );
+    run
+}
+
+fn fleet_json(r: &FleetRun) -> String {
+    format!(
+        "{{\"makespan_cycles\": {}, \"sessions_per_model_sec\": {:.4}, \"compliant\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \"cache_insertions\": {}, \"report_hits\": {}, \"verdict_fingerprint\": \"{}\"}}",
+        r.makespan_cycles,
+        r.sessions_per_model_sec,
+        r.compliant,
+        r.cache_hits,
+        r.cache_misses,
+        r.cache_evictions,
+        r.cache_insertions,
+        r.report_hits,
+        r.verdict_fingerprint
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let musl = Arc::new(regimes::musl_hashes());
+    let same = repeated_binary_traffic(args.sessions, args.scale_percent, args.seed);
+    let distinct = distinct_binary_traffic(args.sessions, args.scale_percent, args.seed);
+    eprintln!(
+        "bench_verdict_cache: {}-tenant fleets (scale {}%), cache capacity {}",
+        args.sessions, args.scale_percent, args.cache_capacity
+    );
+
+    // Single-shard runs: the cached/uncached comparison must pin every
+    // session to the same provider position so verdict signatures are
+    // byte-comparable.
+    let cached = run_fleet(
+        "same_binary_cached",
+        &same,
+        Some(args.cache_capacity),
+        1,
+        &args,
+        &musl,
+    );
+    let uncached = run_fleet("same_binary_uncached", &same, None, 1, &args, &musl);
+    let control = run_fleet(
+        "distinct_binary_cached",
+        &distinct,
+        Some(args.cache_capacity),
+        1,
+        &args,
+        &musl,
+    );
+
+    // Cross-shard sharing: one fleet-wide cache, several shards — the
+    // first shard's verdict serves the other shards' tenants.
+    let cross = run_fleet(
+        "cross_shard_cached",
+        &same,
+        Some(args.cache_capacity),
+        args.cross_shards,
+        &args,
+        &musl,
+    );
+
+    let speedup_vs_distinct = cached.sessions_per_model_sec / control.sessions_per_model_sec;
+    let speedup_vs_uncached = cached.sessions_per_model_sec / uncached.sessions_per_model_sec;
+    let identical = cached.verdict_fingerprint == uncached.verdict_fingerprint;
+    eprintln!(
+        "  speedup vs distinct fleet: {speedup_vs_distinct:.2}x; vs uncached: {speedup_vs_uncached:.2}x; verdicts identical: {identical}"
+    );
+    assert!(
+        identical,
+        "cache changed a verdict: {} != {}",
+        cached.verdict_fingerprint, uncached.verdict_fingerprint
+    );
+    assert_eq!(
+        cached.cache_hits,
+        args.sessions as u64 - 1,
+        "every session after the first must hit"
+    );
+    assert_eq!(control.cache_hits, 0, "distinct binaries must never hit");
+    assert!(
+        cross.cache_hits > 0,
+        "cross-shard fleet must share verdicts"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"sessions\": {},\n  \"scale_percent\": {},\n  \"seed\": {},\n  \"arrival_gap_cycles\": {},\n  \"cache_capacity\": {},\n  \"clock_ghz\": {CLOCK_GHZ},\n",
+        args.sessions, args.scale_percent, args.seed, args.arrival_gap, args.cache_capacity
+    ));
+    for r in [&cached, &uncached, &control] {
+        json.push_str(&format!("  \"{}\": {},\n", r.label, fleet_json(r)));
+    }
+    json.push_str(&format!(
+        "  \"cross_shard\": {{\"shards\": {}, \"run\": {}}},\n",
+        args.cross_shards,
+        fleet_json(&cross)
+    ));
+    json.push_str(&format!(
+        "  \"speedup_same_vs_distinct\": {speedup_vs_distinct:.4},\n  \"speedup_cached_vs_uncached\": {speedup_vs_uncached:.4},\n  \"verdicts_bit_identical\": {identical}\n"
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&args.out, &json).expect("write BENCH_cache.json");
+    eprintln!("wrote {}", args.out);
+}

@@ -1,0 +1,339 @@
+//! Content-addressed inspection verdict cache.
+//!
+//! When a fleet of tenants ships the *same* binary (the paper's own
+//! scenario: many clients deploying stock Nginx/Memcached against agreed
+//! policies), every session re-pays full disassembly + policy checking
+//! for bit-identical content. Inspection is deterministic — the same
+//! bytes under the same EnGarde configuration always produce the same
+//! verdict — so the verdict of a previous session can be replayed.
+//!
+//! # Key derivation (fail closed)
+//!
+//! The cache key is `SHA-256(domain tag || bootstrap bytes ||
+//! content measurement)`, where the content measurement is the SHA-256
+//! of the **fully decrypted, reassembled** client image — never a
+//! prefix, a page subset, or anything the client *declared* (manifest
+//! fields are attacker-controlled; two manifests can claim the same
+//! name/length for different bytes). Binding the serialized
+//! [`BootstrapSpec`](crate::provision::BootstrapSpec) bytes means the
+//! same binary inspected under a different policy set, loader
+//! configuration, or rewrite setting occupies a different cache slot:
+//! verdicts never leak across policy regimes.
+//!
+//! # What a hit may — and may not — skip
+//!
+//! A hit replays the disassembly + policy **verdict** (and its recorded
+//! stage cycles) but skips none of the per-tenant work: the session
+//! still received and decrypted its own ciphertext, still reassembles
+//! and hashes the image (the key *is* that hash), still re-verifies the
+//! declared page kinds against the actual content, and still performs a
+//! fresh `map_and_relocate` into its own enclave region. Outcomes
+//! produced by the rewriting extension are never inserted: a rewritten
+//! image differs from the received one, so its verdict does not describe
+//! the cached key's content.
+
+use crate::policy::PolicyReport;
+use engarde_crypto::sha256::{Digest, Sha256};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Domain-separation tag mixed into every cache key.
+const KEY_DOMAIN: &[u8] = b"ENGARDE-VERDICT-CACHE-V1";
+
+/// A verdict-cache key: the joint measurement of the EnGarde
+/// configuration and the client content.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey([u8; 32]);
+
+impl CacheKey {
+    /// Derives the key for `content_digest` (the SHA-256 of the fully
+    /// reassembled client image) inspected under the configuration
+    /// serialized as `bootstrap_bytes`.
+    pub fn derive(bootstrap_bytes: &[u8], content_digest: &Digest) -> Self {
+        let mut h = Sha256::new();
+        h.update(KEY_DOMAIN);
+        h.update(&(bootstrap_bytes.len() as u64).to_be_bytes());
+        h.update(bootstrap_bytes);
+        h.update(content_digest.as_bytes());
+        CacheKey(*h.finalize().as_bytes())
+    }
+
+    /// The raw 32 key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// The replayable part of an inspection outcome: the verdict and the
+/// stage costs the original session paid to reach it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CachedVerdict {
+    /// Whether every policy passed.
+    pub compliant: bool,
+    /// The verdict detail string — reused verbatim so a cached session
+    /// signs the *identical* message and produces the identical
+    /// signature a cold session would.
+    pub detail: String,
+    /// Per-policy reports (empty on rejection).
+    pub policy_reports: Vec<PolicyReport>,
+    /// Disassembly cycles the original session paid.
+    pub disassembly_cycles: u64,
+    /// Policy-checking cycles the original session paid.
+    pub policy_cycles: u64,
+    /// Instructions the original session disassembled.
+    pub instructions: usize,
+}
+
+impl CachedVerdict {
+    /// Cycles a hit avoids re-paying (disassembly + policy checking).
+    pub fn replayed_cycles(&self) -> u64 {
+        self.disassembly_cycles + self.policy_cycles
+    }
+}
+
+/// Hit/miss/eviction counters, exported through `engarde-serve` metrics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Probes that found a usable verdict.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Disassembly + policy cycles hits avoided re-paying.
+    pub cycles_saved: u64,
+}
+
+struct Entry {
+    verdict: CachedVerdict,
+    last_used: u64,
+}
+
+/// A bounded, LRU-evicting verdict cache.
+///
+/// Recency is tracked with a monotonic access tick; every operation
+/// assigns a distinct tick, so the least-recently-used entry is unique
+/// and eviction order is deterministic regardless of `HashMap` iteration
+/// order — which is what keeps virtual-time service runs bit-for-bit
+/// reproducible with caching enabled.
+pub struct VerdictCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for VerdictCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "VerdictCache({}/{} entries, {:?})",
+            self.entries.len(),
+            self.capacity,
+            self.stats
+        )
+    }
+}
+
+impl VerdictCache {
+    /// Creates a cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        VerdictCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Probes for `key`, counting a hit or miss and refreshing recency.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<CachedVerdict> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                self.stats.cycles_saved += entry.verdict.replayed_cycles();
+                Some(entry.verdict.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a verdict, evicting the least-recently
+    /// used entry if the bound is reached.
+    pub fn insert(&mut self, key: CacheKey, verdict: CachedVerdict) {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Ticks are unique, so the minimum is unique: deterministic
+            // eviction independent of HashMap iteration order.
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.stats.insertions += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                verdict,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured LRU bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// A verdict cache shared across shards (thread mode locks it briefly
+/// around each probe/insert; virtual-time mode drives shards
+/// sequentially, so the lock is uncontended and ordering deterministic).
+pub type SharedVerdictCache = Arc<Mutex<VerdictCache>>;
+
+/// Builds a [`SharedVerdictCache`] with the given LRU bound.
+pub fn shared_cache(capacity: usize) -> SharedVerdictCache {
+    Arc::new(Mutex::new(VerdictCache::new(capacity)))
+}
+
+/// Locks a shared cache, recovering from a poisoned lock (a panicking
+/// inspection thread must not take the whole service's cache with it —
+/// counters and entries are plain data, valid at every interleaving).
+pub fn lock_cache(cache: &SharedVerdictCache) -> std::sync::MutexGuard<'_, VerdictCache> {
+    cache
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(tag: &str) -> CachedVerdict {
+        CachedVerdict {
+            compliant: true,
+            detail: tag.to_string(),
+            policy_reports: Vec::new(),
+            disassembly_cycles: 1_000,
+            policy_cycles: 500,
+            instructions: 42,
+        }
+    }
+
+    fn key(n: u8) -> CacheKey {
+        CacheKey::derive(&[n], &Digest([n; 32]))
+    }
+
+    #[test]
+    fn key_binds_configuration_and_content() {
+        let d = Digest([7u8; 32]);
+        let base = CacheKey::derive(b"spec-a", &d);
+        assert_eq!(base, CacheKey::derive(b"spec-a", &d));
+        // Same binary under a different policy regime: different slot.
+        assert_ne!(base, CacheKey::derive(b"spec-b", &d));
+        // Same regime, different content: different slot.
+        assert_ne!(base, CacheKey::derive(b"spec-a", &Digest([8u8; 32])));
+    }
+
+    #[test]
+    fn key_length_prefix_prevents_boundary_ambiguity() {
+        // "ab" + content starting with "c" must not collide with
+        // "abc" + the rest — the length prefix separates the fields.
+        let a = CacheKey::derive(b"ab", &Digest([b'c'; 32]));
+        let b = CacheKey::derive(b"abc", &Digest([b'c'; 32]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut c = VerdictCache::new(4);
+        assert!(c.lookup(&key(1)).is_none());
+        c.insert(key(1), verdict("one"));
+        let got = c.lookup(&key(1)).expect("hit");
+        assert_eq!(got.detail, "one");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.cycles_saved, 1_500);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = VerdictCache::new(2);
+        c.insert(key(1), verdict("one"));
+        c.insert(key(2), verdict("two"));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.lookup(&key(1)).is_some());
+        c.insert(key(3), verdict("three"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.lookup(&key(2)).is_none(), "LRU entry evicted");
+        assert!(c.lookup(&key(1)).is_some());
+        assert!(c.lookup(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut c = VerdictCache::new(2);
+        c.insert(key(1), verdict("one"));
+        c.insert(key(2), verdict("two"));
+        c.insert(key(1), verdict("one-again"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.lookup(&key(1)).expect("hit").detail, "one-again");
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut c = VerdictCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(key(1), verdict("one"));
+        c.insert(key(2), verdict("two"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic() {
+        // Same operation sequence → same surviving set, run after run
+        // (ticks are unique, so min-by-last-used has a unique answer).
+        let run = || {
+            let mut c = VerdictCache::new(3);
+            for n in 0..8u8 {
+                c.insert(key(n), verdict("v"));
+                let _ = c.lookup(&key(n / 2));
+            }
+            let mut alive: Vec<u8> = (0..8u8)
+                .filter(|&n| c.entries.contains_key(&key(n)))
+                .collect();
+            alive.sort_unstable();
+            alive
+        };
+        assert_eq!(run(), run());
+    }
+}

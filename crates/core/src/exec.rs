@@ -615,8 +615,15 @@ mod tests {
         m.einit(id).expect("einit");
         m.eenter(id).expect("enter");
         let loaded = load(&mut m, id, image, &LoaderConfig::default()).expect("loads");
-        let mapping =
-            map_and_relocate(&mut m, id, &loaded, region_base, REGION_PAGES).expect("maps");
+        let mapping = map_and_relocate(
+            &mut m,
+            id,
+            &loaded.elf,
+            &loaded.raw_image,
+            region_base,
+            REGION_PAGES,
+        )
+        .expect("maps");
         // Lock permissions the way the host does after a verdict.
         for &page in &mapping.exec_pages {
             m.emodpr(id, page, PagePerms::RX).expect("emodpr");

@@ -90,6 +90,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod client;
 pub mod error;
 pub mod exec;

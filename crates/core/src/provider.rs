@@ -11,6 +11,7 @@
 //! compliance verdict and the virtual addresses of the client's code
 //! pages ([`ProviderView`]) — nothing else crosses the boundary.
 
+use crate::cache::SharedVerdictCache;
 use crate::error::EngardeError;
 use crate::policy::PolicyModule;
 use crate::protocol::SignedVerdict;
@@ -38,6 +39,9 @@ pub struct ProviderView {
     /// Instructions inspected (proportional to content size, which the
     /// provider already sees as ciphertext volume).
     pub instructions: usize,
+    /// Whether the disassembly+policy verdict came from the verdict
+    /// cache (observable by the provider anyway through timing).
+    pub cache_hit: bool,
 }
 
 /// The cloud provider's machine, host OS, and active EnGarde sessions.
@@ -46,6 +50,7 @@ pub struct CloudProvider {
     sessions: HashMap<EnclaveId, EngardeEnclave>,
     verdicts: HashMap<EnclaveId, SignedVerdict>,
     rng: StdRng,
+    verdict_cache: Option<SharedVerdictCache>,
 }
 
 impl std::fmt::Debug for CloudProvider {
@@ -63,7 +68,21 @@ impl CloudProvider {
             sessions: HashMap::new(),
             verdicts: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
+            verdict_cache: None,
         }
+    }
+
+    /// Attaches a (possibly shared) content-addressed verdict cache:
+    /// subsequent inspections probe it and insert their verdicts. The
+    /// same cache handle may be attached to several providers — that is
+    /// how a multi-shard service shares verdicts across tenants.
+    pub fn set_verdict_cache(&mut self, cache: SharedVerdictCache) {
+        self.verdict_cache = Some(cache);
+    }
+
+    /// The attached verdict cache, if any.
+    pub fn verdict_cache(&self) -> Option<&SharedVerdictCache> {
+        self.verdict_cache.as_ref()
     }
 
     /// The host OS (inspection and tests).
@@ -238,7 +257,8 @@ impl CloudProvider {
                 what: "content transfer incomplete".into(),
             });
         }
-        let outcome = session.inspect(self.host.machine_mut());
+        let outcome =
+            session.inspect_with_cache(self.host.machine_mut(), self.verdict_cache.as_ref());
         self.sessions.insert(id, session);
         let outcome = outcome?;
         self.verdicts.insert(id, outcome.verdict.clone());
@@ -251,6 +271,7 @@ impl CloudProvider {
             exec_pages: outcome.exec_pages,
             stages: outcome.stages,
             instructions: outcome.instructions,
+            cache_hit: outcome.cache_hit,
         })
     }
 

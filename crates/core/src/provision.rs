@@ -11,6 +11,7 @@
 //! the content, and produces a signed verdict plus the executable-page
 //! list for the host.
 
+use crate::cache::{lock_cache, CacheKey, CachedVerdict, SharedVerdictCache};
 use crate::error::EngardeError;
 use crate::loader::{load, LoaderConfig};
 use crate::policy::{run_policies, PolicyModule, PolicyReport};
@@ -182,6 +183,10 @@ pub struct InspectionOutcome {
     pub stages: StageCycles,
     /// Instructions disassembled.
     pub instructions: usize,
+    /// Whether the disassembly+policy verdict was replayed from the
+    /// verdict cache (the session still paid receive/decrypt and a
+    /// fresh loading/relocation pass).
+    pub cache_hit: bool,
 }
 
 /// The in-enclave EnGarde state machine.
@@ -355,6 +360,31 @@ impl EngardeEnclave {
     /// Returns an error only when the content is incomplete or the
     /// verdict cannot be signed.
     pub fn inspect(&mut self, machine: &mut SgxMachine) -> Result<InspectionOutcome, EngardeError> {
+        self.inspect_with_cache(machine, None)
+    }
+
+    /// [`inspect`](Self::inspect) with an optional content-addressed
+    /// verdict cache.
+    ///
+    /// The cache key is derived from the serialized bootstrap spec and
+    /// the SHA-256 of the fully reassembled image (see
+    /// [`crate::cache`]); every probe charges
+    /// [`costs::CACHE_PROBE`] to the machine counter, hit or miss. A hit
+    /// replays the cached disassembly+policy verdict — the session still
+    /// pays its own receive/decrypt cycles, re-verifies the declared
+    /// page kinds against the actual bytes (fail closed), and performs a
+    /// fresh loading/relocation pass into its own region. Verdicts
+    /// reached through the rewriting extension are never cached, and
+    /// protocol/SGX errors never produce cache entries.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`inspect`](Self::inspect).
+    pub fn inspect_with_cache(
+        &mut self,
+        machine: &mut SgxMachine,
+        cache: Option<&SharedVerdictCache>,
+    ) -> Result<InspectionOutcome, EngardeError> {
         let image = self.reassemble()?;
         let content_digest = Sha256::digest(&image);
         let manifest = self.manifest.as_ref().expect("reassemble checked this");
@@ -363,9 +393,27 @@ impl EngardeEnclave {
             ..Default::default()
         };
 
+        // ---- verdict-cache probe -------------------------------------
+        // The key binds the *reassembled content's* measurement (never a
+        // manifest field) together with the full EnGarde configuration.
+        let cache_key = cache.map(|_| {
+            machine.counter_mut().charge_native(costs::CACHE_PROBE);
+            CacheKey::derive(&self.spec.to_bootstrap_bytes(), &content_digest)
+        });
+        let cached = match (cache, cache_key.as_ref()) {
+            (Some(cache), Some(key)) => lock_cache(cache).lookup(key),
+            _ => None,
+        };
+        if let Some(cached) = cached {
+            return self.replay_cached(machine, &image, manifest, stages, cached, &content_digest);
+        }
+
         let run = |machine: &mut SgxMachine,
-                       stages: &mut StageCycles|
-         -> Result<(Vec<PolicyReport>, MappedSegments, usize, String), EngardeError> {
+                   stages: &mut StageCycles|
+         -> Result<
+            (Vec<PolicyReport>, MappedSegments, usize, String, bool),
+            EngardeError,
+        > {
             // ---- page-kind verification --------------------------------
             let pre_parse = engarde_elf::parse::ElfFile::parse(&image)?;
             let kinds = classify_pages(&section_extents(&pre_parse), image.len())?;
@@ -408,7 +456,8 @@ impl EngardeEnclave {
             let mapping = map_and_relocate(
                 machine,
                 self.enclave,
-                &loaded,
+                &loaded.elf,
+                &loaded.raw_image,
                 region_base,
                 self.spec.client_region_pages,
             )?;
@@ -421,11 +470,33 @@ impl EngardeEnclave {
             if rewritten {
                 summary = format!("rewritten with canary instrumentation; {summary}");
             }
-            Ok((reports, mapping, loaded.insns.len(), summary))
+            Ok((reports, mapping, loaded.insns.len(), summary, rewritten))
         };
 
-        match run(machine, &mut stages) {
-            Ok((reports, mapping, instructions, summary)) => {
+        let result = run(machine, &mut stages);
+        match result {
+            Ok((reports, mapping, instructions, summary, rewritten)) => {
+                // Cache the verdict — unless the rewriting extension
+                // produced it, in which case it describes the *rewritten*
+                // image, not the bytes behind the key.
+                if let (Some(cache), Some(key), false) = (cache, cache_key, rewritten) {
+                    lock_cache(cache).insert(
+                        key,
+                        CachedVerdict {
+                            compliant: true,
+                            detail: summary.clone(),
+                            policy_reports: reports.clone(),
+                            disassembly_cycles: stages.disassembly,
+                            policy_cycles: stages.policy_checking,
+                            instructions,
+                        },
+                    );
+                }
+                // The probe preceded the stage snapshots; fold its cost
+                // into the disassembly column the way a hit reports it.
+                if cache_key.is_some() {
+                    stages.disassembly += costs::CACHE_PROBE;
+                }
                 let verdict = self.sign_verdict(true, &summary, &content_digest)?;
                 Ok(InspectionOutcome {
                     compliant: true,
@@ -435,11 +506,32 @@ impl EngardeEnclave {
                     mapping: Some(mapping),
                     stages,
                     instructions,
+                    cache_hit: false,
                 })
             }
             Err(e @ (EngardeError::Protocol { .. } | EngardeError::Sgx(_))) => Err(e),
             Err(reason) => {
                 let detail = reason.to_string();
+                // Rejections are deterministic functions of (content,
+                // configuration), so they are cacheable too: a fleet
+                // re-submitting a non-compliant binary re-hears "no"
+                // without re-paying the analysis that said it.
+                if let (Some(cache), Some(key)) = (cache, cache_key) {
+                    lock_cache(cache).insert(
+                        key,
+                        CachedVerdict {
+                            compliant: false,
+                            detail: detail.clone(),
+                            policy_reports: Vec::new(),
+                            disassembly_cycles: stages.disassembly,
+                            policy_cycles: stages.policy_checking,
+                            instructions: 0,
+                        },
+                    );
+                }
+                if cache_key.is_some() {
+                    stages.disassembly += costs::CACHE_PROBE;
+                }
                 let verdict = self.sign_verdict(false, &detail, &content_digest)?;
                 Ok(InspectionOutcome {
                     compliant: false,
@@ -449,6 +541,108 @@ impl EngardeEnclave {
                     mapping: None,
                     stages,
                     instructions: 0,
+                    cache_hit: false,
+                })
+            }
+        }
+    }
+
+    /// The cache-hit path: fail-closed structural verification plus a
+    /// fresh mapping, with the disassembly+policy verdict replayed.
+    fn replay_cached(
+        &self,
+        machine: &mut SgxMachine,
+        image: &[u8],
+        manifest: &ContentManifest,
+        mut stages: StageCycles,
+        cached: CachedVerdict,
+        content_digest: &Digest,
+    ) -> Result<InspectionOutcome, EngardeError> {
+        // The probe is the only analysis work a hit performs; report it
+        // in the disassembly column so no stage reads as free.
+        stages.disassembly = costs::CACHE_PROBE;
+
+        let replay = |machine: &mut SgxMachine,
+                      stages: &mut StageCycles|
+         -> Result<Option<MappedSegments>, EngardeError> {
+            // Fail closed: the cached verdict vouches for the *content*,
+            // not for this session's framing — re-verify that the pages
+            // the client declared match the bytes it actually sent.
+            let pre_parse = engarde_elf::parse::ElfFile::parse(image)?;
+            let kinds = classify_pages(&section_extents(&pre_parse), image.len())?;
+            if kinds != manifest.page_kinds {
+                return Err(EngardeError::Protocol {
+                    what: "client-declared page kinds do not match the content".into(),
+                });
+            }
+            if !cached.compliant {
+                return Ok(None);
+            }
+            // A fresh mapping into *this* session's region: loading and
+            // relocation are per-enclave work a hit can never skip.
+            let snap = *machine.counter();
+            let region_base = self.spec.client_region_base(self.base);
+            let mapping = map_and_relocate(
+                machine,
+                self.enclave,
+                &pre_parse,
+                image,
+                region_base,
+                self.spec.client_region_pages,
+            )?;
+            stages.loading_relocation = machine.counter().since(&snap);
+            Ok(Some(mapping))
+        };
+
+        match replay(machine, &mut stages) {
+            Ok(Some(mapping)) => {
+                debug_assert!(
+                    stages.receive_decrypt > 0 && stages.loading_relocation > 0,
+                    "a cache hit must still pay receive/decrypt and loading/relocation"
+                );
+                // Identical detail + identical content digest + the
+                // session's own deterministic key → the signature is
+                // bit-identical to what a cold inspection would sign.
+                let verdict = self.sign_verdict(true, &cached.detail, content_digest)?;
+                Ok(InspectionOutcome {
+                    compliant: true,
+                    policy_reports: cached.policy_reports,
+                    verdict,
+                    exec_pages: mapping.exec_pages.clone(),
+                    mapping: Some(mapping),
+                    stages,
+                    instructions: cached.instructions,
+                    cache_hit: true,
+                })
+            }
+            Ok(None) => {
+                let verdict = self.sign_verdict(false, &cached.detail, content_digest)?;
+                Ok(InspectionOutcome {
+                    compliant: false,
+                    policy_reports: Vec::new(),
+                    verdict,
+                    exec_pages: Vec::new(),
+                    mapping: None,
+                    stages,
+                    instructions: 0,
+                    cache_hit: true,
+                })
+            }
+            Err(e @ (EngardeError::Protocol { .. } | EngardeError::Sgx(_))) => Err(e),
+            Err(reason) => {
+                // E.g. the region cannot hold the segments. Same
+                // handling as the cold path: a signed rejection.
+                let detail = reason.to_string();
+                let verdict = self.sign_verdict(false, &detail, content_digest)?;
+                Ok(InspectionOutcome {
+                    compliant: false,
+                    policy_reports: Vec::new(),
+                    verdict,
+                    exec_pages: Vec::new(),
+                    mapping: None,
+                    stages,
+                    instructions: 0,
+                    cache_hit: true,
                 })
             }
         }

@@ -14,7 +14,7 @@
 //! larger number comes from its relocation count).
 
 use crate::error::EngardeError;
-use crate::loader::LoadedBinary;
+use engarde_elf::parse::ElfFile;
 use engarde_elf::types::{PF_X, PT_LOAD, R_X86_64_RELATIVE};
 use engarde_sgx::epc::PAGE_SIZE;
 use engarde_sgx::machine::{EnclaveId, SgxMachine};
@@ -38,6 +38,11 @@ pub struct MappedSegments {
 /// at `region_base`, applies `R_X86_64_RELATIVE` relocations, and
 /// returns the page lists for permission finalization.
 ///
+/// Takes the parsed ELF and the raw received image directly (rather
+/// than a full `LoadedBinary`) because this stage needs nothing from
+/// disassembly — which is exactly what lets a verdict-cache hit skip
+/// disassembly yet still pay for a fresh mapping.
+///
 /// # Errors
 ///
 /// - [`EngardeError::OutOfEnclaveMemory`] if segments exceed
@@ -48,7 +53,8 @@ pub struct MappedSegments {
 pub fn map_and_relocate(
     machine: &mut SgxMachine,
     enclave: EnclaveId,
-    binary: &LoadedBinary,
+    elf: &ElfFile,
+    raw_image: &[u8],
     region_base: u64,
     region_pages: usize,
 ) -> Result<MappedSegments, EngardeError> {
@@ -60,10 +66,10 @@ pub fn map_and_relocate(
         // PT_LOAD file ranges were validated by the ELF parser; the
         // loader reads straight out of the received image, which the
         // provisioning layer kept alongside the parse.
-        &binary.raw_image[off as usize..(off + len) as usize]
+        &raw_image[off as usize..(off + len) as usize]
     };
 
-    for ph in binary.elf.program_headers() {
+    for ph in elf.program_headers() {
         if ph.p_type != PT_LOAD {
             continue;
         }
@@ -99,7 +105,7 @@ pub fn map_and_relocate(
     rw_pages.retain(|p| !exec_pages.contains(p));
 
     // ---- relocations -----------------------------------------------------
-    let relas = binary.elf.rela_entries()?;
+    let relas = elf.rela_entries()?;
     for rela in &relas {
         machine
             .counter_mut()
@@ -117,7 +123,7 @@ pub fn map_and_relocate(
     Ok(MappedSegments {
         exec_pages,
         rw_pages,
-        entry: region_base + binary.elf.header().e_entry,
+        entry: region_base + elf.header().e_entry,
         relocations_applied: relas.len(),
     })
 }
@@ -125,7 +131,7 @@ pub fn map_and_relocate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::loader::{load, LoaderConfig};
+    use crate::loader::{load, LoadedBinary, LoaderConfig};
     use engarde_sgx::epc::PagePerms;
     use engarde_sgx::instr::SgxVersion;
     use engarde_sgx::machine::MachineConfig;
@@ -173,8 +179,15 @@ mod tests {
     fn maps_segments_and_applies_relocations() {
         let image = workload(8);
         let (mut m, id, loaded, region_base) = setup(&image);
-        let mapped =
-            map_and_relocate(&mut m, id, &loaded, region_base, REGION_PAGES).expect("maps");
+        let mapped = map_and_relocate(
+            &mut m,
+            id,
+            &loaded.elf,
+            &loaded.raw_image,
+            region_base,
+            REGION_PAGES,
+        )
+        .expect("maps");
         assert!(!mapped.exec_pages.is_empty());
         assert!(!mapped.rw_pages.is_empty());
         assert_eq!(mapped.relocations_applied, 8);
@@ -195,7 +208,15 @@ mod tests {
     fn relocation_slots_contain_rebased_pointers() {
         let image = workload(4);
         let (mut m, id, loaded, region_base) = setup(&image);
-        map_and_relocate(&mut m, id, &loaded, region_base, REGION_PAGES).expect("maps");
+        map_and_relocate(
+            &mut m,
+            id,
+            &loaded.elf,
+            &loaded.raw_image,
+            region_base,
+            REGION_PAGES,
+        )
+        .expect("maps");
         let relas = loaded.elf.rela_entries().expect("relas");
         for rela in relas {
             let got = m
@@ -210,7 +231,8 @@ mod tests {
     fn oversized_binary_rejected() {
         let image = workload(0);
         let (mut m, id, loaded, region_base) = setup(&image);
-        let err = map_and_relocate(&mut m, id, &loaded, region_base, 2).unwrap_err();
+        let err = map_and_relocate(&mut m, id, &loaded.elf, &loaded.raw_image, region_base, 2)
+            .unwrap_err();
         assert!(matches!(err, EngardeError::OutOfEnclaveMemory { .. }));
     }
 
@@ -220,7 +242,15 @@ mod tests {
             let image = workload(relocs);
             let (mut m, id, loaded, region_base) = setup(&image);
             let before = m.counter().total_cycles();
-            map_and_relocate(&mut m, id, &loaded, region_base, REGION_PAGES).expect("maps");
+            map_and_relocate(
+                &mut m,
+                id,
+                &loaded.elf,
+                &loaded.raw_image,
+                region_base,
+                REGION_PAGES,
+            )
+            .expect("maps");
             m.counter().total_cycles() - before
         };
         let few = cost(0);

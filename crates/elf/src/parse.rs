@@ -101,30 +101,31 @@ impl ElfFile {
         if data[6] != EV_CURRENT {
             return Err(ElfError::BadVersion { version: data[6] });
         }
+        const FH: &str = "file header";
         let header = Elf64Header {
-            e_type: read_u16(data, 16),
-            e_machine: read_u16(data, 18),
-            e_entry: read_u64(data, 24),
-            e_phoff: read_u64(data, 32),
-            e_shoff: read_u64(data, 40),
-            e_flags: read_u32(data, 48),
-            e_phnum: read_u16(data, 56),
-            e_shnum: read_u16(data, 60),
-            e_shstrndx: read_u16(data, 62),
+            e_type: read_u16(data, 16, FH)?,
+            e_machine: read_u16(data, 18, FH)?,
+            e_entry: read_u64(data, 24, FH)?,
+            e_phoff: read_u64(data, 32, FH)?,
+            e_shoff: read_u64(data, 40, FH)?,
+            e_flags: read_u32(data, 48, FH)?,
+            e_phnum: read_u16(data, 56, FH)?,
+            e_shnum: read_u16(data, 60, FH)?,
+            e_shstrndx: read_u16(data, 62, FH)?,
         };
         if header.e_machine != EM_X86_64 {
             return Err(ElfError::BadMachine {
                 machine: header.e_machine,
             });
         }
-        let phentsize = read_u16(data, 54) as usize;
+        let phentsize = read_u16(data, 54, FH)? as usize;
         if header.e_phnum > 0 && phentsize != PHDR_SIZE {
             return Err(ElfError::BadTableEntry {
                 what: "program header",
                 size: phentsize,
             });
         }
-        let shentsize = read_u16(data, 58) as usize;
+        let shentsize = read_u16(data, 58, FH)? as usize;
         if header.e_shnum > 0 && shentsize != SHDR_SIZE {
             return Err(ElfError::BadTableEntry {
                 what: "section header",
@@ -133,50 +134,46 @@ impl ElfFile {
         }
 
         // Program headers.
+        const PHT: &str = "program header table";
         let mut program_headers = Vec::with_capacity(header.e_phnum as usize);
         for i in 0..header.e_phnum as usize {
-            let off = header.e_phoff as usize + i * PHDR_SIZE;
-            let end = off
-                .checked_add(PHDR_SIZE)
-                .filter(|&e| e <= data.len())
-                .ok_or(ElfError::Truncated {
-                    what: "program header table",
-                })?;
-            let p = &data[off..end];
+            let off = usize::try_from(header.e_phoff)
+                .ok()
+                .and_then(|base| base.checked_add(i * PHDR_SIZE))
+                .ok_or(ElfError::Truncated { what: PHT })?;
+            let p: [u8; PHDR_SIZE] = read_array(data, off, PHT)?;
             program_headers.push(ProgramHeader {
-                p_type: read_u32(p, 0),
-                p_flags: read_u32(p, 4),
-                p_offset: read_u64(p, 8),
-                p_vaddr: read_u64(p, 16),
-                p_paddr: read_u64(p, 24),
-                p_filesz: read_u64(p, 32),
-                p_memsz: read_u64(p, 40),
-                p_align: read_u64(p, 48),
+                p_type: read_u32(&p, 0, PHT)?,
+                p_flags: read_u32(&p, 4, PHT)?,
+                p_offset: read_u64(&p, 8, PHT)?,
+                p_vaddr: read_u64(&p, 16, PHT)?,
+                p_paddr: read_u64(&p, 24, PHT)?,
+                p_filesz: read_u64(&p, 32, PHT)?,
+                p_memsz: read_u64(&p, 40, PHT)?,
+                p_align: read_u64(&p, 48, PHT)?,
             });
         }
 
         // Section headers.
+        const SHT: &str = "section header table";
         let mut raw_sections = Vec::with_capacity(header.e_shnum as usize);
         for i in 0..header.e_shnum as usize {
-            let off = header.e_shoff as usize + i * SHDR_SIZE;
-            let end = off
-                .checked_add(SHDR_SIZE)
-                .filter(|&e| e <= data.len())
-                .ok_or(ElfError::Truncated {
-                    what: "section header table",
-                })?;
-            let s = &data[off..end];
+            let off = usize::try_from(header.e_shoff)
+                .ok()
+                .and_then(|base| base.checked_add(i * SHDR_SIZE))
+                .ok_or(ElfError::Truncated { what: SHT })?;
+            let s: [u8; SHDR_SIZE] = read_array(data, off, SHT)?;
             raw_sections.push(SectionHeader {
-                sh_name: read_u32(s, 0),
-                sh_type: read_u32(s, 4),
-                sh_flags: read_u64(s, 8),
-                sh_addr: read_u64(s, 16),
-                sh_offset: read_u64(s, 24),
-                sh_size: read_u64(s, 32),
-                sh_link: read_u32(s, 40),
-                sh_info: read_u32(s, 44),
-                sh_addralign: read_u64(s, 48),
-                sh_entsize: read_u64(s, 56),
+                sh_name: read_u32(&s, 0, SHT)?,
+                sh_type: read_u32(&s, 4, SHT)?,
+                sh_flags: read_u64(&s, 8, SHT)?,
+                sh_addr: read_u64(&s, 16, SHT)?,
+                sh_offset: read_u64(&s, 24, SHT)?,
+                sh_size: read_u64(&s, 32, SHT)?,
+                sh_link: read_u32(&s, 40, SHT)?,
+                sh_info: read_u32(&s, 44, SHT)?,
+                sh_addralign: read_u64(&s, 48, SHT)?,
+                sh_entsize: read_u64(&s, 56, SHT)?,
             });
         }
 
@@ -222,14 +219,15 @@ impl ElfFile {
                     size: symtab.data.len() % SYM_SIZE,
                 });
             }
+            const SYM: &str = "symbol table";
             for chunk in symtab.data.chunks(SYM_SIZE) {
                 let sym = Symbol {
-                    st_name: read_u32(chunk, 0),
-                    st_info: chunk[4],
-                    st_other: chunk[5],
-                    st_shndx: read_u16(chunk, 6),
-                    st_value: read_u64(chunk, 8),
-                    st_size: read_u64(chunk, 16),
+                    st_name: read_u32(chunk, 0, SYM)?,
+                    st_info: read_u8(chunk, 4, SYM)?,
+                    st_other: read_u8(chunk, 5, SYM)?,
+                    st_shndx: read_u16(chunk, 6, SYM)?,
+                    st_value: read_u64(chunk, 8, SYM)?,
+                    st_size: read_u64(chunk, 16, SYM)?,
                 };
                 let name = str_at(&strtab, sym.st_name as usize)?;
                 symbols.push(NamedSymbol { name, symbol: sym });
@@ -245,10 +243,11 @@ impl ElfFile {
                     size: dyn_sec.data.len() % DYN_SIZE,
                 });
             }
+            const DYN: &str = "dynamic section";
             for chunk in dyn_sec.data.chunks(DYN_SIZE) {
                 let d = Dyn {
-                    d_tag: i64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes")),
-                    d_val: read_u64(chunk, 8),
+                    d_tag: read_i64(chunk, 0, DYN)?,
+                    d_val: read_u64(chunk, 8, DYN)?,
                 };
                 if d.d_tag == DT_NULL {
                     break;
@@ -381,33 +380,51 @@ impl ElfFile {
         if ent as usize != RELA_SIZE || size % ent != 0 {
             return Err(ElfError::BadRelocationTable);
         }
+        let table_end = rela_addr
+            .checked_add(size)
+            .ok_or(ElfError::BadRelocationTable)?;
         // Find the section that contains the table by virtual address.
         let sec = self
             .sections
             .iter()
             .find(|s| {
                 s.header.sh_addr <= rela_addr
-                    && rela_addr + size <= s.header.sh_addr + s.header.sh_size
+                    && s.header
+                        .sh_addr
+                        .checked_add(s.header.sh_size)
+                        .is_some_and(|sec_end| table_end <= sec_end)
                     && s.header.sh_type != SHT_NOBITS
             })
             .ok_or(ElfError::BadRelocationTable)?;
-        let start = (rela_addr - sec.header.sh_addr) as usize;
-        let bytes = &sec.data[start..start + size as usize];
-        Ok(bytes
+        // The table's declared extent must lie inside the section's
+        // actual bytes — a hostile sh_size larger than the file contents
+        // must fail closed here, not panic at the slice below.
+        let start = usize::try_from(rela_addr - sec.header.sh_addr)
+            .map_err(|_| ElfError::BadRelocationTable)?;
+        let end = usize::try_from(size)
+            .ok()
+            .and_then(|s| start.checked_add(s))
+            .filter(|&e| e <= sec.data.len())
+            .ok_or(ElfError::BadRelocationTable)?;
+        const RELA: &str = "relocation table";
+        sec.data[start..end]
             .chunks(RELA_SIZE)
-            .map(|c| Rela {
-                r_offset: read_u64(c, 0),
-                r_info: read_u64(c, 8),
-                r_addend: i64::from_le_bytes(c[16..24].try_into().expect("8 bytes")),
+            .map(|c| {
+                Ok(Rela {
+                    r_offset: read_u64(c, 0, RELA)?,
+                    r_info: read_u64(c, 8, RELA)?,
+                    r_addend: read_i64(c, 16, RELA)?,
+                })
             })
-            .collect())
+            .collect()
     }
 }
 
 fn section_bytes(data: &[u8], sh: &SectionHeader) -> Result<Vec<u8>, ElfError> {
-    let off = sh.sh_offset as usize;
-    let end = off
-        .checked_add(sh.sh_size as usize)
+    let off = usize::try_from(sh.sh_offset).map_err(|_| ElfError::Truncated { what: "section" })?;
+    let end = usize::try_from(sh.sh_size)
+        .ok()
+        .and_then(|size| off.checked_add(size))
         .filter(|&e| e <= data.len())
         .ok_or(ElfError::Truncated { what: "section" })?;
     Ok(data[off..end].to_vec())
@@ -425,16 +442,42 @@ fn str_at(strtab: &[u8], offset: usize) -> Result<String, ElfError> {
     String::from_utf8(rest[..nul].to_vec()).map_err(|_| ElfError::BadStringTable)
 }
 
-fn read_u16(data: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes(data[off..off + 2].try_into().expect("2 bytes"))
+/// Fetches `N` bytes at `off`, failing closed on any out-of-range or
+/// overflowing access. Every multi-byte read in this module goes through
+/// here: a truncated or hostile image yields `ElfError::Truncated`, never
+/// a slice-index panic inside the enclave.
+fn read_array<const N: usize>(
+    data: &[u8],
+    off: usize,
+    what: &'static str,
+) -> Result<[u8; N], ElfError> {
+    let end = off
+        .checked_add(N)
+        .filter(|&e| e <= data.len())
+        .ok_or(ElfError::Truncated { what })?;
+    data[off..end]
+        .try_into()
+        .map_err(|_| ElfError::Truncated { what })
 }
 
-fn read_u32(data: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"))
+fn read_u16(data: &[u8], off: usize, what: &'static str) -> Result<u16, ElfError> {
+    Ok(u16::from_le_bytes(read_array(data, off, what)?))
 }
 
-fn read_u64(data: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"))
+fn read_u32(data: &[u8], off: usize, what: &'static str) -> Result<u32, ElfError> {
+    Ok(u32::from_le_bytes(read_array(data, off, what)?))
+}
+
+fn read_u64(data: &[u8], off: usize, what: &'static str) -> Result<u64, ElfError> {
+    Ok(u64::from_le_bytes(read_array(data, off, what)?))
+}
+
+fn read_i64(data: &[u8], off: usize, what: &'static str) -> Result<i64, ElfError> {
+    Ok(i64::from_le_bytes(read_array(data, off, what)?))
+}
+
+fn read_u8(data: &[u8], off: usize, what: &'static str) -> Result<u8, ElfError> {
+    data.get(off).copied().ok_or(ElfError::Truncated { what })
 }
 
 #[cfg(test)]
@@ -536,6 +579,65 @@ mod tests {
         let img = sample();
         assert!(ElfFile::parse(&img[..40]).is_err());
         assert!(ElfFile::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn hostile_truncation_at_every_length_returns_err_not_panic() {
+        // The fail-closed contract: a prefix of a valid image is hostile
+        // input the in-enclave parser must answer with Err — a panic
+        // would crash the inspector and fail open. Exhaustive over every
+        // truncation point of the sample.
+        let img = sample();
+        for len in 0..img.len() {
+            assert!(
+                ElfFile::parse(&img[..len]).is_err(),
+                "truncation to {len} bytes must be rejected"
+            );
+        }
+        // The untruncated image still parses.
+        assert!(ElfFile::parse(&img).is_ok());
+    }
+
+    #[test]
+    fn hostile_rela_extent_is_rejected_not_panicking() {
+        // Inflate DT_RELASZ so the declared table overruns its section:
+        // previously this sliced past `sec.data` and panicked.
+        let img = sample();
+        let elf = ElfFile::parse(&img).expect("parses");
+        let dyn_sec = elf.section(".dynamic").expect(".dynamic");
+        let dyn_off = dyn_sec.header.sh_offset as usize;
+        let mut evil = img.clone();
+        for entry in 0..dyn_sec.data.len() / DYN_SIZE {
+            let off = dyn_off + entry * DYN_SIZE;
+            let tag = i64::from_le_bytes(evil[off..off + 8].try_into().expect("tag"));
+            if tag == DT_RELASZ {
+                // Huge but RELA_SIZE-aligned, so only the extent check
+                // can stop it.
+                let huge = (u64::MAX / RELA_SIZE as u64) * RELA_SIZE as u64;
+                evil[off + 8..off + 16].copy_from_slice(&huge.to_le_bytes());
+            }
+        }
+        let elf = ElfFile::parse(&evil).expect("header still parses");
+        assert!(matches!(
+            elf.rela_entries(),
+            Err(ElfError::BadRelocationTable)
+        ));
+    }
+
+    #[test]
+    fn hostile_section_extents_are_rejected_not_panicking() {
+        // Point a section header's file extent past the end of the
+        // image; section_bytes must fail closed.
+        let img = sample();
+        let header_shoff = u64::from_le_bytes(img[40..48].try_into().expect("shoff")) as usize;
+        let mut evil = img.clone();
+        // Section header 1: sh_offset at +24, sh_size at +32.
+        let sh1 = header_shoff + SHDR_SIZE;
+        evil[sh1 + 24..sh1 + 32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(ElfFile::parse(&evil).is_err());
+        let mut evil = img;
+        evil[sh1 + 32..sh1 + 40].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(ElfFile::parse(&evil).is_err());
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub enum EventKind {
     Completed,
     /// Session failed terminally.
     Failed,
+    /// Session's verdict was replayed from the content-addressed cache.
+    CacheHit,
     /// Service entered drain.
     DrainStarted,
 }
@@ -40,6 +42,7 @@ impl EventKind {
             EventKind::Evicted => "evicted",
             EventKind::Completed => "completed",
             EventKind::Failed => "failed",
+            EventKind::CacheHit => "cache_hit",
             EventKind::DrainStarted => "drain_started",
         }
     }
@@ -69,6 +72,17 @@ struct StageTotals {
     loading_relocation: AtomicU64,
 }
 
+/// Verdict-cache counters, mirrored from the cache's own
+/// [`CacheStats`](engarde_core::cache::CacheStats) at drain/export time.
+#[derive(Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+    cycles_saved: AtomicU64,
+}
+
 /// Service-wide metrics. One instance is shared (via `Arc`) between the
 /// admission path, every worker, and the drain path.
 #[derive(Default)]
@@ -83,6 +97,7 @@ pub struct ServeMetrics {
     retries: AtomicU64,
     queue_depth_highwater: AtomicUsize,
     stage_cycles: StageTotals,
+    cache: CacheCounters,
     total_cycles: AtomicU64,
     total_wall_nanos: AtomicU64,
     latency_cycles: Mutex<Vec<u64>>,
@@ -111,6 +126,14 @@ pub struct CounterSnapshot {
     pub retries: u64,
     /// Highest queue depth observed.
     pub queue_depth_highwater: usize,
+    /// Verdict-cache probes that found a usable verdict.
+    pub cache_hits: u64,
+    /// Verdict-cache probes that found nothing.
+    pub cache_misses: u64,
+    /// Verdict-cache entries evicted by the LRU bound.
+    pub cache_evictions: u64,
+    /// Verdict-cache entries inserted.
+    pub cache_insertions: u64,
 }
 
 impl ServeMetrics {
@@ -128,7 +151,11 @@ impl ServeMetrics {
             EventKind::Evicted => self.evicted.fetch_add(1, Ordering::Relaxed),
             EventKind::Failed => self.failed.fetch_add(1, Ordering::Relaxed),
             EventKind::Completed => self.completed.fetch_add(1, Ordering::Relaxed),
-            EventKind::Started | EventKind::DrainStarted => 0,
+            // Cache-hit counters come from the cache itself (the
+            // authoritative source) via `set_cache_stats`; the event is
+            // log-only so per-session records and cache totals cannot
+            // drift apart.
+            EventKind::Started | EventKind::CacheHit | EventKind::DrainStarted => 0,
         };
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut events = self.events.lock().expect("events lock");
@@ -186,6 +213,23 @@ impl ServeMetrics {
             .fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Mirrors the verdict cache's cumulative counters into the metrics
+    /// (the cache is the authoritative source; these are stores, not
+    /// increments, so the call is idempotent).
+    pub fn set_cache_stats(&self, stats: &engarde_core::cache::CacheStats) {
+        self.cache.hits.store(stats.hits, Ordering::Relaxed);
+        self.cache.misses.store(stats.misses, Ordering::Relaxed);
+        self.cache
+            .evictions
+            .store(stats.evictions, Ordering::Relaxed);
+        self.cache
+            .insertions
+            .store(stats.insertions, Ordering::Relaxed);
+        self.cache
+            .cycles_saved
+            .store(stats.cycles_saved, Ordering::Relaxed);
+    }
+
     /// Current counter values.
     pub fn counters(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -198,6 +242,10 @@ impl ServeMetrics {
             failed: self.failed.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             queue_depth_highwater: self.queue_depth_highwater.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits.load(Ordering::Relaxed),
+            cache_misses: self.cache.misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache.evictions.load(Ordering::Relaxed),
+            cache_insertions: self.cache.insertions.load(Ordering::Relaxed),
         }
     }
 
@@ -256,6 +304,14 @@ impl ServeMetrics {
             self.stage_cycles.disassembly.load(Ordering::Relaxed),
             self.stage_cycles.policy_checking.load(Ordering::Relaxed),
             self.stage_cycles.loading_relocation.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "  \"verdict_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"insertions\": {}, \"cycles_saved\": {}}},\n",
+            c.cache_hits,
+            c.cache_misses,
+            c.cache_evictions,
+            c.cache_insertions,
+            self.cache.cycles_saved.load(Ordering::Relaxed),
         ));
         out.push_str(&format!(
             "  \"latency_cycles\": {{\"samples\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
@@ -346,6 +402,74 @@ mod tests {
         assert_eq!(percentile(&samples, 100), Some(100));
         assert_eq!(percentile(&[42], 50), Some(42));
         assert_eq!(percentile(&[], 50), None);
+    }
+
+    #[test]
+    fn percentile_of_empty_samples_is_none_for_every_quantile() {
+        for q in [0, 1, 50, 99, 100] {
+            assert_eq!(percentile(&[], q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_q0_is_the_minimum() {
+        // Nearest-rank with q=0 yields rank 0, which must clamp to the
+        // first element, not index out of bounds.
+        assert_eq!(percentile(&[30, 10, 20], 0), Some(10));
+        assert_eq!(percentile(&[7], 0), Some(7));
+    }
+
+    #[test]
+    fn percentile_q100_is_the_maximum() {
+        assert_eq!(percentile(&[30, 10, 20], 100), Some(30));
+        assert_eq!(percentile(&[7], 100), Some(7));
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample_for_every_quantile() {
+        for q in [0, 1, 50, 99, 100] {
+            assert_eq!(percentile(&[42], q), Some(42), "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_two_samples_split_at_the_nearest_rank() {
+        // rank = ceil(q·n/100) clamped to [1, n]: q≤50 → first, q>50 →
+        // second.
+        assert_eq!(percentile(&[10, 20], 50), Some(10));
+        assert_eq!(percentile(&[10, 20], 51), Some(20));
+    }
+
+    #[test]
+    fn cache_stats_are_mirrored_and_exported() {
+        let m = ServeMetrics::new();
+        let stats = engarde_core::cache::CacheStats {
+            hits: 5,
+            misses: 3,
+            evictions: 1,
+            insertions: 4,
+            cycles_saved: 123_456,
+        };
+        m.set_cache_stats(&stats);
+        // Idempotent: stores, not increments.
+        m.set_cache_stats(&stats);
+        let c = m.counters();
+        assert_eq!(
+            (
+                c.cache_hits,
+                c.cache_misses,
+                c.cache_evictions,
+                c.cache_insertions
+            ),
+            (5, 3, 1, 4)
+        );
+        let json = m.to_json();
+        assert!(json.contains(
+            "\"verdict_cache\": {\"hits\": 5, \"misses\": 3, \"evictions\": 1, \
+             \"insertions\": 4, \"cycles_saved\": 123456}"
+        ));
+        m.record(EventKind::CacheHit, "tenant-1", Some(0), "verdict replayed");
+        assert!(m.to_json().contains("\"kind\": \"cache_hit\""));
     }
 
     #[test]

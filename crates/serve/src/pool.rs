@@ -12,6 +12,7 @@
 use crate::error::{is_transient, EvictReason, ServeError};
 use crate::metrics::{EventKind, ServeMetrics};
 use crate::session::{SessionFsm, SessionPhase, SessionRequest};
+use engarde_core::cache::SharedVerdictCache;
 use engarde_core::protocol::SignedVerdict;
 use engarde_core::provider::CloudProvider;
 use engarde_core::provision::StageCycles;
@@ -70,6 +71,8 @@ pub struct SessionReport {
     pub client_verified: bool,
     /// Instructions inspected.
     pub instructions: usize,
+    /// Whether the verdict was replayed from the shared verdict cache.
+    pub cache_hit: bool,
 }
 
 impl SessionReport {
@@ -134,16 +137,28 @@ struct AttemptOutput {
     measurement: Option<Digest>,
     verdict: Option<SignedVerdict>,
     client_verified: bool,
+    cache_hit: bool,
 }
 
 impl Shard {
     /// Boots shard `index` on a machine derived from `base` via
     /// [`MachineConfig::shard`] — distinct device keys and RNG streams
-    /// per shard, deterministically.
-    pub fn new(index: usize, base: &MachineConfig) -> Self {
+    /// per shard, deterministically. When `verdict_cache` is given, the
+    /// shard's provider probes (and feeds) it on every inspection; the
+    /// same handle attached to every shard is what shares verdicts
+    /// across the fleet.
+    pub fn new(
+        index: usize,
+        base: &MachineConfig,
+        verdict_cache: Option<SharedVerdictCache>,
+    ) -> Self {
+        let mut provider = CloudProvider::new(base.shard(index));
+        if let Some(cache) = verdict_cache {
+            provider.set_verdict_cache(cache);
+        }
         Shard {
             index,
-            provider: CloudProvider::new(base.shard(index)),
+            provider,
             retained: VecDeque::new(),
         }
     }
@@ -224,6 +239,14 @@ impl Shard {
                     SessionOutcome::NonCompliant
                 };
                 metrics.record_verdict(out.compliant);
+                if out.cache_hit {
+                    metrics.record(
+                        EventKind::CacheHit,
+                        &req.name,
+                        Some(self.index),
+                        "verdict replayed from cache",
+                    );
+                }
                 metrics.record(
                     EventKind::Completed,
                     &req.name,
@@ -249,6 +272,7 @@ impl Shard {
                     verdict: out.verdict,
                     client_verified: out.client_verified,
                     instructions: out.instructions,
+                    cache_hit: out.cache_hit,
                 }
             }
             Err((e, retries)) => {
@@ -291,6 +315,7 @@ impl Shard {
                     verdict: None,
                     client_verified: false,
                     instructions: 0,
+                    cache_hit: false,
                 }
             }
         }
@@ -365,6 +390,7 @@ impl Shard {
             measurement,
             verdict: Some(verdict.verdict),
             client_verified: verdict.client_verified,
+            cache_hit: verdict.view.cache_hit,
         })
     }
 }

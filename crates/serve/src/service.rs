@@ -23,6 +23,7 @@ use crate::error::ServeError;
 use crate::metrics::{EventKind, ServeMetrics};
 use crate::pool::{SessionReport, SessionRunConfig, Shard};
 use crate::session::SessionRequest;
+use engarde_core::cache::{lock_cache, shared_cache, SharedVerdictCache};
 use engarde_sgx::machine::MachineConfig;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -58,6 +59,11 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Per-session execution knobs (retries, budgets, recycling).
     pub run: SessionRunConfig,
+    /// `Some(capacity)`: share one content-addressed verdict cache with
+    /// this LRU bound across the whole fleet (behind a lock in thread
+    /// mode; probed in deterministic submission order in virtual-time
+    /// mode). `None` disables caching.
+    pub verdict_cache: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +76,7 @@ impl Default for ServiceConfig {
             machine: MachineConfig::default(),
             queue_capacity: 8,
             run: SessionRunConfig::default(),
+            verdict_cache: None,
         }
     }
 }
@@ -131,6 +138,7 @@ pub struct ProvisioningService {
     cfg: ServiceConfig,
     metrics: Arc<ServeMetrics>,
     backend: Backend,
+    verdict_cache: Option<SharedVerdictCache>,
     submitted: u64,
     started: std::time::Instant,
     draining: bool,
@@ -142,9 +150,14 @@ impl ProvisioningService {
     pub fn start(cfg: ServiceConfig) -> Self {
         let metrics = Arc::new(ServeMetrics::new());
         let shards = cfg.shards.max(1);
+        // One cache for the whole fleet: the point is cross-shard (and
+        // cross-tenant) verdict sharing.
+        let verdict_cache = cfg.verdict_cache.map(shared_cache);
         let backend = match cfg.mode {
             SchedMode::VirtualTime { arrival_gap } => Backend::Virtual(VirtualState {
-                shards: (0..shards).map(|i| Shard::new(i, &cfg.machine)).collect(),
+                shards: (0..shards)
+                    .map(|i| Shard::new(i, &cfg.machine, verdict_cache.clone()))
+                    .collect(),
                 free_at: vec![0; shards],
                 scheduled: Vec::new(),
                 arrival_gap,
@@ -162,7 +175,8 @@ impl ProvisioningService {
                         let shared = Arc::clone(&shared);
                         let tx = tx.clone();
                         let machine = cfg.machine.clone();
-                        thread::spawn(move || worker_loop(i, machine, shared, tx))
+                        let cache = verdict_cache.clone();
+                        thread::spawn(move || worker_loop(i, machine, cache, shared, tx))
                     })
                     .collect();
                 Backend::Threaded(ThreadedState {
@@ -176,6 +190,7 @@ impl ProvisioningService {
             cfg,
             metrics,
             backend,
+            verdict_cache,
             submitted: 0,
             started: std::time::Instant::now(),
             draining: false,
@@ -281,6 +296,9 @@ impl ProvisioningService {
             .record(EventKind::DrainStarted, "", None, "graceful drain");
         match self.backend {
             Backend::Virtual(v) => {
+                if let Some(cache) = &self.verdict_cache {
+                    self.metrics.set_cache_stats(&lock_cache(cache).stats());
+                }
                 let makespan = v.free_at.iter().copied().max().unwrap_or(0);
                 ServiceResult {
                     reports: v.reports,
@@ -295,6 +313,10 @@ impl ProvisioningService {
                 t.shared.available.notify_all();
                 for handle in t.workers {
                     let _ = handle.join();
+                }
+                // Workers have quiesced; the cache's counters are final.
+                if let Some(cache) = &self.verdict_cache {
+                    self.metrics.set_cache_stats(&lock_cache(cache).stats());
                 }
                 let mut reports = Vec::new();
                 let mut makespan = 0u64;
@@ -323,10 +345,11 @@ impl ProvisioningService {
 fn worker_loop(
     index: usize,
     machine: MachineConfig,
+    verdict_cache: Option<SharedVerdictCache>,
     shared: Arc<SharedQueue>,
     tx: mpsc::Sender<WorkerMsg>,
 ) {
-    let mut shard = Shard::new(index, &machine);
+    let mut shard = Shard::new(index, &machine, verdict_cache);
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("queue lock");

@@ -10,7 +10,9 @@ use engarde_serve::session::SessionFsm;
 use engarde_serve::{regimes, ServeError, SessionRunConfig};
 use engarde_sgx::instr::SgxVersion;
 use engarde_sgx::machine::MachineConfig;
-use engarde_workloads::traffic::{mixed_traffic, ExpectedOutcome, TrafficSpec};
+use engarde_workloads::traffic::{
+    mixed_traffic, repeated_binary_traffic, ExpectedOutcome, TrafficSpec,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -134,6 +136,7 @@ fn run_virtual(seed: u64) -> engarde_serve::ServiceResult {
         machine: machine(seed),
         queue_capacity: 16,
         run: SessionRunConfig::default(),
+        verdict_cache: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -175,6 +178,61 @@ fn virtual_time_mode_is_bit_reproducible() {
         .iter()
         .filter(|r| r.reached_verdict())
         .all(|r| r.client_verified));
+}
+
+fn run_cached_fleet(seed: u64) -> engarde_serve::ServiceResult {
+    let musl = musl();
+    let traffic = repeated_binary_traffic(6, 3, seed);
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 2,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: 1_000_000,
+        },
+        machine: machine(seed),
+        queue_capacity: 16,
+        run: SessionRunConfig::default(),
+        verdict_cache: Some(16),
+    });
+    for item in &traffic {
+        svc.submit(regimes::request_for(item, &musl))
+            .expect("admit");
+    }
+    svc.drain()
+}
+
+#[test]
+fn verdict_cache_is_shared_across_shards_and_stays_reproducible() {
+    let a = run_cached_fleet(0xCAC4E);
+    let b = run_cached_fleet(0xCAC4E);
+    // One fleet-wide cache: the first session inserts, every later
+    // session replays — including the ones scheduled on the other shard.
+    let m = a.metrics.counters();
+    assert_eq!(m.cache_misses, 1);
+    assert_eq!(m.cache_hits, 5);
+    assert_eq!(m.cache_insertions, 1);
+    assert_eq!(m.cache_evictions, 0);
+    let hits: Vec<_> = a.reports.iter().filter(|r| r.cache_hit).collect();
+    assert_eq!(hits.len(), 5);
+    let hit_shards: std::collections::BTreeSet<usize> = hits.iter().map(|r| r.shard).collect();
+    assert!(
+        hit_shards.len() > 1,
+        "hits must land on more than one shard, got {hit_shards:?}"
+    );
+    // Caching must not cost virtual-time determinism: repeat runs are
+    // bit-identical down to cycle counts and verdict bytes.
+    assert_eq!(a.makespan_cycles, b.makespan_cycles);
+    for (x, y) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.cache_hit, y.cache_hit, "{}", x.name);
+        assert_eq!(x.cycles, y.cycles, "{}", x.name);
+        assert_eq!(x.verdict, y.verdict, "{}", x.name);
+    }
+    // Every session — cached or not — reaches a client-valid verdict.
+    assert!(a
+        .reports
+        .iter()
+        .all(|r| r.outcome == SessionOutcome::Compliant));
+    assert!(a.reports.iter().all(|r| r.client_verified));
 }
 
 #[test]
@@ -230,6 +288,7 @@ fn admission_control_rejects_when_queue_is_full() {
         machine: machine(0xB5),
         queue_capacity: 1,
         run: SessionRunConfig::default(),
+        verdict_cache: None,
     });
     let mut rejected = 0;
     for item in &traffic {
@@ -267,6 +326,7 @@ fn threaded_mode_completes_all_sessions() {
         machine: machine(0x7E4),
         queue_capacity: 8,
         run: SessionRunConfig::default(),
+        verdict_cache: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))

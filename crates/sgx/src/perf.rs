@@ -95,6 +95,12 @@ pub mod costs {
     /// AES-CTR + HMAC cost per received ciphertext byte (the channel
     /// decryption EnGarde performs while receiving client content).
     pub const DECRYPT_PER_BYTE: u64 = 20;
+    /// Cost of one verdict-cache probe: hashing the 32-byte content
+    /// measurement into the cache's table, one bucket walk, and a full
+    /// 32-byte key compare. Charged on every probe, hit or miss, so a
+    /// cache-enabled session is never reported cheaper than the work it
+    /// actually performed.
+    pub const CACHE_PROBE: u64 = 400;
 }
 
 /// The OpenSGX-style performance counter.
@@ -146,12 +152,14 @@ impl CycleCounter {
 
     /// Cycles elapsed since an earlier snapshot of this counter.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `earlier` is not an earlier snapshot.
+    /// Saturates at zero when `earlier` is not actually an earlier
+    /// snapshot (e.g. snapshots taken out of order, or a counter that
+    /// was reset in between). The previous implementation guarded the
+    /// subtraction with a `debug_assert!` only, so release builds
+    /// wrapped around to a near-`u64::MAX` delta — a poisoned figure
+    /// that would silently corrupt every downstream stage total.
     pub fn since(&self, earlier: &CycleCounter) -> u64 {
-        debug_assert!(self.total_cycles() >= earlier.total_cycles());
-        self.total_cycles() - earlier.total_cycles()
+        self.total_cycles().saturating_sub(earlier.total_cycles())
     }
 
     /// Resets both counters to zero.
@@ -204,6 +212,25 @@ mod tests {
         let snap = c;
         c.charge_sgx(1);
         assert_eq!(c.since(&snap), SGX_INSTRUCTION_CYCLES);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_wrapping() {
+        // Regression: an out-of-order snapshot pair used to wrap in
+        // release builds (the guard was only a debug_assert!), turning
+        // a small negative delta into ~u64::MAX cycles.
+        let mut earlier = CycleCounter::new();
+        earlier.charge_native(1_000);
+        let later = CycleCounter::new(); // "later" but actually behind
+        assert_eq!(later.since(&earlier), 0);
+        // The well-ordered direction still measures exactly.
+        assert_eq!(earlier.since(&later), 1_000);
+        // A counter reset mid-measurement also saturates to zero.
+        let mut c = CycleCounter::new();
+        c.charge_sgx(3);
+        let snap = c;
+        c.reset();
+        assert_eq!(c.since(&snap), 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::adversarial;
 use crate::bench_suite::{PolicyFigure, PAPER_BENCHMARKS};
-use crate::generator::generate;
+use crate::generator::{generate, WorkloadSpec};
 use std::collections::BTreeMap;
 
 /// Which agreed policy set a session runs under. The service layer maps
@@ -106,6 +106,21 @@ fn derive_seed(root: u64, index: u64) -> u64 {
 /// with libc base content budgeted in.
 const MIN_SCALED_INSNS: usize = 2_000;
 
+/// Scaled-down workload spec for paper benchmark `bench_idx` under
+/// `figure`: `scale_percent` of the benchmark's `#Inst` (floored at
+/// [`MIN_SCALED_INSNS`]), with shape parameters shrunk to match.
+fn scaled_spec(bench_idx: usize, figure: PolicyFigure, scale_percent: usize) -> WorkloadSpec {
+    let b = &PAPER_BENCHMARKS[bench_idx];
+    let mut wspec = b.spec(figure);
+    wspec.target_instructions =
+        (b.instructions_for(figure) * scale_percent / 100).max(MIN_SCALED_INSNS);
+    // Keep shape parameters consistent with the shrunk size.
+    wspec.avg_app_fn_insns = wspec.avg_app_fn_insns.min(wspec.target_instructions / 8);
+    wspec.calls_per_app_fn = wspec.calls_per_app_fn.min(64);
+    wspec.relocation_count = wspec.relocation_count.min(256);
+    wspec
+}
+
 fn regime_for(figure: PolicyFigure) -> PolicyRegime {
     match figure {
         PolicyFigure::Fig3LibraryLinking => PolicyRegime::LibraryLinking,
@@ -136,16 +151,12 @@ pub fn mixed_traffic(spec: &TrafficSpec) -> Vec<TrafficItem> {
         cache
             .entry((bench_idx, fig_idx))
             .or_insert_with(|| {
-                let b = &PAPER_BENCHMARKS[bench_idx];
-                let figure = figures[fig_idx];
-                let mut wspec = b.spec(figure);
-                wspec.target_instructions =
-                    (b.instructions_for(figure) * spec.scale_percent / 100).max(MIN_SCALED_INSNS);
-                // Keep shape parameters consistent with the shrunk size.
-                wspec.avg_app_fn_insns = wspec.avg_app_fn_insns.min(wspec.target_instructions / 8);
-                wspec.calls_per_app_fn = wspec.calls_per_app_fn.min(64);
-                wspec.relocation_count = wspec.relocation_count.min(256);
-                generate(&wspec).image
+                generate(&scaled_spec(
+                    bench_idx,
+                    figures[fig_idx],
+                    spec.scale_percent,
+                ))
+                .image
             })
             .clone()
     };
@@ -232,6 +243,67 @@ pub fn mixed_traffic(spec: &TrafficSpec) -> Vec<TrafficItem> {
     out
 }
 
+/// A fleet of `sessions` tenants all shipping the *same* binary (the
+/// first paper benchmark, scaled, canary-instrumented) under the
+/// stack-protection regime.
+///
+/// This is the verdict-cache best case: every session after the first
+/// reassembles content with an identical digest under an identical
+/// bootstrap spec, so a content-addressed cache replays the
+/// disassembly + policy verdict for all but one tenant. Client seeds
+/// still differ per session — each tenant encrypts with its own keys,
+/// so the *wire* traffic stays distinct even though the plaintext is
+/// shared.
+pub fn repeated_binary_traffic(
+    sessions: usize,
+    scale_percent: usize,
+    seed: u64,
+) -> Vec<TrafficItem> {
+    let bench = &PAPER_BENCHMARKS[0];
+    let image = generate(&scaled_spec(
+        0,
+        PolicyFigure::Fig4StackProtection,
+        scale_percent,
+    ))
+    .image;
+    (0..sessions)
+        .map(|idx| TrafficItem {
+            name: format!("same_{}-s{idx}", bench.name.to_ascii_lowercase()),
+            image: image.clone(),
+            regime: PolicyRegime::StackProtection,
+            expected: ExpectedOutcome::Compliant,
+            stall_after: None,
+            client_seed: derive_seed(seed, idx as u64),
+        })
+        .collect()
+}
+
+/// The matched control for [`repeated_binary_traffic`]: `sessions`
+/// tenants with the same workload *shape* (same benchmark, scale, and
+/// regime) but a distinct generator seed each, so every binary has a
+/// distinct content digest and a verdict cache never hits.
+pub fn distinct_binary_traffic(
+    sessions: usize,
+    scale_percent: usize,
+    seed: u64,
+) -> Vec<TrafficItem> {
+    let bench = &PAPER_BENCHMARKS[0];
+    (0..sessions)
+        .map(|idx| {
+            let mut wspec = scaled_spec(0, PolicyFigure::Fig4StackProtection, scale_percent);
+            wspec.seed = derive_seed(seed ^ 0xD157_1AC7, idx as u64);
+            TrafficItem {
+                name: format!("uniq_{}-s{idx}", bench.name.to_ascii_lowercase()),
+                image: generate(&wspec).image,
+                regime: PolicyRegime::StackProtection,
+                expected: ExpectedOutcome::Compliant,
+                stall_after: None,
+                client_seed: derive_seed(seed, idx as u64),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +346,39 @@ mod tests {
         for (item, bench) in items.iter().zip(&PAPER_BENCHMARKS) {
             assert!(item.name.starts_with(&bench.name.to_ascii_lowercase()));
             assert!(!item.image.is_empty());
+        }
+    }
+
+    #[test]
+    fn repeated_binary_fleet_shares_one_image() {
+        let items = repeated_binary_traffic(6, 5, 0xCAFE);
+        assert_eq!(items.len(), 6);
+        for item in &items {
+            assert_eq!(item.image, items[0].image, "{} diverged", item.name);
+            assert_eq!(item.regime, PolicyRegime::StackProtection);
+            assert_eq!(item.expected, ExpectedOutcome::Compliant);
+        }
+        // Same plaintext, but each tenant still gets its own client seed.
+        assert_ne!(items[0].client_seed, items[1].client_seed);
+        // Deterministic: same arguments, same fleet.
+        let again = repeated_binary_traffic(6, 5, 0xCAFE);
+        assert_eq!(items[0].image, again[0].image);
+    }
+
+    #[test]
+    fn distinct_binary_fleet_images_are_pairwise_distinct() {
+        let items = distinct_binary_traffic(5, 5, 0xCAFE);
+        for (i, a) in items.iter().enumerate() {
+            for b in &items[i + 1..] {
+                assert_ne!(a.image, b.image, "{} and {} collide", a.name, b.name);
+            }
+        }
+        // The control fleet matches the repeated fleet's shape: image
+        // sizes agree to within a page or two.
+        let same = repeated_binary_traffic(1, 5, 0xCAFE);
+        for item in &items {
+            let diff = item.image.len().abs_diff(same[0].image.len());
+            assert!(diff < 16_384, "control fleet shape diverged: {diff}");
         }
     }
 

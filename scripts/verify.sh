@@ -43,6 +43,40 @@ jq -e '
     || { echo "FAIL: $smoke_out missing required keys/invariants" >&2; exit 1; }
 echo "OK: $smoke_out schema + invariants hold"
 
+echo "== smoke: bench_verdict_cache (bounded) =="
+# Bounded verdict-cache replay: the bench itself asserts that cached
+# and uncached runs sign bit-identical verdicts and that distinct
+# binaries never hit; the jq gate re-checks the exported schema.
+cache_out=target/BENCH_cache_smoke.json
+cargo run --release --offline -q -p engarde-bench --bin bench_verdict_cache -- \
+    --sessions 6 --scale 3 --cache-capacity 16 --cross-shards 2 \
+    --out "$cache_out"
+jq -e '
+    .verdicts_bit_identical == true
+    and (.speedup_same_vs_distinct > 1)
+    and (.same_binary_cached.cache_hits == .sessions - 1)
+    and (.same_binary_cached.verdict_fingerprint
+         == .same_binary_uncached.verdict_fingerprint)
+    and (.distinct_binary_cached.cache_hits == 0)
+    and (.distinct_binary_cached.cache_insertions == .sessions)
+    and (.cross_shard.run.cache_hits > 0)
+    and ([.same_binary_cached, .same_binary_uncached, .distinct_binary_cached]
+         | all(.sessions_per_model_sec > 0 and .makespan_cycles > 0))
+' "$cache_out" > /dev/null \
+    || { echo "FAIL: $cache_out missing required keys/invariants" >&2; exit 1; }
+echo "OK: $cache_out schema + invariants hold"
+
+echo "== gate: no unwrap/expect in ELF parser non-test code =="
+# The parser faces hostile bytes; every read must be fallible. Strip
+# the #[cfg(test)] module, then refuse any unwrap()/expect( left.
+parser=crates/elf/src/parse.rs
+if awk '/#\[cfg\(test\)\]/{exit} {print}' "$parser" \
+        | grep -nE '\.unwrap\(\)|\.expect\('; then
+    echo "FAIL: $parser non-test code calls unwrap()/expect(" >&2
+    exit 1
+fi
+echo "OK: $parser non-test code is panic-free"
+
 echo "== hermetic: dependency graph has zero registry packages =="
 # Every package with a non-null "source" came from a registry or git
 # remote; a hermetic tree has none.

@@ -133,11 +133,16 @@ fn provider_view_is_only_verdict_and_code_pages() {
         exec_pages,
         stages,
         instructions,
+        cache_hit,
     } = view;
     assert!(compliant);
     assert!(!exec_pages.is_empty());
     assert!(stages.total() > 0);
     assert!(instructions > 0);
+    // The cache-hit bit is timing-observable by the provider regardless
+    // (a hit's inspection is orders of magnitude shorter), so surfacing
+    // it leaks nothing the cycle counts don't already.
+    assert!(!cache_hit, "no cache attached in this protocol run");
 }
 
 #[test]

@@ -47,6 +47,7 @@ fn mixed_tenant_fleet_isolates_sessions_and_rejects_adversaries() {
         machine: machine(0x3E2A),
         queue_capacity: 16,
         run: SessionRunConfig::default(),
+        verdict_cache: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -171,6 +172,7 @@ fn threaded_tenants_complete_with_isolated_channels() {
         machine: machine(0x7D11),
         queue_capacity: 8,
         run: SessionRunConfig::default(),
+        verdict_cache: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))

@@ -1,0 +1,185 @@
+//! Fault-recovery benchmark: replays a compliant chaos fleet through
+//! `engarde-serve` three times — fault-free baseline, fault-free with
+//! the injection layer *enabled but idle* (the bit-identity check), and
+//! under the default transient fault mix with the chaos-hardened run
+//! profile (retries, exponential backoff with deterministic jitter,
+//! session budget, circuit breaker). Writes `BENCH_faults.json`.
+//!
+//! The headline figures:
+//!
+//! - `recovery_rate` — injected faults whose sessions still reached a
+//!   verdict, over faults injected. The transient mix is recoverable by
+//!   construction, so the acceptance floor is 0.9.
+//! - `throughput_retention` — faulted throughput over baseline
+//!   throughput (both virtual-time; the gap is retry + backoff cost).
+//! - `fault_free_identical` — the idle-layer run's fingerprint equals
+//!   the baseline's, bit for bit.
+//!
+//! ```text
+//! bench_fault_recovery [--sessions N] [--scale P] [--seed S]
+//!                      [--per-mille N] [--out PATH]
+//! ```
+
+use engarde_serve::faults::{FaultKind, FaultMix, FaultPlan};
+use engarde_serve::regimes;
+use engarde_serve::service::{ProvisioningService, SchedMode, ServiceConfig, ServiceResult};
+use engarde_serve::SessionRunConfig;
+use engarde_sgx::instr::SgxVersion;
+use engarde_sgx::machine::MachineConfig;
+use engarde_sgx::perf::CLOCK_GHZ;
+use engarde_workloads::traffic::{chaos_fleet, TrafficItem};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Args {
+    sessions: usize,
+    scale_percent: usize,
+    seed: u64,
+    per_mille: u16,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            sessions: 24,
+            scale_percent: 3,
+            seed: 0xFA_0175,
+            per_mille: 500,
+            out: "BENCH_faults.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--sessions" => args.sessions = take().parse().expect("--sessions"),
+            "--scale" => args.scale_percent = take().parse().expect("--scale"),
+            "--seed" => args.seed = take().parse().expect("--seed"),
+            "--per-mille" => args.per_mille = take().parse().expect("--per-mille"),
+            "--out" => args.out = take(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn machine(seed: u64) -> MachineConfig {
+    MachineConfig {
+        epc_pages: 8_192,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed,
+    }
+}
+
+fn run(
+    traffic: &[TrafficItem],
+    musl: &Arc<HashMap<String, engarde_crypto::sha256::Digest>>,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> ServiceResult {
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 2,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: 2_000_000,
+        },
+        machine: machine(seed),
+        queue_capacity: 1024,
+        run: SessionRunConfig::chaos_hardened(),
+        verdict_cache: None,
+        faults: plan,
+    });
+    for item in traffic {
+        svc.submit(regimes::request_for(item, musl))
+            .expect("chaos fleets are compliant and the queue is deep");
+    }
+    svc.drain()
+}
+
+fn throughput(result: &ServiceResult) -> f64 {
+    let model_seconds = result.makespan_cycles.max(1) as f64 / (CLOCK_GHZ * 1e9);
+    result.metrics.counters().completed as f64 / model_seconds
+}
+
+fn main() {
+    let args = parse_args();
+    let musl = Arc::new(regimes::musl_hashes());
+    let traffic = chaos_fleet(args.sessions, args.scale_percent, args.seed);
+    eprintln!(
+        "bench_fault_recovery: {} sessions (scale {}%), transient mix {}‰",
+        args.sessions, args.scale_percent, args.per_mille
+    );
+
+    let baseline = run(&traffic, &musl, args.seed, None);
+    let idle = run(
+        &traffic,
+        &musl,
+        args.seed,
+        Some(FaultPlan::disabled(args.seed)),
+    );
+    let fault_free_identical = baseline.fingerprint() == idle.fingerprint();
+    eprintln!(
+        "  baseline: {:.2}/s model throughput, idle-layer identical: {fault_free_identical}",
+        throughput(&baseline)
+    );
+
+    let plan = FaultPlan {
+        seed: args.seed ^ 0x000F_A017_5EED,
+        mix: FaultMix::transient(args.per_mille),
+    };
+    let faulted = run(&traffic, &musl, args.seed, Some(plan));
+    let stats = faulted.metrics.fault_stats();
+    let totals = stats.totals();
+    let recovery_rate = if totals.injected == 0 {
+        1.0
+    } else {
+        totals.recovered as f64 / totals.injected as f64
+    };
+    let throughput_retention = throughput(&faulted) / throughput(&baseline).max(1e-9);
+    eprintln!(
+        "  faulted: {} injected, {} recovered (rate {recovery_rate:.3}), throughput retention {throughput_retention:.3}",
+        totals.injected, totals.recovered
+    );
+
+    let m = faulted.metrics.counters();
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"sessions\": {},\n  \"scale_percent\": {},\n  \"seed\": {},\n  \"per_mille\": {},\n",
+        args.sessions, args.scale_percent, args.seed, args.per_mille
+    ));
+    json.push_str(&format!(
+        "  \"recovery_rate\": {recovery_rate:.4},\n  \"throughput_retention\": {throughput_retention:.4},\n  \"fault_free_identical\": {fault_free_identical},\n"
+    ));
+    json.push_str(&format!(
+        "  \"baseline_throughput_per_sec\": {:.4},\n  \"faulted_throughput_per_sec\": {:.4},\n",
+        throughput(&baseline),
+        throughput(&faulted)
+    ));
+    json.push_str(&format!(
+        "  \"completed\": {},\n  \"evicted\": {},\n  \"retries\": {},\n  \"shed\": {},\n  \"workers_died\": {},\n",
+        m.completed, m.evicted, m.retries, m.shed, m.workers_died
+    ));
+    json.push_str("  \"faults\": {\n");
+    for (i, kind) in FaultKind::ALL.iter().enumerate() {
+        let s = stats.kind(*kind);
+        json.push_str(&format!(
+            "    \"{}\": {{\"injected\": {}, \"detected\": {}, \"retried\": {}, \"recovered\": {}, \"evicted\": {}}}{}\n",
+            kind.name(),
+            s.injected,
+            s.detected,
+            s.retried,
+            s.recovered,
+            s.evicted,
+            if i + 1 < FaultKind::ALL.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&args.out, &json).expect("write BENCH_faults.json");
+    eprintln!("wrote {}", args.out);
+}

@@ -125,29 +125,6 @@ fn submit_all(
     rejected
 }
 
-fn fingerprint(result: &ServiceResult) -> String {
-    use engarde_crypto::sha256::Sha256;
-    let mut h = Sha256::new();
-    for r in &result.reports {
-        h.update(r.name.as_bytes());
-        h.update(&r.cycles.to_be_bytes());
-        h.update(&r.latency_cycles.to_be_bytes());
-        h.update(&[match &r.outcome {
-            engarde_serve::SessionOutcome::Compliant => 0u8,
-            engarde_serve::SessionOutcome::NonCompliant => 1,
-            engarde_serve::SessionOutcome::Evicted { .. } => 2,
-            engarde_serve::SessionOutcome::Failed { .. } => 3,
-        }]);
-        if let Some(v) = &r.verdict {
-            h.update(&[v.compliant as u8]);
-            h.update(v.detail.as_bytes());
-            h.update(&v.signature);
-        }
-    }
-    h.update(&result.makespan_cycles.to_be_bytes());
-    h.finalize().to_hex()
-}
-
 fn run_virtual(
     shards: usize,
     args: &Args,
@@ -164,6 +141,7 @@ fn run_virtual(
         queue_capacity: capacity,
         run: SessionRunConfig::default(),
         verdict_cache: None,
+        faults: None,
     });
     let rejected = submit_all(&mut svc, traffic, musl);
     let result = svc.drain();
@@ -182,7 +160,7 @@ fn run_virtual(
         p50_latency_cycles: result.metrics.latency_percentile(50).unwrap_or(0),
         p99_latency_cycles: result.metrics.latency_percentile(99).unwrap_or(0),
         queue_depth_highwater: m.queue_depth_highwater,
-        fingerprint: fingerprint(&result),
+        fingerprint: result.fingerprint(),
     };
     (run, result)
 }
@@ -239,6 +217,7 @@ fn main() {
         queue_capacity: 2,
         run: SessionRunConfig::default(),
         verdict_cache: None,
+        faults: None,
     });
     let overload_rejected = submit_all(&mut svc, &overload_traffic, &musl);
     let overload = svc.drain();
@@ -259,6 +238,7 @@ fn main() {
             queue_capacity: args.capacity,
             run: SessionRunConfig::default(),
             verdict_cache: None,
+            faults: None,
         });
         let rejected = submit_all(&mut svc, &traffic, &musl);
         let result = svc.drain();

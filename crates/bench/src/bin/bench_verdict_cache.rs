@@ -118,6 +118,7 @@ fn verdict_fingerprint(result: &ServiceResult) -> String {
             engarde_serve::SessionOutcome::NonCompliant => 1,
             engarde_serve::SessionOutcome::Evicted { .. } => 2,
             engarde_serve::SessionOutcome::Failed { .. } => 3,
+            engarde_serve::SessionOutcome::Shed => 4,
         }]);
         if let Some(v) = &r.verdict {
             h.update(&[v.compliant as u8]);
@@ -145,6 +146,7 @@ fn run_fleet(
         queue_capacity: traffic.len().max(1) * 2,
         run: SessionRunConfig::default(),
         verdict_cache: cache,
+        faults: None,
     });
     for item in traffic {
         svc.submit(regimes::request_for(item, musl))

@@ -231,7 +231,10 @@ impl<'m> Executor<'m> {
 
     fn read_u64(&mut self, addr: u64) -> Result<u64, String> {
         let b = self.read_mem(addr, 8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        let b: [u8; 8] = b
+            .try_into()
+            .map_err(|_| format!("short read at {addr:#x}: expected 8 bytes"))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), String> {

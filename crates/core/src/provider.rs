@@ -51,6 +51,7 @@ pub struct CloudProvider {
     verdicts: HashMap<EnclaveId, SignedVerdict>,
     rng: StdRng,
     verdict_cache: Option<SharedVerdictCache>,
+    injected_epc_failures: u32,
 }
 
 impl std::fmt::Debug for CloudProvider {
@@ -69,7 +70,35 @@ impl CloudProvider {
             verdicts: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
             verdict_cache: None,
+            injected_epc_failures: 0,
         }
+    }
+
+    /// Fault hook: the next `failures` calls to [`CloudProvider::deliver`]
+    /// fail with transient EPC exhaustion, exactly as a machine under
+    /// page pressure would. A service layer uses this to rehearse its
+    /// retry/backoff path deterministically; the counter decrements per
+    /// failure, so a bounded spike is always recoverable within a
+    /// sufficient retry budget.
+    pub fn inject_epc_pressure(&mut self, failures: u32) {
+        self.injected_epc_failures = failures;
+    }
+
+    /// Fault hook: the next `failures` receives into enclave `id` fail
+    /// with in-enclave working-memory exhaustion (the other transient
+    /// error class on the deliver path).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown enclaves.
+    pub fn inject_working_memory_pressure(
+        &mut self,
+        id: EnclaveId,
+        failures: u32,
+    ) -> Result<(), EngardeError> {
+        self.session_mut(id)?
+            .inject_working_memory_pressure(failures);
+        Ok(())
     }
 
     /// Attaches a (possibly shared) content-addressed verdict cache:
@@ -224,6 +253,12 @@ impl CloudProvider {
     ///
     /// Propagates channel and protocol failures from inside the enclave.
     pub fn deliver(&mut self, id: EnclaveId, block: &SealedBlock) -> Result<(), EngardeError> {
+        if self.injected_epc_failures > 0 {
+            self.injected_epc_failures -= 1;
+            return Err(EngardeError::Sgx(engarde_sgx::SgxError::Epc(
+                engarde_sgx::epc::EpcError::OutOfPages,
+            )));
+        }
         let mut session = self
             .sessions
             .remove(&id)

@@ -200,6 +200,7 @@ pub struct EngardeEnclave {
     manifest: Option<ContentManifest>,
     pages: Vec<Option<Vec<u8>>>,
     receive_cycles: u64,
+    injected_memory_failures: u32,
 }
 
 impl std::fmt::Debug for EngardeEnclave {
@@ -235,7 +236,17 @@ impl EngardeEnclave {
             manifest: None,
             pages: Vec::new(),
             receive_cycles: 0,
+            injected_memory_failures: 0,
         }
+    }
+
+    /// Fault hook: the next `failures` receives fail with in-enclave
+    /// working-memory exhaustion — a deterministic stand-in for the
+    /// scratch-allocation failures a genuinely memory-starved EnGarde
+    /// instance reports. Transient by classification, so a retrying
+    /// service recovers once the counter drains.
+    pub fn inject_working_memory_pressure(&mut self, failures: u32) {
+        self.injected_memory_failures = failures;
     }
 
     /// The enclave id EnGarde runs in.
@@ -280,6 +291,12 @@ impl EngardeEnclave {
         machine: &mut SgxMachine,
         block: &SealedBlock,
     ) -> Result<(), EngardeError> {
+        if self.injected_memory_failures > 0 {
+            self.injected_memory_failures -= 1;
+            return Err(EngardeError::OutOfEnclaveMemory {
+                what: "injected working-memory pressure",
+            });
+        }
         let session = self
             .session
             .as_mut()

@@ -18,6 +18,9 @@ pub enum EvictReason {
     ClientStalled,
     /// The session's delivery phase exceeded its cycle budget.
     DeliverBudgetExceeded,
+    /// The whole session (attempts plus backoff) exceeded its
+    /// end-to-end cycle budget.
+    SessionBudgetExceeded,
 }
 
 impl fmt::Display for EvictReason {
@@ -25,6 +28,7 @@ impl fmt::Display for EvictReason {
         match self {
             EvictReason::ClientStalled => write!(f, "client stalled mid-transfer"),
             EvictReason::DeliverBudgetExceeded => write!(f, "delivery cycle budget exceeded"),
+            EvictReason::SessionBudgetExceeded => write!(f, "session cycle budget exceeded"),
         }
     }
 }
@@ -64,6 +68,22 @@ pub enum ServeError {
     Engarde(EngardeError),
     /// A worker thread disappeared (panicked) mid-session.
     WorkerLost,
+    /// Every worker in the pool is dead; the service cannot run any
+    /// session. Returned typed from `submit` instead of hanging.
+    PoolDead,
+    /// The shard's circuit breaker is open: fault rates spiked and the
+    /// shard is shedding load until its cooldown passes.
+    LoadShed {
+        /// The shedding shard.
+        shard: usize,
+    },
+    /// A session phase that guarantees a channel key was entered
+    /// without one — an internal invariant violation reported as a
+    /// typed error instead of a panic.
+    MissingSessionKey {
+        /// The phase that should have held the key.
+        phase: &'static str,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -82,6 +102,13 @@ impl fmt::Display for ServeError {
             }
             ServeError::Engarde(e) => write!(f, "provisioning failure: {e}"),
             ServeError::WorkerLost => write!(f, "worker thread lost"),
+            ServeError::PoolDead => write!(f, "worker pool is dead: no live workers"),
+            ServeError::LoadShed { shard } => {
+                write!(f, "shard {shard} is shedding load (circuit breaker open)")
+            }
+            ServeError::MissingSessionKey { phase } => {
+                write!(f, "session in phase {phase} holds no channel key")
+            }
         }
     }
 }
@@ -112,6 +139,16 @@ pub fn is_transient(e: &ServeError) -> bool {
             )) | EngardeError::OutOfEnclaveMemory { .. }
         )
     )
+}
+
+/// Whether a fresh attempt is worth making: transient resource
+/// pressure, or a *transport* failure — a sealed block that failed its
+/// MAC or arrived out of sequence. Transport damage is per-attempt (a
+/// retry reseals the content from scratch), so a corrupted, truncated,
+/// dropped, reordered, or duplicated delivery is recoverable; the
+/// tampered bytes themselves can never reach the inspector.
+pub fn is_retryable(e: &ServeError) -> bool {
+    is_transient(e) || matches!(e, ServeError::Engarde(EngardeError::Crypto(_)))
 }
 
 #[cfg(test)]

@@ -1,0 +1,527 @@
+//! Deterministic fault injection for the provisioning service.
+//!
+//! EnGarde's value is that two mutually-distrusting parties can rely on
+//! the inspector's verdict even when the other side misbehaves — so the
+//! service must be proven against exactly the host↔enclave interaction
+//! faults a hostile or broken transport can produce: corrupted,
+//! truncated, dropped, reordered, or duplicated sealed blocks, flipped
+//! manifest bytes, a mismatched channel key, a client that dies
+//! mid-stream, EPC-pressure spikes, and worker death.
+//!
+//! The layer is *deterministic*: a [`FaultPlan`] is a pure function of
+//! `(seed, arrival_index)`, so a chaos run is bit-reproducible in
+//! virtual time — the same seed replays the identical fault schedule,
+//! and a plan whose mix injects nothing is behaviorally identical to no
+//! plan at all (pinned by `tests/fault_matrix.rs`).
+//!
+//! The invariant the handling side maintains everywhere: **every
+//! injected fault produces a typed error or a clean rejection — never a
+//! panic, never a hang, and never a signed PASS verdict**. Sealed-block
+//! tampering is caught by the channel (MAC failure or sequence
+//! mismatch) before any plaintext reaches the inspector; drops and
+//! stalls are evicted; pressure spikes are retried with exponential
+//! backoff and deterministic jitter; dead workers are detected instead
+//! of waited on.
+
+use engarde_crypto::channel::SealedBlock;
+use engarde_rand::{splitmix64, Rng, RngCore, SeedableRng, StdRng};
+
+/// Number of fault kinds — the size of every per-kind counter array.
+pub const FAULT_KIND_COUNT: usize = 10;
+
+/// Every fault the layer can inject.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultKind {
+    /// Flip one ciphertext bit of a sealed block (MAC failure).
+    CorruptBlock,
+    /// Truncate a sealed block's ciphertext (MAC failure).
+    TruncateBlock,
+    /// Drop one mid-stream block (channel sequence mismatch).
+    DropBlock,
+    /// Swap two adjacent blocks (channel sequence mismatch).
+    ReorderBlocks,
+    /// Deliver one block twice (channel sequence mismatch on the copy).
+    DuplicateBlock,
+    /// Flip a bit of the sealed manifest block (MAC failure on the
+    /// manifest — no field ever deserializes from tampered bytes).
+    FlipManifest,
+    /// Tamper the wrapped channel key (decrypt-key mismatch: RSA unwrap
+    /// fails or every subsequent MAC does).
+    KeyMismatch,
+    /// The client goes silent mid-stream (eviction).
+    ClientStall,
+    /// A transient resource spike on the deliver path: EPC page
+    /// exhaustion or in-enclave working-memory exhaustion (retried).
+    EpcPressure,
+    /// The worker running the session dies (detected, never hung on).
+    WorkerDeath,
+}
+
+impl FaultKind {
+    /// Every kind, in counter-index order.
+    pub const ALL: [FaultKind; FAULT_KIND_COUNT] = [
+        FaultKind::CorruptBlock,
+        FaultKind::TruncateBlock,
+        FaultKind::DropBlock,
+        FaultKind::ReorderBlocks,
+        FaultKind::DuplicateBlock,
+        FaultKind::FlipManifest,
+        FaultKind::KeyMismatch,
+        FaultKind::ClientStall,
+        FaultKind::EpcPressure,
+        FaultKind::WorkerDeath,
+    ];
+
+    /// The kind's index into per-kind counter arrays.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|k| *k == self)
+            .unwrap_or_default()
+    }
+
+    /// The snake_case name used in metrics JSON and event details.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::CorruptBlock => "corrupt_block",
+            FaultKind::TruncateBlock => "truncate_block",
+            FaultKind::DropBlock => "drop_block",
+            FaultKind::ReorderBlocks => "reorder_blocks",
+            FaultKind::DuplicateBlock => "duplicate_block",
+            FaultKind::FlipManifest => "flip_manifest",
+            FaultKind::KeyMismatch => "key_mismatch",
+            FaultKind::ClientStall => "client_stall",
+            FaultKind::EpcPressure => "epc_pressure",
+            FaultKind::WorkerDeath => "worker_death",
+        }
+    }
+
+    /// Whether a clean re-attempt can recover from this fault: the
+    /// tampering hits only one attempt's transport, so a retry with
+    /// freshly sealed blocks succeeds. Stalls evict and worker death
+    /// kills the shard — neither is recoverable by retrying.
+    pub fn is_recoverable(self) -> bool {
+        !matches!(self, FaultKind::ClientStall | FaultKind::WorkerDeath)
+    }
+}
+
+/// Per-kind injection rates in parts-per-thousand of submitted
+/// sessions. The sum is the overall fault rate (clamped to 1000).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultMix {
+    /// `per_mille[FaultKind::index()]` = that kind's injection rate.
+    pub per_mille: [u16; FAULT_KIND_COUNT],
+}
+
+impl FaultMix {
+    /// No faults at all — a run with this mix must be bit-identical to
+    /// a run with no fault layer.
+    pub fn none() -> Self {
+        FaultMix::default()
+    }
+
+    /// Only `kind`, at `per_mille` parts-per-thousand (1000 = every
+    /// session).
+    pub fn only(kind: FaultKind, per_mille: u16) -> Self {
+        let mut mix = FaultMix::default();
+        mix.per_mille[kind.index()] = per_mille.min(1000);
+        mix
+    }
+
+    /// The default *transient* mix: every recoverable transport fault
+    /// at equal weight, `total_per_mille` overall. This is the
+    /// `bench_fault_recovery` default — every injection is retryable,
+    /// so the recovery-rate floor applies to all of it.
+    pub fn transient(total_per_mille: u16) -> Self {
+        let kinds: Vec<FaultKind> = FaultKind::ALL
+            .into_iter()
+            .filter(|k| k.is_recoverable())
+            .collect();
+        let each = (total_per_mille.min(1000) as usize / kinds.len()) as u16;
+        let mut mix = FaultMix::default();
+        for k in kinds {
+            mix.per_mille[k.index()] = each;
+        }
+        mix
+    }
+
+    /// Full chaos: every kind (stalls and worker death included) at
+    /// equal weight, `total_per_mille` overall.
+    pub fn chaos(total_per_mille: u16) -> Self {
+        let each = total_per_mille.min(1000) / FAULT_KIND_COUNT as u16;
+        let mut mix = FaultMix::default();
+        for k in FaultKind::ALL {
+            mix.per_mille[k.index()] = each;
+        }
+        mix
+    }
+
+    /// Sum of all per-kind rates (the overall injection probability in
+    /// parts-per-thousand, capped at 1000 when sampling).
+    pub fn total_per_mille(&self) -> u32 {
+        self.per_mille.iter().map(|&w| w as u32).sum()
+    }
+}
+
+/// A deterministic fault schedule: which sessions get which faults is a
+/// pure function of `(seed, arrival_index)` — independent of retries,
+/// shard assignment, or wall-clock, so every chaos run replays
+/// bit-identically.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    /// Root seed of the fault schedule (independent of machine seeds —
+    /// the machines' RNG streams are untouched by the fault layer).
+    pub seed: u64,
+    /// Per-kind injection rates.
+    pub mix: FaultMix,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing — used to prove the layer itself is
+    /// free of observable overhead.
+    pub fn disabled(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            mix: FaultMix::none(),
+        }
+    }
+
+    /// The fault (if any) scheduled for the session admitted at
+    /// `arrival_index`. Pure: same `(seed, mix, arrival_index)` — same
+    /// answer, always.
+    pub fn directive_for(&self, arrival_index: u64) -> Option<FaultDirective> {
+        let mut state = self.seed ^ 0x000F_A017_5EEDu64.wrapping_mul(arrival_index.wrapping_add(1));
+        let mut rng = StdRng::seed_from_u64(splitmix64(&mut state));
+        let roll = rng.gen_range(0u32..1000);
+        let mut cumulative = 0u32;
+        for kind in FaultKind::ALL {
+            cumulative += self.mix.per_mille[kind.index()] as u32;
+            if roll < cumulative.min(1000) {
+                return Some(FaultDirective {
+                    kind,
+                    block: rng.next_u64() as usize,
+                    bit: rng.next_u64() as usize,
+                    pressure: 1 + (rng.next_u64() % 2) as u32,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// One scheduled fault, with enough deterministic entropy to pick a
+/// target block, bit, and spike magnitude. `block` and `bit` are raw
+/// draws; appliers reduce them modulo the live target's size.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultDirective {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Raw draw selecting the target block.
+    pub block: usize,
+    /// Raw draw selecting the target bit (and spike flavor).
+    pub bit: usize,
+    /// Spike magnitude for [`FaultKind::EpcPressure`] (1–2 injected
+    /// failures, always within a retry budget of ≥ 3).
+    pub pressure: u32,
+}
+
+/// Flips ciphertext bit `bit` (reduced mod the block's size) of
+/// `block`. Returns false for an empty ciphertext.
+fn flip_bit(block: &mut SealedBlock, bit: usize) -> bool {
+    if block.ciphertext.is_empty() {
+        return false;
+    }
+    let b = bit % (block.ciphertext.len() * 8);
+    block.ciphertext[b / 8] ^= 1 << (b % 8);
+    true
+}
+
+/// Applies a block-level fault to a sealed transfer in flight. Returns
+/// whether anything was actually mutated (a drop/reorder needs at least
+/// two blocks; in practice a transfer is always manifest + ≥ 1 page).
+///
+/// Every mutation here is *detected before plaintext is trusted*: bit
+/// flips and truncations fail the HMAC, drops/reorders/duplicates fail
+/// the channel's strict sequence check. None of them can reach the
+/// inspector, so none can influence a verdict.
+pub fn apply_to_blocks(blocks: &mut Vec<SealedBlock>, d: &FaultDirective) -> bool {
+    let len = blocks.len();
+    match d.kind {
+        FaultKind::CorruptBlock => {
+            if len == 0 {
+                return false;
+            }
+            let idx = d.block % len;
+            flip_bit(&mut blocks[idx], d.bit)
+        }
+        FaultKind::TruncateBlock => {
+            if len == 0 {
+                return false;
+            }
+            let idx = d.block % len;
+            let cut = blocks[idx].ciphertext.len() / 2;
+            blocks[idx].ciphertext.truncate(cut);
+            true
+        }
+        FaultKind::DropBlock => {
+            // Never the last block: a dropped tail is a stall, not a
+            // drop — mid-stream drops surface as sequence mismatches.
+            if len < 2 {
+                return false;
+            }
+            let idx = d.block % (len - 1);
+            blocks.remove(idx);
+            true
+        }
+        FaultKind::ReorderBlocks => {
+            if len < 2 {
+                return false;
+            }
+            let idx = d.block % (len - 1);
+            blocks.swap(idx, idx + 1);
+            true
+        }
+        FaultKind::DuplicateBlock => {
+            if len == 0 {
+                return false;
+            }
+            let idx = d.block % len;
+            let copy = blocks[idx].clone();
+            blocks.insert(idx + 1, copy);
+            true
+        }
+        FaultKind::FlipManifest => match blocks.first_mut() {
+            Some(manifest) => flip_bit(manifest, d.bit),
+            None => false,
+        },
+        _ => false,
+    }
+}
+
+/// Tampers a wrapped channel key in transit (the decrypt-key-mismatch
+/// fault): one flipped bit means the enclave unwraps a different — or
+/// no — AES key, so establishment or the first MAC check fails typed.
+pub fn tamper_wrapped_key(wrapped: &mut [u8], d: &FaultDirective) {
+    if wrapped.is_empty() {
+        return;
+    }
+    let b = d.bit % (wrapped.len() * 8);
+    wrapped[b / 8] ^= 1 << (b % 8);
+}
+
+/// Where the client stall lands: after `1 + block mod (len-1)` sealed
+/// blocks — always at least one short of completion, so the service
+/// must evict. `None` when the transfer is too short to stall inside.
+pub fn stall_point(d: &FaultDirective, blocks: usize) -> Option<usize> {
+    if blocks < 2 {
+        return None;
+    }
+    Some(1 + d.block % (blocks - 1))
+}
+
+/// Deterministic exponential backoff with jitter, in model cycles:
+/// `base · 2^(attempt-1) + jitter`, where the jitter stream derives
+/// from `seed` via SplitMix64 (bit-reproducible, yet decorrelated
+/// across sessions so synchronized retries do not stampede a shard).
+pub fn backoff_cycles(base: u64, attempt: u32, seed: u64) -> u64 {
+    if base == 0 {
+        return 0;
+    }
+    let shift = attempt.saturating_sub(1).min(8);
+    let mut state = seed ^ 0xBAC0_FF5E_u64.wrapping_add(attempt as u64);
+    let jitter = splitmix64(&mut state) % base;
+    (base << shift).saturating_add(jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sealed(seq: u64, len: usize) -> SealedBlock {
+        SealedBlock {
+            sequence: seq,
+            ciphertext: vec![0xAB; len],
+            tag: [0u8; 32],
+        }
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_index() {
+        let plan = FaultPlan {
+            seed: 42,
+            mix: FaultMix::chaos(500),
+        };
+        for i in 0..256 {
+            assert_eq!(plan.directive_for(i), plan.directive_for(i), "index {i}");
+        }
+        let replay = FaultPlan {
+            seed: 42,
+            mix: FaultMix::chaos(500),
+        };
+        assert_eq!(plan.directive_for(7), replay.directive_for(7));
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_schedules() {
+        let a = FaultPlan {
+            seed: 1,
+            mix: FaultMix::chaos(1000),
+        };
+        let b = FaultPlan {
+            seed: 2,
+            mix: FaultMix::chaos(1000),
+        };
+        let differs = (0..64).any(|i| a.directive_for(i) != b.directive_for(i));
+        assert!(differs, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn empty_mix_never_injects() {
+        let plan = FaultPlan::disabled(99);
+        assert!((0..512).all(|i| plan.directive_for(i).is_none()));
+    }
+
+    #[test]
+    fn full_rate_single_kind_always_injects_that_kind() {
+        let plan = FaultPlan {
+            seed: 3,
+            mix: FaultMix::only(FaultKind::EpcPressure, 1000),
+        };
+        for i in 0..64 {
+            let d = plan.directive_for(i).expect("rate 1000 must inject");
+            assert_eq!(d.kind, FaultKind::EpcPressure);
+            assert!((1..=2).contains(&d.pressure));
+        }
+    }
+
+    #[test]
+    fn injection_rate_tracks_the_mix() {
+        let plan = FaultPlan {
+            seed: 11,
+            mix: FaultMix::transient(400),
+        };
+        let n = 2_000;
+        let injected = (0..n).filter(|&i| plan.directive_for(i).is_some()).count();
+        let rate = injected as f64 / n as f64;
+        let want = plan.mix.total_per_mille() as f64 / 1000.0;
+        assert!(
+            (rate - want).abs() < 0.05,
+            "rate {rate:.3} too far from {want:.3}"
+        );
+    }
+
+    #[test]
+    fn transient_mix_is_entirely_recoverable() {
+        let mix = FaultMix::transient(800);
+        for kind in [FaultKind::ClientStall, FaultKind::WorkerDeath] {
+            assert_eq!(mix.per_mille[kind.index()], 0, "{}", kind.name());
+        }
+        assert!(mix.total_per_mille() > 0);
+    }
+
+    #[test]
+    fn block_faults_mutate_the_transfer() {
+        let d = |kind| FaultDirective {
+            kind,
+            block: 1,
+            bit: 9,
+            pressure: 1,
+        };
+        let fresh = || vec![sealed(0, 64), sealed(1, 64), sealed(2, 64)];
+
+        let mut b = fresh();
+        assert!(apply_to_blocks(&mut b, &d(FaultKind::CorruptBlock)));
+        assert_ne!(b[1].ciphertext, fresh()[1].ciphertext);
+
+        let mut b = fresh();
+        assert!(apply_to_blocks(&mut b, &d(FaultKind::TruncateBlock)));
+        assert_eq!(b[1].ciphertext.len(), 32);
+
+        let mut b = fresh();
+        assert!(apply_to_blocks(&mut b, &d(FaultKind::DropBlock)));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[1].sequence, 2, "mid-stream drop leaves a gap");
+
+        let mut b = fresh();
+        assert!(apply_to_blocks(&mut b, &d(FaultKind::ReorderBlocks)));
+        assert_eq!(
+            b.iter().map(|x| x.sequence).collect::<Vec<_>>(),
+            vec![0, 2, 1]
+        );
+
+        let mut b = fresh();
+        assert!(apply_to_blocks(&mut b, &d(FaultKind::DuplicateBlock)));
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[1].sequence, b[2].sequence);
+
+        let mut b = fresh();
+        assert!(apply_to_blocks(&mut b, &d(FaultKind::FlipManifest)));
+        assert_ne!(b[0].ciphertext, fresh()[0].ciphertext);
+    }
+
+    #[test]
+    fn drop_never_removes_the_final_block() {
+        for raw in 0..32 {
+            let mut b = vec![sealed(0, 8), sealed(1, 8), sealed(2, 8)];
+            let d = FaultDirective {
+                kind: FaultKind::DropBlock,
+                block: raw,
+                bit: 0,
+                pressure: 1,
+            };
+            assert!(apply_to_blocks(&mut b, &d));
+            assert_eq!(b.last().map(|x| x.sequence), Some(2));
+        }
+    }
+
+    #[test]
+    fn stall_point_is_always_short_of_completion() {
+        for raw in 0..64 {
+            let d = FaultDirective {
+                kind: FaultKind::ClientStall,
+                block: raw,
+                bit: 0,
+                pressure: 1,
+            };
+            let p = stall_point(&d, 5).expect("5 blocks can stall");
+            assert!((1..5).contains(&p), "stall at {p} of 5");
+        }
+        assert_eq!(
+            stall_point(
+                &FaultDirective {
+                    kind: FaultKind::ClientStall,
+                    block: 0,
+                    bit: 0,
+                    pressure: 1
+                },
+                1
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let base = 1_000u64;
+        let b1 = backoff_cycles(base, 1, 7);
+        let b2 = backoff_cycles(base, 2, 7);
+        let b3 = backoff_cycles(base, 3, 7);
+        assert!((base..2 * base).contains(&b1));
+        assert!((2 * base..3 * base).contains(&b2));
+        assert!((4 * base..5 * base).contains(&b3));
+        // Deterministic per (seed, attempt); decorrelated across seeds.
+        assert_eq!(b2, backoff_cycles(base, 2, 7));
+        assert_ne!(backoff_cycles(base, 2, 7), backoff_cycles(base, 2, 8));
+        assert_eq!(backoff_cycles(0, 5, 7), 0, "zero base disables backoff");
+    }
+
+    #[test]
+    fn kind_indices_are_a_bijection() {
+        for (i, kind) in FaultKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        let names: std::collections::BTreeSet<_> =
+            FaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), FAULT_KIND_COUNT);
+    }
+}

@@ -22,6 +22,14 @@
 //!   `std::thread` worker pool for wall-clock numbers.
 //! - [`metrics`] — in-tree atomic counters, latency percentiles, and a
 //!   structured event log, exportable as JSON with zero dependencies.
+//! - [`faults`] — deterministic fault injection: a seeded plan maps
+//!   every arrival index to at most one fault (block corruption /
+//!   truncation / drop / reorder / duplication, manifest flips, key
+//!   mismatch, client stalls, EPC-pressure spikes, worker death). The
+//!   invariant the fault tests enforce: every injected fault yields a
+//!   typed error or clean rejection — never a panic, never a hang, and
+//!   never a signed `PASS` — and a fault-free run with the layer
+//!   enabled is bit-identical to one without it.
 //! - [`regimes`] — glue from the workload traffic generator to
 //!   submittable session requests.
 //!
@@ -58,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod faults;
 pub mod metrics;
 pub mod pool;
 pub mod regimes;
@@ -65,6 +74,7 @@ pub mod service;
 pub mod session;
 
 pub use error::{EvictReason, ServeError};
+pub use faults::{FaultDirective, FaultKind, FaultMix, FaultPlan};
 pub use metrics::ServeMetrics;
 pub use pool::{SessionOutcome, SessionReport, SessionRunConfig, Shard};
 pub use service::{ProvisioningService, SchedMode, ServiceConfig, ServiceResult};

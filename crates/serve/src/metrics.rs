@@ -6,8 +6,18 @@
 //! contention; latency samples and events take a short mutex only at
 //! record time. Percentiles are computed at export.
 
+use crate::faults::{FaultKind, FAULT_KIND_COUNT};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning: a panicking worker must
+/// never cascade into a fleet-wide crash just because it died while
+/// holding a metrics or queue lock. The guarded data here is counters,
+/// samples, and queue entries — all valid at every intermediate state,
+/// so recovery is safe. (Same pattern as `engarde_core::cache`.)
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What happened, for the structured event log.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,6 +40,16 @@ pub enum EventKind {
     CacheHit,
     /// Service entered drain.
     DrainStarted,
+    /// The fault layer injected a fault into this session.
+    FaultInjected,
+    /// A shard's circuit breaker shed this session.
+    Shed,
+    /// A worker (or virtual-time shard) died.
+    WorkerDied,
+    /// A shard's circuit breaker opened (fault rate spiked).
+    BreakerOpened,
+    /// A shard's circuit breaker closed again after a clean probe.
+    BreakerClosed,
 }
 
 impl EventKind {
@@ -44,6 +64,11 @@ impl EventKind {
             EventKind::Failed => "failed",
             EventKind::CacheHit => "cache_hit",
             EventKind::DrainStarted => "drain_started",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::Shed => "shed",
+            EventKind::WorkerDied => "worker_died",
+            EventKind::BreakerOpened => "breaker_opened",
+            EventKind::BreakerClosed => "breaker_closed",
         }
     }
 }
@@ -83,6 +108,74 @@ struct CacheCounters {
     cycles_saved: AtomicU64,
 }
 
+/// Per-fault-kind lifecycle counters: how many faults the layer
+/// injected, how many a typed error detected, how many retries they
+/// cost, how many sessions recovered cleanly, and how many were
+/// evicted because of the fault.
+struct FaultCounters {
+    injected: [AtomicU64; FAULT_KIND_COUNT],
+    detected: [AtomicU64; FAULT_KIND_COUNT],
+    retried: [AtomicU64; FAULT_KIND_COUNT],
+    recovered: [AtomicU64; FAULT_KIND_COUNT],
+    evicted: [AtomicU64; FAULT_KIND_COUNT],
+}
+
+impl Default for FaultCounters {
+    fn default() -> Self {
+        let zeroes = || std::array::from_fn(|_| AtomicU64::new(0));
+        FaultCounters {
+            injected: zeroes(),
+            detected: zeroes(),
+            retried: zeroes(),
+            recovered: zeroes(),
+            evicted: zeroes(),
+        }
+    }
+}
+
+/// One fault kind's lifecycle counters, as plain numbers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultKindStats {
+    /// Faults of this kind the layer injected.
+    pub injected: u64,
+    /// ... of which a typed error detected.
+    pub detected: u64,
+    /// Retries spent on sessions carrying this fault.
+    pub retried: u64,
+    /// Faulted sessions that still reached a clean outcome.
+    pub recovered: u64,
+    /// Faulted sessions the service evicted.
+    pub evicted: u64,
+}
+
+/// Snapshot of every fault kind's counters, indexable by
+/// [`FaultKind::index`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultStatsSnapshot {
+    /// Per-kind stats in [`FaultKind::ALL`] order.
+    pub per_kind: [FaultKindStats; FAULT_KIND_COUNT],
+}
+
+impl FaultStatsSnapshot {
+    /// The stats for one kind.
+    pub fn kind(&self, kind: FaultKind) -> FaultKindStats {
+        self.per_kind[kind.index()]
+    }
+
+    /// Totals across every kind.
+    pub fn totals(&self) -> FaultKindStats {
+        let mut t = FaultKindStats::default();
+        for s in &self.per_kind {
+            t.injected += s.injected;
+            t.detected += s.detected;
+            t.retried += s.retried;
+            t.recovered += s.recovered;
+            t.evicted += s.evicted;
+        }
+        t
+    }
+}
+
 /// Service-wide metrics. One instance is shared (via `Arc`) between the
 /// admission path, every worker, and the drain path.
 #[derive(Default)]
@@ -95,6 +188,9 @@ pub struct ServeMetrics {
     noncompliant: AtomicU64,
     failed: AtomicU64,
     retries: AtomicU64,
+    shed: AtomicU64,
+    workers_died: AtomicU64,
+    faults: FaultCounters,
     queue_depth_highwater: AtomicUsize,
     stage_cycles: StageTotals,
     cache: CacheCounters,
@@ -124,6 +220,10 @@ pub struct CounterSnapshot {
     pub failed: u64,
     /// Transient retries performed.
     pub retries: u64,
+    /// Sessions shed by an open circuit breaker.
+    pub shed: u64,
+    /// Workers (threads or virtual shards) that died.
+    pub workers_died: u64,
     /// Highest queue depth observed.
     pub queue_depth_highwater: usize,
     /// Verdict-cache probes that found a usable verdict.
@@ -151,14 +251,22 @@ impl ServeMetrics {
             EventKind::Evicted => self.evicted.fetch_add(1, Ordering::Relaxed),
             EventKind::Failed => self.failed.fetch_add(1, Ordering::Relaxed),
             EventKind::Completed => self.completed.fetch_add(1, Ordering::Relaxed),
+            EventKind::Shed => self.shed.fetch_add(1, Ordering::Relaxed),
+            EventKind::WorkerDied => self.workers_died.fetch_add(1, Ordering::Relaxed),
             // Cache-hit counters come from the cache itself (the
             // authoritative source) via `set_cache_stats`; the event is
             // log-only so per-session records and cache totals cannot
-            // drift apart.
-            EventKind::Started | EventKind::CacheHit | EventKind::DrainStarted => 0,
+            // drift apart. Fault-lifecycle counters come through the
+            // typed `record_fault_*` methods for the same reason.
+            EventKind::Started
+            | EventKind::CacheHit
+            | EventKind::DrainStarted
+            | EventKind::FaultInjected
+            | EventKind::BreakerOpened
+            | EventKind::BreakerClosed => 0,
         };
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut events = self.events.lock().expect("events lock");
+        let mut events = lock_recover(&self.events);
         events.push(Event {
             seq,
             kind,
@@ -201,10 +309,48 @@ impl ServeMetrics {
         self.total_cycles.fetch_add(cycles, Ordering::Relaxed);
         self.total_wall_nanos
             .fetch_add(wall_nanos, Ordering::Relaxed);
-        self.latency_cycles
-            .lock()
-            .expect("latency lock")
-            .push(latency_cycles);
+        lock_recover(&self.latency_cycles).push(latency_cycles);
+    }
+
+    /// Records that the fault layer injected a fault of `kind`.
+    pub fn record_fault_injected(&self, kind: FaultKind) {
+        self.faults.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a typed error detected a fault of `kind`.
+    pub fn record_fault_detected(&self, kind: FaultKind) {
+        self.faults.detected[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retry spent on a session faulted with `kind`.
+    pub fn record_fault_retried(&self, kind: FaultKind) {
+        self.faults.retried[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a session faulted with `kind` reached a clean
+    /// outcome anyway.
+    pub fn record_fault_recovered(&self, kind: FaultKind) {
+        self.faults.recovered[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a session faulted with `kind` was evicted.
+    pub fn record_fault_evicted(&self, kind: FaultKind) {
+        self.faults.evicted[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of every fault kind's lifecycle counters.
+    pub fn fault_stats(&self) -> FaultStatsSnapshot {
+        let mut snap = FaultStatsSnapshot::default();
+        for i in 0..FAULT_KIND_COUNT {
+            snap.per_kind[i] = FaultKindStats {
+                injected: self.faults.injected[i].load(Ordering::Relaxed),
+                detected: self.faults.detected[i].load(Ordering::Relaxed),
+                retried: self.faults.retried[i].load(Ordering::Relaxed),
+                recovered: self.faults.recovered[i].load(Ordering::Relaxed),
+                evicted: self.faults.evicted[i].load(Ordering::Relaxed),
+            };
+        }
+        snap
     }
 
     /// Raises the queue-depth high-water mark to at least `depth`.
@@ -241,6 +387,8 @@ impl ServeMetrics {
             noncompliant: self.noncompliant.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            workers_died: self.workers_died.load(Ordering::Relaxed),
             queue_depth_highwater: self.queue_depth_highwater.load(Ordering::Relaxed),
             cache_hits: self.cache.hits.load(Ordering::Relaxed),
             cache_misses: self.cache.misses.load(Ordering::Relaxed),
@@ -252,7 +400,7 @@ impl ServeMetrics {
     /// Latency percentile in model cycles (`q` in 0..=100). `None` with
     /// no samples.
     pub fn latency_percentile(&self, q: u32) -> Option<u64> {
-        let samples = self.latency_cycles.lock().expect("latency lock");
+        let samples = lock_recover(&self.latency_cycles);
         percentile(&samples, q)
     }
 
@@ -268,7 +416,7 @@ impl ServeMetrics {
 
     /// A copy of the event log, in sequence order.
     pub fn events(&self) -> Vec<Event> {
-        let mut events = self.events.lock().expect("events lock").clone();
+        let mut events = lock_recover(&self.events).clone();
         events.sort_by_key(|e| e.seq);
         events
     }
@@ -277,7 +425,7 @@ impl ServeMetrics {
     /// event log as a JSON object.
     pub fn to_json(&self) -> String {
         let c = self.counters();
-        let samples = self.latency_cycles.lock().expect("latency lock").clone();
+        let samples = lock_recover(&self.latency_cycles).clone();
         let mut out = String::from("{\n");
         let counter_fields = [
             ("admitted", c.admitted),
@@ -288,6 +436,8 @@ impl ServeMetrics {
             ("noncompliant", c.noncompliant),
             ("failed", c.failed),
             ("retries", c.retries),
+            ("shed", c.shed),
+            ("workers_died", c.workers_died),
             ("queue_depth_highwater", c.queue_depth_highwater as u64),
         ];
         out.push_str("  \"counters\": {");
@@ -313,6 +463,24 @@ impl ServeMetrics {
             c.cache_insertions,
             self.cache.cycles_saved.load(Ordering::Relaxed),
         ));
+        let fstats = self.fault_stats();
+        out.push_str("  \"faults\": {");
+        for (i, kind) in FaultKind::ALL.into_iter().enumerate() {
+            let s = fstats.kind(kind);
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{}\": {{\"injected\": {}, \"detected\": {}, \"retried\": {}, \"recovered\": {}, \"evicted\": {}}}",
+                kind.name(),
+                s.injected,
+                s.detected,
+                s.retried,
+                s.recovered,
+                s.evicted,
+            ));
+        }
+        out.push_str("},\n");
         out.push_str(&format!(
             "  \"latency_cycles\": {{\"samples\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
             samples.len(),
@@ -487,6 +655,97 @@ mod tests {
             "balanced braces"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fault_counters_track_lifecycle_per_kind() {
+        let m = ServeMetrics::new();
+        m.record_fault_injected(FaultKind::CorruptBlock);
+        m.record_fault_injected(FaultKind::CorruptBlock);
+        m.record_fault_detected(FaultKind::CorruptBlock);
+        m.record_fault_retried(FaultKind::CorruptBlock);
+        m.record_fault_recovered(FaultKind::CorruptBlock);
+        m.record_fault_injected(FaultKind::ClientStall);
+        m.record_fault_evicted(FaultKind::ClientStall);
+        let s = m.fault_stats();
+        assert_eq!(
+            s.kind(FaultKind::CorruptBlock),
+            FaultKindStats {
+                injected: 2,
+                detected: 1,
+                retried: 1,
+                recovered: 1,
+                evicted: 0
+            }
+        );
+        assert_eq!(s.kind(FaultKind::ClientStall).evicted, 1);
+        assert_eq!(s.kind(FaultKind::EpcPressure), FaultKindStats::default());
+        assert_eq!(s.totals().injected, 3);
+        let json = m.to_json();
+        assert!(json.contains(
+            "\"corrupt_block\": {\"injected\": 2, \"detected\": 1, \"retried\": 1, \
+             \"recovered\": 1, \"evicted\": 0}"
+        ));
+        // Every kind appears in the export even when untouched.
+        for kind in FaultKind::ALL {
+            assert!(json.contains(&format!("\"{}\":", kind.name())), "{json}");
+        }
+    }
+
+    #[test]
+    fn shed_and_worker_death_events_bump_counters() {
+        let m = ServeMetrics::new();
+        m.record(EventKind::Shed, "s0", Some(1), "breaker open");
+        m.record(EventKind::WorkerDied, "s1", Some(0), "fault: worker_death");
+        m.record(
+            EventKind::BreakerOpened,
+            "",
+            Some(1),
+            "4 consecutive faults",
+        );
+        m.record(EventKind::BreakerClosed, "", Some(1), "clean probe");
+        let c = m.counters();
+        assert_eq!(c.shed, 1);
+        assert_eq!(c.workers_died, 1);
+        let json = m.to_json();
+        assert!(json.contains("\"kind\": \"breaker_opened\""));
+        assert!(json.contains("\"shed\": 1"));
+    }
+
+    #[test]
+    fn poisoned_events_lock_is_recovered_not_propagated() {
+        // A worker that panics while holding the events lock poisons
+        // it; every later record/export must recover instead of
+        // cascading the panic fleet-wide.
+        let m = std::sync::Arc::new(ServeMetrics::new());
+        let m2 = std::sync::Arc::clone(&m);
+        let joined = std::thread::spawn(move || {
+            let _guard = m2.events.lock().unwrap();
+            panic!("worker died holding the events lock");
+        })
+        .join();
+        assert!(joined.is_err(), "the poisoning thread must have panicked");
+        assert!(m.events.is_poisoned());
+        m.record(EventKind::Admitted, "after-poison", None, "");
+        assert_eq!(m.events().len(), 1);
+        assert_eq!(m.counters().admitted, 1);
+        assert!(m.to_json().contains("after-poison"));
+    }
+
+    #[test]
+    fn poisoned_latency_lock_is_recovered_not_propagated() {
+        let m = std::sync::Arc::new(ServeMetrics::new());
+        let m2 = std::sync::Arc::clone(&m);
+        let joined = std::thread::spawn(move || {
+            let _guard = m2.latency_cycles.lock().unwrap();
+            panic!("worker died holding the latency lock");
+        })
+        .join();
+        assert!(joined.is_err());
+        assert!(m.latency_cycles.is_poisoned());
+        m.record_timing(&Default::default(), 10, 25, 0);
+        assert_eq!(m.latency_percentile(50), Some(25));
+        assert!(m.to_json().contains("\"samples\": 1"));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!
 //! [`SgxMachine`]: engarde_sgx::machine::SgxMachine
 
-use crate::error::{is_transient, EvictReason, ServeError};
+use crate::error::{is_retryable, EvictReason, ServeError};
+use crate::faults::{self, FaultDirective, FaultKind};
 use crate::metrics::{EventKind, ServeMetrics};
 use crate::session::{SessionFsm, SessionPhase, SessionRequest};
 use engarde_core::cache::SharedVerdictCache;
@@ -32,11 +33,14 @@ pub enum SessionOutcome {
         /// Why.
         reason: EvictReason,
     },
-    /// A terminal failure (after retries, if the error was transient).
+    /// A terminal failure (after retries, if the error was retryable).
     Failed {
         /// The rendered error.
         error: String,
     },
+    /// The shard's circuit breaker was open; the session was shed
+    /// without touching the machine.
+    Shed,
 }
 
 /// Everything the service records about one finished session.
@@ -100,6 +104,22 @@ pub struct SessionRunConfig {
     /// Under transient EPC pressure, reclaim the oldest retained enclave
     /// before retrying.
     pub reclaim_on_pressure: bool,
+    /// Base of the exponential retry backoff, in model cycles; attempt
+    /// `n` waits `base · 2^(n-1)` plus deterministic jitter derived
+    /// from the session's client seed. `0` disables backoff (retries
+    /// are immediate — the pre-fault-layer behavior).
+    pub backoff_base_cycles: u64,
+    /// End-to-end model-cycle budget for the whole session (attempts
+    /// plus backoff); exceeding it between attempts evicts the session
+    /// (`SessionBudgetExceeded`). `None` disables the budget.
+    pub session_cycle_budget: Option<u64>,
+    /// Consecutive terminal failures that open the shard's circuit
+    /// breaker; while open, sessions are shed with a typed outcome
+    /// instead of run. `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long (model cycles of the shard's own clock) an opened
+    /// breaker sheds before letting a half-open probe through.
+    pub breaker_cooldown_cycles: u64,
 }
 
 impl Default for SessionRunConfig {
@@ -109,6 +129,26 @@ impl Default for SessionRunConfig {
             deliver_cycle_budget: None,
             release_enclaves: true,
             reclaim_on_pressure: true,
+            backoff_base_cycles: 0,
+            session_cycle_budget: None,
+            breaker_threshold: 0,
+            breaker_cooldown_cycles: 0,
+        }
+    }
+}
+
+impl SessionRunConfig {
+    /// The chaos-hardened profile used by fault benches and tests:
+    /// three retries with exponential backoff + jitter, a generous
+    /// session budget, and a 4-strike breaker with a cooldown.
+    pub fn chaos_hardened() -> Self {
+        SessionRunConfig {
+            retry_budget: 3,
+            backoff_base_cycles: 50_000,
+            session_cycle_budget: Some(2_000_000_000),
+            breaker_threshold: 4,
+            breaker_cooldown_cycles: 20_000_000,
+            ..SessionRunConfig::default()
         }
     }
 }
@@ -119,6 +159,10 @@ pub struct Shard {
     index: usize,
     provider: CloudProvider,
     retained: VecDeque<EnclaveId>,
+    dead: bool,
+    breaker_failures: u32,
+    breaker_open_until: Option<u64>,
+    breaker_tripped: bool,
 }
 
 impl std::fmt::Debug for Shard {
@@ -160,7 +204,24 @@ impl Shard {
             index,
             provider,
             retained: VecDeque::new(),
+            dead: false,
+            breaker_failures: 0,
+            breaker_open_until: None,
+            breaker_tripped: false,
         }
+    }
+
+    /// Whether this shard's worker has died (a `WorkerDeath` fault or a
+    /// panicked thread). A dead shard runs no further sessions; the
+    /// scheduler must route around it.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Whether the shard's circuit breaker is currently shedding load.
+    pub fn breaker_open(&self) -> bool {
+        self.breaker_open_until
+            .is_some_and(|until| self.total_cycles() < until)
     }
 
     /// The shard's index in the fleet.
@@ -200,16 +261,125 @@ impl Shard {
         cfg: &SessionRunConfig,
         metrics: &ServeMetrics,
     ) -> SessionReport {
+        self.run_session_with_fault(req, cfg, metrics, None)
+    }
+
+    /// [`Shard::run_session`] with an optional injected fault. The
+    /// directive applies to the *first* attempt only: retries re-seal
+    /// the content from the client seed, so transport faults are
+    /// recoverable by design, while resource faults (EPC pressure)
+    /// persist on the provider until their spike drains.
+    ///
+    /// Every fault's lifecycle is mirrored into `metrics`:
+    /// injected → detected (first typed error) → retried per extra
+    /// attempt → recovered (verdict reached) or evicted (terminal
+    /// typed rejection). No path panics and no path signs a verdict
+    /// over tampered content — tampering dies in the channel layer.
+    pub fn run_session_with_fault(
+        &mut self,
+        req: &SessionRequest,
+        cfg: &SessionRunConfig,
+        metrics: &ServeMetrics,
+        directive: Option<&FaultDirective>,
+    ) -> SessionReport {
         let wall_start = std::time::Instant::now();
         let start_cycles = self.total_cycles();
+
+        if cfg.breaker_threshold > 0 {
+            if let Some(until) = self.breaker_open_until {
+                if self.total_cycles() < until {
+                    metrics.record(
+                        EventKind::Shed,
+                        &req.name,
+                        Some(self.index),
+                        "circuit breaker open",
+                    );
+                    if let Some(d) = directive {
+                        // The fault was assigned but never ran; the
+                        // breaker absorbed it.
+                        metrics.record_fault_injected(d.kind);
+                        metrics.record_fault_evicted(d.kind);
+                    }
+                    return self.bare_report(req, SessionOutcome::Shed, 0, wall_start, 0);
+                }
+                // Cooldown elapsed: half-open, this session probes.
+                self.breaker_open_until = None;
+            }
+        }
+
         metrics.record(EventKind::Started, &req.name, Some(self.index), "");
 
+        if let Some(d) = directive {
+            metrics.record_fault_injected(d.kind);
+            metrics.record(
+                EventKind::FaultInjected,
+                &req.name,
+                Some(self.index),
+                d.kind.name(),
+            );
+            if d.kind == FaultKind::WorkerDeath {
+                // The worker running this session dies. The shard is
+                // marked dead so schedulers route around it instead of
+                // waiting on a thread that will never answer.
+                self.dead = true;
+                metrics.record_fault_detected(d.kind);
+                metrics.record_fault_evicted(d.kind);
+                metrics.record(
+                    EventKind::WorkerDied,
+                    &req.name,
+                    Some(self.index),
+                    "injected worker death",
+                );
+                let rendered = ServeError::WorkerLost.to_string();
+                metrics.record(EventKind::Failed, &req.name, Some(self.index), &rendered);
+                let cycles = self.total_cycles() - start_cycles;
+                return self.bare_report(
+                    req,
+                    SessionOutcome::Failed { error: rendered },
+                    cycles,
+                    wall_start,
+                    0,
+                );
+            }
+        }
+
         let mut retries = 0u32;
+        let mut fault_detected = false;
         let result = loop {
-            match self.attempt(req, cfg) {
+            let dir = if retries == 0 { directive } else { None };
+            match self.attempt(req, cfg, dir) {
                 Ok(out) => break Ok(out),
-                Err(e) if is_transient(&e) && retries < cfg.retry_budget => {
+                Err(e) if is_retryable(&e) && retries < cfg.retry_budget => {
+                    if let Some(d) = directive {
+                        if !fault_detected {
+                            fault_detected = true;
+                            metrics.record_fault_detected(d.kind);
+                        }
+                        metrics.record_fault_retried(d.kind);
+                    }
                     retries += 1;
+                    if cfg.backoff_base_cycles > 0 {
+                        let wait = faults::backoff_cycles(
+                            cfg.backoff_base_cycles,
+                            retries,
+                            req.client_seed ^ self.index as u64,
+                        );
+                        self.provider
+                            .host_mut()
+                            .machine_mut()
+                            .counter_mut()
+                            .charge_native(wait);
+                    }
+                    if let Some(budget) = cfg.session_cycle_budget {
+                        if self.total_cycles() - start_cycles > budget {
+                            break Err((
+                                ServeError::Evicted {
+                                    reason: EvictReason::SessionBudgetExceeded,
+                                },
+                                retries,
+                            ));
+                        }
+                    }
                     let reclaimed = if cfg.reclaim_on_pressure {
                         self.reclaim_oldest()
                     } else {
@@ -225,9 +395,54 @@ impl Shard {
                         },
                     );
                 }
-                Err(e) => break Err((e, retries)),
+                Err(e) => {
+                    if let Some(d) = directive {
+                        if !fault_detected {
+                            metrics.record_fault_detected(d.kind);
+                        }
+                    }
+                    break Err((e, retries));
+                }
             }
         };
+
+        if let Some(d) = directive {
+            match &result {
+                Ok(_) => metrics.record_fault_recovered(d.kind),
+                Err(_) => metrics.record_fault_evicted(d.kind),
+            }
+        }
+        if cfg.breaker_threshold > 0 {
+            match &result {
+                Ok(_) => {
+                    if self.breaker_tripped {
+                        metrics.record(
+                            EventKind::BreakerClosed,
+                            &req.name,
+                            Some(self.index),
+                            "clean probe closed the breaker",
+                        );
+                        self.breaker_tripped = false;
+                    }
+                    self.breaker_failures = 0;
+                }
+                Err(_) => {
+                    self.breaker_failures += 1;
+                    if self.breaker_failures >= cfg.breaker_threshold || self.breaker_tripped {
+                        self.breaker_open_until =
+                            Some(self.total_cycles() + cfg.breaker_cooldown_cycles);
+                        self.breaker_tripped = true;
+                        metrics.record(
+                            EventKind::BreakerOpened,
+                            &req.name,
+                            Some(self.index),
+                            &format!("{} consecutive failures", self.breaker_failures),
+                        );
+                        self.breaker_failures = 0;
+                    }
+                }
+            }
+        }
 
         let cycles = self.total_cycles() - start_cycles;
         let wall_nanos = wall_start.elapsed().as_nanos() as u64;
@@ -321,15 +536,45 @@ impl Shard {
         }
     }
 
+    /// A verdict-less report for sessions that never ran the protocol
+    /// (shed by the breaker, or lost to a worker death).
+    fn bare_report(
+        &self,
+        req: &SessionRequest,
+        outcome: SessionOutcome,
+        cycles: u64,
+        wall_start: std::time::Instant,
+        retries: u32,
+    ) -> SessionReport {
+        SessionReport {
+            name: req.name.clone(),
+            shard: self.index,
+            outcome,
+            stages: StageCycles::default(),
+            cycles,
+            latency_cycles: cycles,
+            wall_nanos: wall_start.elapsed().as_nanos() as u64,
+            retries,
+            blocks_delivered: 0,
+            enclave_key_fp: None,
+            measurement: None,
+            verdict: None,
+            client_verified: false,
+            instructions: 0,
+            cache_hit: false,
+        }
+    }
+
     /// One protocol attempt. Any mid-protocol failure tears the enclave
     /// down before returning so EPC pages are never leaked.
     fn attempt(
         &mut self,
         req: &SessionRequest,
         cfg: &SessionRunConfig,
+        directive: Option<&FaultDirective>,
     ) -> Result<AttemptOutput, ServeError> {
         let mut fsm = SessionFsm::create(&mut self.provider, req)?;
-        match self.drive(&mut fsm, req, cfg) {
+        match self.drive(&mut fsm, req, cfg, directive) {
             Ok(out) => {
                 // Rejected content never keeps an enclave; compliant
                 // enclaves are recycled or retained per config.
@@ -348,20 +593,54 @@ impl Shard {
     }
 
     /// The protocol body, separated so `attempt` can guarantee teardown.
+    /// An injected fault lands at its protocol-accurate point: key
+    /// tampering at channel establishment, block tampering on the
+    /// sealed transfer, pressure spikes on the provider before
+    /// delivery, stalls as a truncated send.
     fn drive(
         &mut self,
         fsm: &mut SessionFsm,
         req: &SessionRequest,
         cfg: &SessionRunConfig,
+        directive: Option<&FaultDirective>,
     ) -> Result<AttemptOutput, ServeError> {
         fsm.attest(&mut self.provider)?;
-        fsm.open_channel(&mut self.provider)?;
+        let key_tamper = directive.filter(|d| d.kind == FaultKind::KeyMismatch);
+        fsm.open_channel_with(&mut self.provider, key_tamper)?;
 
-        let blocks = fsm.content_blocks()?;
+        let mut blocks = fsm.content_blocks()?;
+        let mut stall_after = req.stall_after;
+        if let Some(d) = directive {
+            match d.kind {
+                FaultKind::CorruptBlock
+                | FaultKind::TruncateBlock
+                | FaultKind::DropBlock
+                | FaultKind::ReorderBlocks
+                | FaultKind::DuplicateBlock
+                | FaultKind::FlipManifest => {
+                    faults::apply_to_blocks(&mut blocks, d);
+                }
+                FaultKind::ClientStall => {
+                    if let Some(p) = faults::stall_point(d, blocks.len()) {
+                        stall_after = Some(stall_after.map_or(p, |s| s.min(p)));
+                    }
+                }
+                FaultKind::EpcPressure => {
+                    // Even parity spikes the host EPC allocator (felt at
+                    // the next deliver); odd parity spikes the enclave's
+                    // working memory (felt inside receive).
+                    if d.bit % 2 == 0 {
+                        self.provider.inject_epc_pressure(d.pressure);
+                    } else {
+                        self.provider
+                            .inject_working_memory_pressure(fsm.enclave(), d.pressure)?;
+                    }
+                }
+                FaultKind::KeyMismatch | FaultKind::WorkerDeath => {}
+            }
+        }
         let deliver_start = self.total_cycles();
-        let take = req
-            .stall_after
-            .map_or(blocks.len(), |n| n.min(blocks.len()));
+        let take = stall_after.map_or(blocks.len(), |n| n.min(blocks.len()));
         for block in blocks.iter().take(take) {
             fsm.deliver(&mut self.provider, block)?;
             if let Some(budget) = cfg.deliver_cycle_budget {

@@ -20,15 +20,24 @@
 //! [`ServeMetrics`].
 
 use crate::error::ServeError;
-use crate::metrics::{EventKind, ServeMetrics};
-use crate::pool::{SessionReport, SessionRunConfig, Shard};
+use crate::faults::{FaultDirective, FaultPlan};
+use crate::metrics::{lock_recover, EventKind, ServeMetrics};
+use crate::pool::{SessionOutcome, SessionReport, SessionRunConfig, Shard};
 use crate::session::SessionRequest;
 use engarde_core::cache::{lock_cache, shared_cache, SharedVerdictCache};
+use engarde_core::provision::StageCycles;
+use engarde_crypto::sha256::Sha256;
 use engarde_sgx::machine::MachineConfig;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread;
+use std::time::Duration;
+
+/// How long a threaded worker sleeps on the queue condvar before
+/// re-checking for shutdown. Bounds how late a worker can notice a
+/// missed wakeup — nothing blocks forever on the queue.
+const WORKER_POLL: Duration = Duration::from_millis(25);
 
 /// Which scheduler drives the shard fleet.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,6 +73,11 @@ pub struct ServiceConfig {
     /// mode; probed in deterministic submission order in virtual-time
     /// mode). `None` disables caching.
     pub verdict_cache: Option<usize>,
+    /// Deterministic fault-injection plan. `None` (and
+    /// [`FaultPlan::disabled`]) leave the serve path bit-identical to a
+    /// build without the fault layer: directives are a pure function of
+    /// the plan seed and the arrival index, never of machine state.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -77,6 +91,7 @@ impl Default for ServiceConfig {
             queue_capacity: 8,
             run: SessionRunConfig::default(),
             verdict_cache: None,
+            faults: None,
         }
     }
 }
@@ -99,6 +114,36 @@ pub struct ServiceResult {
     pub wall_nanos: u64,
 }
 
+impl ServiceResult {
+    /// Hex SHA-256 over every report's deterministic fields (name,
+    /// cycles, latency, outcome class, signed verdict) plus the fleet
+    /// makespan. Two runs with the same seeds — fault layer enabled or
+    /// not — must produce the same fingerprint; the fault tests and
+    /// benches assert exactly that.
+    pub fn fingerprint(&self) -> String {
+        let mut h = Sha256::new();
+        for r in &self.reports {
+            h.update(r.name.as_bytes());
+            h.update(&r.cycles.to_be_bytes());
+            h.update(&r.latency_cycles.to_be_bytes());
+            h.update(&[match &r.outcome {
+                SessionOutcome::Compliant => 0u8,
+                SessionOutcome::NonCompliant => 1,
+                SessionOutcome::Evicted { .. } => 2,
+                SessionOutcome::Failed { .. } => 3,
+                SessionOutcome::Shed => 4,
+            }]);
+            if let Some(v) = &r.verdict {
+                h.update(&[u8::from(v.compliant)]);
+                h.update(v.detail.as_bytes());
+                h.update(&v.signature);
+            }
+        }
+        h.update(&self.makespan_cycles.to_be_bytes());
+        h.finalize().to_hex()
+    }
+}
+
 struct VirtualState {
     shards: Vec<Shard>,
     /// Virtual instant each shard becomes free.
@@ -109,12 +154,30 @@ struct VirtualState {
     reports: Vec<SessionReport>,
 }
 
-type Job = (SessionRequest, SessionRunConfig, Arc<ServeMetrics>);
+type Job = (
+    SessionRequest,
+    SessionRunConfig,
+    Arc<ServeMetrics>,
+    Option<FaultDirective>,
+);
 
 struct SharedQueue {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// Workers still able to take jobs. Decremented by a drop guard on
+    /// every exit path — including panics — so `submit` can detect a
+    /// dead pool instead of queueing work nobody will run.
+    live: AtomicUsize,
+}
+
+/// Panic-safe liveness accounting for one worker thread.
+struct WorkerGuard(Arc<SharedQueue>);
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.0.live.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 enum WorkerMsg {
@@ -168,6 +231,7 @@ impl ProvisioningService {
                     queue: Mutex::new(VecDeque::new()),
                     available: Condvar::new(),
                     shutdown: AtomicBool::new(false),
+                    live: AtomicUsize::new(shards),
                 });
                 let (tx, rx) = mpsc::channel();
                 let workers = (0..shards)
@@ -202,6 +266,16 @@ impl ProvisioningService {
         Arc::clone(&self.metrics)
     }
 
+    /// Shards/workers still able to run sessions. Virtual mode counts
+    /// non-dead shards; threaded mode reads the pool's liveness counter
+    /// (kept honest by per-thread drop guards).
+    pub fn live_workers(&self) -> usize {
+        match &self.backend {
+            Backend::Virtual(v) => v.shards.iter().filter(|s| !s.is_dead()).count(),
+            Backend::Threaded(t) => t.shared.live.load(Ordering::SeqCst),
+        }
+    }
+
     /// Submits one session.
     ///
     /// Virtual mode runs it synchronously under the cost-model clock;
@@ -216,6 +290,14 @@ impl ProvisioningService {
             return Err(ServeError::ShuttingDown);
         }
         let arrival_index = self.submitted;
+        // The directive is a pure function of (plan seed, arrival
+        // index): scheduling, machine state, and host timing cannot
+        // perturb the fault schedule, so it replays bit-identically.
+        let directive = self
+            .cfg
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.directive_for(arrival_index));
         match &mut self.backend {
             Backend::Virtual(v) => {
                 let arrival = arrival_index * v.arrival_gap;
@@ -237,19 +319,31 @@ impl ProvisioningService {
                         queue_depth: waiting,
                     });
                 }
+                // Earliest-available *live* shard; ties go to the
+                // lowest index. Dead shards (injected worker deaths)
+                // are routed around; a fully dead fleet is a typed
+                // error, never a hang or a panic.
+                let Some(shard_idx) = (0..v.shards.len())
+                    .filter(|&i| !v.shards[i].is_dead())
+                    .min_by_key(|&i| (v.free_at[i], i))
+                else {
+                    self.metrics
+                        .record(EventKind::Shed, &req.name, None, "no live shards");
+                    return Err(ServeError::PoolDead);
+                };
                 self.metrics.observe_queue_depth(waiting + 1);
                 self.metrics
                     .record(EventKind::Admitted, &req.name, None, "");
                 self.submitted += 1;
 
-                // Earliest-available shard; ties go to the lowest index.
-                let shard_idx = (0..v.shards.len())
-                    .min_by_key(|&i| (v.free_at[i], i))
-                    .expect("fleet is non-empty");
                 let start = v.free_at[shard_idx].max(arrival);
                 let before = v.shards[shard_idx].total_cycles();
-                let mut report =
-                    v.shards[shard_idx].run_session(&req, &self.cfg.run, &self.metrics);
+                let mut report = v.shards[shard_idx].run_session_with_fault(
+                    &req,
+                    &self.cfg.run,
+                    &self.metrics,
+                    directive.as_ref(),
+                );
                 let duration = v.shards[shard_idx].total_cycles() - before;
                 let end = start + duration;
                 v.free_at[shard_idx] = end;
@@ -261,7 +355,12 @@ impl ProvisioningService {
                 Ok(())
             }
             Backend::Threaded(t) => {
-                let mut queue = t.shared.queue.lock().expect("queue lock");
+                if t.shared.live.load(Ordering::SeqCst) == 0 {
+                    self.metrics
+                        .record(EventKind::Shed, &req.name, None, "no live workers");
+                    return Err(ServeError::PoolDead);
+                }
+                let mut queue = lock_recover(&t.shared.queue);
                 if t.shared.shutdown.load(Ordering::SeqCst) {
                     return Err(ServeError::ShuttingDown);
                 }
@@ -278,7 +377,12 @@ impl ProvisioningService {
                 }
                 self.metrics
                     .record(EventKind::Admitted, &req.name, None, "");
-                queue.push_back((req, self.cfg.run.clone(), Arc::clone(&self.metrics)));
+                queue.push_back((
+                    req,
+                    self.cfg.run.clone(),
+                    Arc::clone(&self.metrics),
+                    directive,
+                ));
                 self.metrics.observe_queue_depth(queue.len());
                 self.submitted += 1;
                 drop(queue);
@@ -326,6 +430,31 @@ impl ProvisioningService {
                         WorkerMsg::Done { cycles, .. } => makespan = makespan.max(cycles),
                     }
                 }
+                // Jobs still queued after every worker exited were
+                // admitted but never ran (the pool died under them).
+                // They get typed failure reports, not silence.
+                for (req, _, _, _) in lock_recover(&t.shared.queue).drain(..) {
+                    let error = ServeError::PoolDead.to_string();
+                    self.metrics
+                        .record(EventKind::Failed, &req.name, None, &error);
+                    reports.push(SessionReport {
+                        name: req.name,
+                        shard: usize::MAX,
+                        outcome: SessionOutcome::Failed { error },
+                        stages: StageCycles::default(),
+                        cycles: 0,
+                        latency_cycles: 0,
+                        wall_nanos: 0,
+                        retries: 0,
+                        blocks_delivered: 0,
+                        enclave_key_fp: None,
+                        measurement: None,
+                        verdict: None,
+                        client_verified: false,
+                        instructions: 0,
+                        cache_hit: false,
+                    });
+                }
                 reports.sort_by(|a, b| a.name.cmp(&b.name));
                 ServiceResult {
                     reports,
@@ -349,10 +478,11 @@ fn worker_loop(
     shared: Arc<SharedQueue>,
     tx: mpsc::Sender<WorkerMsg>,
 ) {
+    let _guard = WorkerGuard(Arc::clone(&shared));
     let mut shard = Shard::new(index, &machine, verdict_cache);
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
@@ -360,20 +490,34 @@ fn worker_loop(
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared.available.wait(queue).expect("queue wait");
+                // Bounded wait: a missed notification (or a peer that
+                // died holding the lock) costs at most one poll
+                // interval, never a hung worker.
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, WORKER_POLL)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
             }
         };
-        let Some((req, run_cfg, metrics)) = job else {
+        let Some((req, run_cfg, metrics, directive)) = job else {
             break;
         };
-        let report = shard.run_session(&req, &run_cfg, &metrics);
+        let report = shard.run_session_with_fault(&req, &run_cfg, &metrics, directive.as_ref());
         metrics.record_timing(
             &report.stages,
             report.cycles,
             report.latency_cycles,
             report.wall_nanos,
         );
+        let died = shard.is_dead();
         if tx.send(WorkerMsg::Report(Box::new(report))).is_err() {
+            break;
+        }
+        if died {
+            // The injected death takes effect after the report ships:
+            // the session's typed failure is visible, then the worker
+            // is gone and the liveness guard announces it.
             break;
         }
     }

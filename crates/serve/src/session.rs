@@ -17,6 +17,7 @@
 //! run the genuine mutually-distrusting protocol.
 
 use crate::error::ServeError;
+use crate::faults::{self, FaultDirective};
 use engarde_core::client::Client;
 use engarde_core::policy::PolicyModule;
 use engarde_core::protocol::SignedVerdict;
@@ -221,9 +222,33 @@ impl SessionFsm {
     ///
     /// [`ServeError::IllegalTransition`] outside `Attested`.
     pub fn open_channel(&mut self, provider: &mut CloudProvider) -> Result<(), ServeError> {
+        self.open_channel_with(provider, None)
+    }
+
+    /// [`SessionFsm::open_channel`], with an optional fault directive
+    /// that tampers the wrapped key in transit (the decrypt-key-
+    /// mismatch fault: the enclave unwraps a different — or no — key,
+    /// so establishment or the first MAC check fails with a typed
+    /// error; tampering can never go unnoticed).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::IllegalTransition`] outside `Attested`; typed
+    /// channel failures otherwise.
+    pub fn open_channel_with(
+        &mut self,
+        provider: &mut CloudProvider,
+        tamper: Option<&FaultDirective>,
+    ) -> Result<(), ServeError> {
         self.require(&[SessionPhase::Attested], "open channel")?;
-        let key = self.enclave_key.clone().expect("attested phase has key");
-        let wrapped = self.client.establish_channel(&key)?;
+        let key = self
+            .enclave_key
+            .clone()
+            .ok_or(ServeError::MissingSessionKey { phase: "attested" })?;
+        let mut wrapped = self.client.establish_channel(&key)?;
+        if let Some(d) = tamper {
+            faults::tamper_wrapped_key(&mut wrapped, d);
+        }
         provider.open_channel(self.enclave, &wrapped)?;
         self.phase = SessionPhase::ChannelOpen;
         Ok(())
@@ -289,7 +314,12 @@ impl SessionFsm {
             .signed_verdict(self.enclave)
             .ok_or(ServeError::WorkerLost)?
             .clone();
-        let key = self.enclave_key.clone().expect("complete phase has key");
+        let key = self
+            .enclave_key
+            .clone()
+            .ok_or(ServeError::MissingSessionKey {
+                phase: "content-complete",
+            })?;
         let client_verified = match self.client.verify_verdict(&verdict, &key) {
             Ok(agreed) => agreed == view.compliant,
             Err(_) => false,

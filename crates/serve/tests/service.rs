@@ -137,6 +137,7 @@ fn run_virtual(seed: u64) -> engarde_serve::ServiceResult {
         queue_capacity: 16,
         run: SessionRunConfig::default(),
         verdict_cache: None,
+        faults: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -192,6 +193,7 @@ fn run_cached_fleet(seed: u64) -> engarde_serve::ServiceResult {
         queue_capacity: 16,
         run: SessionRunConfig::default(),
         verdict_cache: Some(16),
+        faults: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -289,6 +291,7 @@ fn admission_control_rejects_when_queue_is_full() {
         queue_capacity: 1,
         run: SessionRunConfig::default(),
         verdict_cache: None,
+        faults: None,
     });
     let mut rejected = 0;
     for item in &traffic {
@@ -327,6 +330,7 @@ fn threaded_mode_completes_all_sessions() {
         queue_capacity: 8,
         run: SessionRunConfig::default(),
         verdict_cache: None,
+        faults: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -391,4 +395,82 @@ fn transient_epc_pressure_is_retried_with_reclamation() {
     let m = result.metrics.counters();
     assert!(m.retries >= 1, "EPC pressure must trigger a retry");
     assert!(result.reports[1].retries >= 1);
+}
+
+#[test]
+fn killed_worker_yields_typed_error_not_hang() {
+    // One worker, and a fault plan that kills it on the first session.
+    // Submission after the death must fail with a typed `PoolDead` —
+    // not hang on a condvar nobody will ever signal — and drain must
+    // still return, with typed reports for anything left behind.
+    let reqs = compliant_requests(2, 0xDEAD);
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 1,
+        mode: SchedMode::Threaded,
+        machine: machine(0xDEAD),
+        queue_capacity: 8,
+        run: SessionRunConfig::default(),
+        verdict_cache: None,
+        faults: Some(engarde_serve::FaultPlan {
+            seed: 7,
+            mix: engarde_serve::FaultMix::only(engarde_serve::FaultKind::WorkerDeath, 1000),
+        }),
+    });
+    svc.submit(reqs[0].clone())
+        .expect("admit the doomed session");
+
+    // The worker dies after reporting; wait for the liveness counter
+    // (bounded — the drop guard runs even on panic exits).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while svc.live_workers() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker death was never detected"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Regression: this call used to enqueue onto a dead pool and the
+    // caller would wait forever for a report. Now it is a typed error.
+    match svc.submit(reqs[1].clone()) {
+        Err(ServeError::PoolDead) => {}
+        other => panic!("expected PoolDead, got {other:?}"),
+    }
+
+    let result = svc.drain();
+    assert_eq!(result.reports.len(), 1);
+    assert!(
+        matches!(&result.reports[0].outcome, SessionOutcome::Failed { error } if error.contains("worker")),
+        "the killed session must surface a typed failure: {:?}",
+        result.reports[0].outcome
+    );
+    let m = result.metrics.counters();
+    assert_eq!(m.workers_died, 1);
+    assert_eq!(m.compliant, 0, "a dead worker must never sign a PASS");
+}
+
+#[test]
+fn virtual_fleet_with_all_shards_dead_refuses_typed() {
+    let reqs = compliant_requests(3, 0xD1E);
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 1,
+        machine: machine(0xD1E),
+        faults: Some(engarde_serve::FaultPlan {
+            seed: 3,
+            mix: engarde_serve::FaultMix::only(engarde_serve::FaultKind::WorkerDeath, 1000),
+        }),
+        ..ServiceConfig::default()
+    });
+    svc.submit(reqs[0].clone()).expect("first session admitted");
+    assert_eq!(svc.live_workers(), 0);
+    assert!(matches!(
+        svc.submit(reqs[1].clone()),
+        Err(ServeError::PoolDead)
+    ));
+    let result = svc.drain();
+    assert_eq!(result.reports.len(), 1);
+    assert!(matches!(
+        result.reports[0].outcome,
+        SessionOutcome::Failed { .. }
+    ));
 }

@@ -278,6 +278,49 @@ pub fn repeated_binary_traffic(
         .collect()
 }
 
+/// A chaos fleet: `sessions` *compliant* tenants cycling through the
+/// paper benchmarks under rotating regimes — no adversarial or stalling
+/// clients. This is the traffic the fault-injection layer targets: with
+/// every client well-behaved, any non-verdict outcome is attributable
+/// to an injected fault, which is what the recovery-rate and
+/// no-signed-PASS assertions need.
+pub fn chaos_fleet(sessions: usize, scale_percent: usize, seed: u64) -> Vec<TrafficItem> {
+    mixed_traffic(&TrafficSpec {
+        sessions,
+        scale_percent,
+        adversarial_every: 0,
+        stall_every: 0,
+        seed,
+    })
+}
+
+/// The adversarial counterpart of [`chaos_fleet`]: every session ships
+/// a hostile fixture that a correct service must reject. Faults
+/// injected on top of this fleet must still never yield a signed PASS
+/// — the rejection either survives (typed verdict) or the session dies
+/// with a typed error; corruption can't flip a REJECT into a PASS.
+pub fn adversarial_chaos_fleet(sessions: usize, seed: u64) -> Vec<TrafficItem> {
+    type FixtureBuilder = fn() -> adversarial::AdversarialImage;
+    let fixtures: [(&str, FixtureBuilder); 3] = [
+        ("adv_midinsn", adversarial::mid_instruction_jump),
+        ("adv_overlap", adversarial::overlapping_instructions),
+        ("adv_wx", adversarial::wx_segment),
+    ];
+    (0..sessions)
+        .map(|idx| {
+            let (tag, build) = fixtures[idx % fixtures.len()];
+            TrafficItem {
+                name: format!("{tag}-c{idx}"),
+                image: build().image,
+                regime: PolicyRegime::Analysis,
+                expected: ExpectedOutcome::Rejected,
+                stall_after: None,
+                client_seed: derive_seed(seed ^ 0xC4A0_5FEE, idx as u64),
+            }
+        })
+        .collect()
+}
+
 /// The matched control for [`repeated_binary_traffic`]: `sessions`
 /// tenants with the same workload *shape* (same benchmark, scale, and
 /// regime) but a distinct generator seed each, so every binary has a

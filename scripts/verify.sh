@@ -66,16 +66,53 @@ jq -e '
     || { echo "FAIL: $cache_out missing required keys/invariants" >&2; exit 1; }
 echo "OK: $cache_out schema + invariants hold"
 
-echo "== gate: no unwrap/expect in ELF parser non-test code =="
-# The parser faces hostile bytes; every read must be fallible. Strip
-# the #[cfg(test)] module, then refuse any unwrap()/expect( left.
-parser=crates/elf/src/parse.rs
-if awk '/#\[cfg\(test\)\]/{exit} {print}' "$parser" \
-        | grep -nE '\.unwrap\(\)|\.expect\('; then
-    echo "FAIL: $parser non-test code calls unwrap()/expect(" >&2
-    exit 1
-fi
-echo "OK: $parser non-test code is panic-free"
+echo "== smoke: bench_fault_recovery (bounded) =="
+# Bounded chaos replay: transient faults injected into a compliant
+# fleet must be retried to verdicts (recovery floor 0.9), the idle
+# fault layer must be bit-identical to no layer at all, and the
+# per-fault lifecycle counters must balance (every injection detected,
+# every detection recovered or evicted).
+faults_out=target/BENCH_faults_smoke.json
+cargo run --release --offline -q -p engarde-bench --bin bench_fault_recovery -- \
+    --sessions 10 --scale 3 --out "$faults_out"
+jq -e '
+    (.recovery_rate >= 0.9)
+    and (.throughput_retention > 0)
+    and (.fault_free_identical == true)
+    and (.faults | type == "object")
+    and ([.faults[]] | all(
+        (.injected >= .detected)
+        and (.detected == .recovered + .evicted)))
+    and ([.faults[].injected] | add > 0)
+' "$faults_out" > /dev/null \
+    || { echo "FAIL: $faults_out missing required keys/invariants" >&2; exit 1; }
+echo "OK: $faults_out schema + invariants hold"
+
+echo "== gate: no unwrap/expect in hostile-input/serve non-test code =="
+# The parser faces hostile bytes and the serve path faces injected
+# faults; every read must be fallible and no fault may panic a worker.
+# Strip each file's #[cfg(test)] module, then refuse any
+# unwrap()/expect( left.
+panic_free_files=(
+    crates/elf/src/parse.rs
+    crates/core/src/exec.rs
+    crates/serve/src/error.rs
+    crates/serve/src/faults.rs
+    crates/serve/src/metrics.rs
+    crates/serve/src/pool.rs
+    crates/serve/src/regimes.rs
+    crates/serve/src/service.rs
+    crates/serve/src/session.rs
+    crates/serve/src/lib.rs
+)
+for f in "${panic_free_files[@]}"; do
+    if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+            | grep -nE '\.unwrap\(\)|\.expect\('; then
+        echo "FAIL: $f non-test code calls unwrap()/expect(" >&2
+        exit 1
+    fi
+done
+echo "OK: ${#panic_free_files[@]} files of non-test code are panic-free"
 
 echo "== hermetic: dependency graph has zero registry packages =="
 # Every package with a non-null "source" came from a registry or git

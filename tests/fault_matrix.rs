@@ -1,0 +1,220 @@
+//! The fault-injection matrix: every fault kind, against compliant and
+//! adversarial chaos fleets, must uphold the serve-path invariant —
+//! a typed error or clean rejection, never a panic, never a hang, and
+//! never a signed PASS verdict over faulted traffic. A second set of
+//! tests pins the determinism contract: the fault schedule and the
+//! resulting metrics are pure functions of the plan seed, and a
+//! fault-free run with the layer enabled is bit-identical to a run
+//! without it.
+
+use engarde::serve::faults::{FaultKind, FaultMix, FaultPlan};
+use engarde::serve::service::{ProvisioningService, SchedMode, ServiceConfig, ServiceResult};
+use engarde::serve::{regimes, ServeError, SessionOutcome, SessionRunConfig};
+use engarde::sgx::instr::SgxVersion;
+use engarde::sgx::machine::MachineConfig;
+use engarde::workloads::traffic::{adversarial_chaos_fleet, chaos_fleet, TrafficItem};
+use std::sync::Arc;
+
+fn machine(seed: u64) -> MachineConfig {
+    MachineConfig {
+        epc_pages: 4_096,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed,
+    }
+}
+
+/// Runs `traffic` through a two-shard virtual-time fleet under `plan`,
+/// returning the result plus any typed submit rejections (a fully dead
+/// fleet refuses admission with `PoolDead`; that is the invariant
+/// working, not a failure of it).
+fn run_with_plan(
+    traffic: &[TrafficItem],
+    seed: u64,
+    plan: Option<FaultPlan>,
+    run: SessionRunConfig,
+) -> (ServiceResult, Vec<ServeError>) {
+    let musl = Arc::new(regimes::musl_hashes());
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 2,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: 1_500_000,
+        },
+        machine: machine(seed),
+        queue_capacity: 64,
+        run,
+        verdict_cache: None,
+        faults: plan,
+    });
+    let mut refused = Vec::new();
+    for item in traffic {
+        if let Err(e) = svc.submit(regimes::request_for(item, &musl)) {
+            refused.push(e);
+        }
+    }
+    (svc.drain(), refused)
+}
+
+#[test]
+fn every_fault_kind_yields_typed_outcome_never_a_signed_pass() {
+    let compliant = chaos_fleet(3, 3, 0xFA01);
+    let adversarial = adversarial_chaos_fleet(3, 0xFA02);
+    // No retries: the injected fault's first typed error is terminal,
+    // so every kind's detection path is visible in the outcome.
+    let run = SessionRunConfig {
+        retry_budget: 0,
+        ..SessionRunConfig::default()
+    };
+
+    for kind in FaultKind::ALL {
+        for (fleet_name, traffic) in [("compliant", &compliant), ("adversarial", &adversarial)] {
+            let plan = FaultPlan {
+                seed: 0x5EED ^ kind.index() as u64,
+                mix: FaultMix::only(kind, 1000),
+            };
+            let (result, refused) = run_with_plan(traffic, 0xFA03, Some(plan), run.clone());
+
+            // Reaching this line at all is the no-panic / no-hang half
+            // of the invariant; the outcomes are the no-signed-PASS half.
+            for report in &result.reports {
+                assert_ne!(
+                    report.outcome,
+                    SessionOutcome::Compliant,
+                    "{} fault on {fleet_name} fleet signed a PASS for {}",
+                    kind.name(),
+                    report.name
+                );
+                match &report.outcome {
+                    SessionOutcome::NonCompliant => {
+                        // A signed REJECT is a clean rejection — legal
+                        // only when the verdict is genuine (signature
+                        // verified by the tenant's client).
+                        assert!(
+                            report.client_verified,
+                            "{}: unverifiable rejection for {}",
+                            kind.name(),
+                            report.name
+                        );
+                    }
+                    SessionOutcome::Evicted { .. }
+                    | SessionOutcome::Failed { .. }
+                    | SessionOutcome::Shed => {}
+                    SessionOutcome::Compliant => unreachable!(),
+                }
+            }
+            // Any refusals must be the typed dead-pool error (worker
+            // deaths can exhaust the fleet), never anything else.
+            for e in &refused {
+                assert!(
+                    matches!(e, ServeError::PoolDead),
+                    "{}: unexpected submit refusal {e}",
+                    kind.name()
+                );
+            }
+            if kind != FaultKind::WorkerDeath {
+                assert!(refused.is_empty(), "{}: fleet died", kind.name());
+            }
+
+            // No post-fault EPC residue: every enclave a faulted
+            // session touched was torn down.
+            for shard in &result.shards {
+                assert_eq!(
+                    shard.provider().session_count(),
+                    0,
+                    "{}: leaked session",
+                    kind.name()
+                );
+                assert_eq!(
+                    shard.provider().host().machine().epc_used_pages(),
+                    0,
+                    "{}: leaked EPC pages",
+                    kind.name()
+                );
+            }
+
+            // The lifecycle counters saw every injection and detection.
+            let stats = result.metrics.fault_stats().kind(kind);
+            assert!(stats.injected > 0, "{}: nothing injected", kind.name());
+            assert_eq!(
+                stats.detected,
+                stats.injected,
+                "{}: injected faults went undetected",
+                kind.name()
+            );
+            assert_eq!(
+                stats.recovered,
+                0,
+                "{}: recovery without retries",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn recoverable_faults_are_retried_to_verdicts() {
+    let traffic = chaos_fleet(4, 3, 0xFA11);
+    let run = SessionRunConfig {
+        retry_budget: 3,
+        backoff_base_cycles: 20_000,
+        ..SessionRunConfig::default()
+    };
+    let plan = FaultPlan {
+        seed: 11,
+        mix: FaultMix::only(FaultKind::CorruptBlock, 1000),
+    };
+    let (result, refused) = run_with_plan(&traffic, 0xFA12, Some(plan), run);
+    assert!(refused.is_empty());
+    assert!(
+        result.reports.iter().all(|r| r.reached_verdict()),
+        "retries must recover every corrupted transfer"
+    );
+    assert!(result.reports.iter().all(|r| r.retries >= 1));
+    let stats = result.metrics.fault_stats().kind(FaultKind::CorruptBlock);
+    assert_eq!(stats.injected, traffic.len() as u64);
+    assert_eq!(stats.recovered, stats.injected);
+    assert!(stats.retried >= stats.injected);
+    assert_eq!(stats.evicted, 0);
+}
+
+#[test]
+fn fault_schedule_and_metrics_are_deterministic() {
+    let traffic = chaos_fleet(4, 3, 0xFA21);
+    let run = SessionRunConfig {
+        retry_budget: 3,
+        backoff_base_cycles: 20_000,
+        ..SessionRunConfig::default()
+    };
+    let plan = FaultPlan {
+        seed: 0xD00D,
+        mix: FaultMix::transient(400),
+    };
+    let (a, _) = run_with_plan(&traffic, 0xFA22, Some(plan), run.clone());
+    let (b, _) = run_with_plan(&traffic, 0xFA22, Some(plan), run);
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "same plan seed must replay the identical run"
+    );
+    assert_eq!(a.metrics.fault_stats(), b.metrics.fault_stats());
+    assert_eq!(a.metrics.counters(), b.metrics.counters());
+}
+
+#[test]
+fn fault_free_run_with_layer_enabled_is_bit_identical() {
+    let traffic = chaos_fleet(4, 3, 0xFA31);
+    let run = SessionRunConfig::default();
+    let (without, _) = run_with_plan(&traffic, 0xFA32, None, run.clone());
+    let (with_disabled, _) =
+        run_with_plan(&traffic, 0xFA32, Some(FaultPlan::disabled(0xD15A)), run);
+    assert_eq!(
+        without.fingerprint(),
+        with_disabled.fingerprint(),
+        "an idle fault layer must not perturb verdict fingerprints"
+    );
+    assert_eq!(
+        with_disabled.metrics.fault_stats().totals().injected,
+        0,
+        "a disabled plan must inject nothing"
+    );
+}

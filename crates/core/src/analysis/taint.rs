@@ -1,0 +1,918 @@
+//! Interprocedural taint analysis: tracks secret-derived data from the
+//! loader's secret ranges to leak sinks, over the recovered CFG and
+//! call graph.
+//!
+//! **Sources** are memory ranges holding secrets: the enclave's
+//! channel-key/AES state block, the decrypted-content staging region,
+//! and any policy-declared extra ranges ([`SecretRange`]). A load whose
+//! resolved effective address lands in a source range produces a
+//! tainted value.
+//!
+//! **The domain** is a join-semilattice per abstract value
+//! ([`AbsTaint`]): a bitmask of concrete sources already acquired
+//! ([`TaintSet`], join = union) plus a bitmask over the enclosing
+//! function's *input registers* — the symbolic half that makes the
+//! analysis interprocedural. Per program point the state tracks all 16
+//! registers, the flags (for secret-dependent branches), and
+//! `%rbp`-relative stack slots, alongside the constant-propagation
+//! lattice (shared with [`super::dataflow`]) used to resolve
+//! load/store effective addresses.
+//!
+//! **Summaries**: functions are grouped into call-graph SCCs (iterative
+//! Tarjan) and processed callee-first; each function gets a
+//! [`FnSummary`] — the taint of every register at return and, per sink
+//! kind, the mask of input registers that reach a sink — iterated to a
+//! fixpoint within each cyclic SCC. At a call site the callee's
+//! summary is substituted: input-dependence masks are resolved against
+//! the caller's actual register taints, so a leak laundered through
+//! any number of call hops still surfaces, attributed to the call site
+//! that supplied the concrete secret.
+//!
+//! **Sinks** ([`SinkKind`]): stores whose resolved target lies outside
+//! the enclave's mapped range, tainted operands feeding indirect
+//! jumps/calls (exit and trampoline sites), and conditional branches
+//! whose flags are tainted (the side-channel shape).
+//!
+//! Model limits (documented, deliberate): values pushed through
+//! `push`/`pop` or stored to unresolved non-`%rbp` addresses lose
+//! taint, and a load through a *tainted pointer* is not itself a sink.
+//! Every limit errs toward fewer reports, which is what keeps the
+//! "removing a source never adds a finding" monotonicity property true.
+//!
+//! Cost model: every instruction visit charges
+//! [`costs::TAINT_PER_STEP`] and every function-summary computation
+//! [`costs::TAINT_PER_SUMMARY`]; [`TaintAnalysis::compute`] returns
+//! the total for the caller to charge (memoized once per binary by
+//! [`crate::policy::AnalysisCache`]).
+
+use super::cfg::{BlockId, Cfg, EdgeKind};
+use super::dataflow::{self, RegState};
+use super::ProgramAnalysis;
+use crate::loader::LoadedBinary;
+use engarde_sgx::perf::costs;
+use engarde_x86::insn::{AluOp, Insn, InsnKind, MemOperand};
+use engarde_x86::reg::Reg;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// What kind of secret a [`SecretRange`] holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SecretClass {
+    /// The enclave's channel-key/AES state block (loader-known).
+    ChannelKey,
+    /// The decrypted client-content staging region (loader/provision).
+    DecryptedContent,
+    /// A policy-declared extra source range.
+    Declared,
+}
+
+impl SecretClass {
+    /// Human-readable class name used in violation reasons.
+    pub fn name(self) -> &'static str {
+        match self {
+            SecretClass::ChannelKey => "channel-key",
+            SecretClass::DecryptedContent => "decrypted-content",
+            SecretClass::Declared => "declared-secret",
+        }
+    }
+}
+
+/// One secret-holding memory range `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SecretRange {
+    /// First byte of the range.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+    /// What the range holds.
+    pub class: SecretClass,
+}
+
+/// A set of concrete taint sources, as a bitmask over the source list
+/// handed to [`TaintAnalysis::compute`]. Join is union; bottom is the
+/// empty set. Sources beyond index 63 collapse into bit 63 (a join, so
+/// still sound — merely less precise).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub struct TaintSet(u64);
+
+impl TaintSet {
+    /// The empty (bottom) set.
+    pub const EMPTY: TaintSet = TaintSet(0);
+
+    /// The singleton set for source index `i`.
+    pub fn source(i: usize) -> TaintSet {
+        TaintSet(1u64 << i.min(63))
+    }
+
+    /// A set from a raw bitmask (tests and property harness).
+    pub fn from_bits(bits: u64) -> TaintSet {
+        TaintSet(bits)
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Least upper bound (union).
+    #[must_use]
+    pub fn join(self, other: TaintSet) -> TaintSet {
+        TaintSet(self.0 | other.0)
+    }
+
+    /// True when no source has tainted the value.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when every source in `self` is also in `other`.
+    pub fn is_subset(self, other: TaintSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates the source indices present in the set.
+    pub fn iter_sources(self) -> impl Iterator<Item = usize> {
+        (0..64usize).filter(move |i| self.0 & (1u64 << i) != 0)
+    }
+}
+
+/// The abstract taint of one value: concrete sources already acquired
+/// plus dependence on the enclosing function's input registers (bit
+/// `r` set means "tainted iff input register `r` was tainted at
+/// entry"). Join is pointwise union — monotone and idempotent, which
+/// the property tests pin.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AbsTaint {
+    /// Concrete sources reaching this value.
+    pub concrete: TaintSet,
+    /// Input-register dependence mask (interprocedural half).
+    pub inputs: u16,
+}
+
+impl AbsTaint {
+    /// The untainted (bottom) value.
+    pub const EMPTY: AbsTaint = AbsTaint {
+        concrete: TaintSet::EMPTY,
+        inputs: 0,
+    };
+
+    /// The symbolic taint of input register `r` at function entry.
+    pub fn input(r: usize) -> AbsTaint {
+        AbsTaint {
+            concrete: TaintSet::EMPTY,
+            inputs: 1 << (r & 15),
+        }
+    }
+
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(self, other: AbsTaint) -> AbsTaint {
+        AbsTaint {
+            concrete: self.concrete.join(other.concrete),
+            inputs: self.inputs | other.inputs,
+        }
+    }
+
+    /// True for the bottom value.
+    pub fn is_empty(self) -> bool {
+        self.concrete.is_empty() && self.inputs == 0
+    }
+
+    fn join_in(&mut self, other: AbsTaint) -> bool {
+        let joined = self.join(other);
+        let changed = joined != *self;
+        *self = joined;
+        changed
+    }
+}
+
+/// The kind of sink a tainted value reached.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum SinkKind {
+    /// A store whose resolved target lies outside the enclave's mapped
+    /// range.
+    OutOfEnclaveWrite = 0,
+    /// A tainted operand feeding an indirect jump/call (exit or
+    /// trampoline site).
+    ExitOperand = 1,
+    /// A conditional branch whose condition is tainted (side-channel
+    /// shape).
+    TaintedBranch = 2,
+}
+
+impl SinkKind {
+    /// Human-readable sink name used in violation reasons.
+    pub fn name(self) -> &'static str {
+        match self {
+            SinkKind::OutOfEnclaveWrite => "out-of-enclave write",
+            SinkKind::ExitOperand => "exit/trampoline operand",
+            SinkKind::TaintedBranch => "secret-dependent branch",
+        }
+    }
+
+    fn from_index(i: u8) -> SinkKind {
+        match i {
+            0 => SinkKind::OutOfEnclaveWrite,
+            1 => SinkKind::ExitOperand,
+            _ => SinkKind::TaintedBranch,
+        }
+    }
+}
+
+/// One concrete taint flow: a source set reaching a sink instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TaintFinding {
+    /// What kind of sink was reached.
+    pub kind: SinkKind,
+    /// Address of the sink instruction (for an interprocedural flow,
+    /// the call site that supplied the concrete secret).
+    pub addr: u64,
+    /// Which sources reach the sink.
+    pub sources: TaintSet,
+}
+
+/// Verdict-level counters for one taint analysis, mirrored through the
+/// provisioning outcome into the serve fleet's metrics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TaintStats {
+    /// Findings whose sink leaks data out of the enclave
+    /// (out-of-enclave writes + exit operands).
+    pub leaks_found: u64,
+    /// Secret-dependent conditional branches found.
+    pub tainted_branches: u64,
+    /// Call-graph SCCs processed.
+    pub scc_count: u64,
+    /// Total worklist block visits across all function analyses (the
+    /// fixpoint's revisit count).
+    pub fixpoint_iterations: u64,
+    /// Native cycles charged for the analysis.
+    pub cycles_charged: u64,
+}
+
+/// A function summary: register taint at return as a function of the
+/// inputs, plus the input registers that reach each sink kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FnSummary {
+    /// Taint of each register at every `ret`, joined.
+    pub ret: [AbsTaint; 16],
+    /// Per [`SinkKind`] (by discriminant), the input registers whose
+    /// taint reaches that sink inside the function or its callees.
+    pub sink_inputs: [u16; 3],
+}
+
+impl FnSummary {
+    /// The bottom summary (returns nothing tainted, reaches no sink).
+    pub const BOTTOM: FnSummary = FnSummary {
+        ret: [AbsTaint::EMPTY; 16],
+        sink_inputs: [0; 3],
+    };
+}
+
+/// The result of one interprocedural taint analysis.
+#[derive(Clone, Debug)]
+pub struct TaintAnalysis {
+    /// All concrete findings, ordered by (kind, address).
+    pub findings: Vec<TaintFinding>,
+    /// The source list the analysis ran with (finding bitmasks index
+    /// into it).
+    pub sources: Vec<SecretRange>,
+    /// Call-graph SCCs processed.
+    pub scc_count: u64,
+    /// Total worklist block visits (fixpoint revisit count).
+    pub fixpoint_iterations: u64,
+    /// Function-summary computations performed.
+    pub summaries_computed: u64,
+    /// Taint-transfer steps executed (one per instruction visit).
+    pub steps: u64,
+}
+
+impl TaintAnalysis {
+    /// Runs the interprocedural analysis over `binary` using the
+    /// already-computed `analysis` (CFG + call graph) and the given
+    /// source ranges. Returns the analysis and its native-cycle cost.
+    pub fn compute(
+        binary: &LoadedBinary,
+        analysis: &ProgramAnalysis,
+        sources: &[SecretRange],
+    ) -> (TaintAnalysis, u64) {
+        let insns = &binary.insns;
+        let text_end = binary.text_base + binary.text_bytes.len() as u64;
+
+        // ---- function partition ---------------------------------------
+        // Function starts: every symbol plus the entry point; extents run
+        // to the next start (or text end).
+        let mut fn_starts: Vec<u64> = binary.symbols.addresses().to_vec();
+        fn_starts.push(binary.elf.header().e_entry);
+        fn_starts.retain(|&a| a < text_end);
+        fn_starts.sort_unstable();
+        fn_starts.dedup();
+
+        let block_fn: Vec<Option<usize>> = analysis
+            .cfg
+            .blocks
+            .iter()
+            .map(|b| {
+                let n = fn_starts.partition_point(|&s| s <= b.start);
+                n.checked_sub(1)
+            })
+            .collect();
+
+        // ---- call-graph condensation ----------------------------------
+        // Edges between function indices; callers resolved by the call
+        // site's address so entry-only functions attribute correctly.
+        let fn_of_addr =
+            |a: u64| -> Option<usize> { fn_starts.partition_point(|&s| s <= a).checked_sub(1) };
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); fn_starts.len()];
+        for edge in &analysis.call_graph.edges {
+            let (Some(site), Some(callee)) = (
+                insns.get(edge.site).and_then(|i| fn_of_addr(i.addr)),
+                fn_starts.binary_search(&edge.callee).ok(),
+            ) else {
+                continue;
+            };
+            if !adj[site].contains(&callee) {
+                adj[site].push(callee);
+            }
+        }
+        let sccs = tarjan_sccs(fn_starts.len(), &adj);
+
+        let mut pass = Pass {
+            insns,
+            cfg: &analysis.cfg,
+            fn_starts: &fn_starts,
+            block_fn: &block_fn,
+            enclave: binary.enclave_range,
+            sources,
+            summaries: vec![FnSummary::BOTTOM; fn_starts.len()],
+            findings: BTreeSet::new(),
+            steps: 0,
+            pops: 0,
+            summaries_computed: 0,
+        };
+
+        // ---- bottom-up summary fixpoint -------------------------------
+        // Tarjan emits SCCs callee-first; cyclic SCCs iterate until
+        // their member summaries stabilise (the lattice is finite, so
+        // the guard is belt-and-braces, not load-bearing).
+        for scc in &sccs {
+            let cyclic = scc.len() > 1 || scc.iter().any(|&f| adj[f].contains(&f));
+            for _guard in 0..64 {
+                let mut changed = false;
+                for &f in scc {
+                    changed |= pass.analyze_function(f);
+                }
+                if !cyclic || !changed {
+                    break;
+                }
+            }
+        }
+
+        let findings: Vec<TaintFinding> = pass
+            .findings
+            .iter()
+            .map(|&(kind, addr, bits)| TaintFinding {
+                kind: SinkKind::from_index(kind),
+                addr,
+                sources: TaintSet::from_bits(bits),
+            })
+            .collect();
+        let cost =
+            pass.steps * costs::TAINT_PER_STEP + pass.summaries_computed * costs::TAINT_PER_SUMMARY;
+        (
+            TaintAnalysis {
+                findings,
+                sources: sources.to_vec(),
+                scc_count: sccs.len() as u64,
+                fixpoint_iterations: pass.pops,
+                summaries_computed: pass.summaries_computed,
+                steps: pass.steps,
+            },
+            cost,
+        )
+    }
+
+    /// Findings that leak data out of the enclave (out-of-enclave
+    /// writes and exit operands).
+    pub fn leaks(&self) -> impl Iterator<Item = &TaintFinding> {
+        self.findings
+            .iter()
+            .filter(|f| f.kind != SinkKind::TaintedBranch)
+    }
+
+    /// Secret-dependent branch findings.
+    pub fn branch_findings(&self) -> impl Iterator<Item = &TaintFinding> {
+        self.findings
+            .iter()
+            .filter(|f| f.kind == SinkKind::TaintedBranch)
+    }
+
+    /// Human-readable description of a finding's source classes, e.g.
+    /// `"channel-key+decrypted-content"`.
+    pub fn describe_sources(&self, set: TaintSet) -> String {
+        let mut names: Vec<&str> = set
+            .iter_sources()
+            .filter_map(|i| self.sources.get(i).map(|r| r.class.name()))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.is_empty() {
+            "unknown-source".to_string()
+        } else {
+            names.join("+")
+        }
+    }
+
+    /// Verdict-level counters, with the caller-supplied charged cost.
+    pub fn stats(&self, cycles_charged: u64) -> TaintStats {
+        TaintStats {
+            leaks_found: self.leaks().count() as u64,
+            tainted_branches: self.branch_findings().count() as u64,
+            scc_count: self.scc_count,
+            fixpoint_iterations: self.fixpoint_iterations,
+            cycles_charged,
+        }
+    }
+}
+
+// ---- per-program-point state ------------------------------------------
+
+#[derive(Clone, PartialEq, Debug)]
+struct TaintState {
+    regs: [AbsTaint; 16],
+    flags: AbsTaint,
+    /// `%rbp`-relative stack slots, keyed by displacement. Absent =
+    /// untainted.
+    slots: BTreeMap<i32, AbsTaint>,
+    /// The constant lattice, used to resolve effective addresses.
+    consts: RegState,
+}
+
+impl TaintState {
+    fn entry() -> TaintState {
+        let mut regs = [AbsTaint::EMPTY; 16];
+        for (r, slot) in regs.iter_mut().enumerate() {
+            *slot = AbsTaint::input(r);
+        }
+        TaintState {
+            regs,
+            flags: AbsTaint::EMPTY,
+            slots: BTreeMap::new(),
+            consts: RegState::unknown(),
+        }
+    }
+
+    fn join(&mut self, other: &TaintState) -> bool {
+        let mut changed = false;
+        for (slot, v) in self.regs.iter_mut().zip(other.regs) {
+            changed |= slot.join_in(v);
+        }
+        changed |= self.flags.join_in(other.flags);
+        for (k, v) in &other.slots {
+            changed |= self.slots.entry(*k).or_insert(AbsTaint::EMPTY).join_in(*v);
+        }
+        changed |= self.consts.join(&other.consts);
+        changed
+    }
+
+    fn reg(&self, r: Reg) -> AbsTaint {
+        self.regs[r as usize]
+    }
+
+    fn set_reg(&mut self, r: Reg, t: AbsTaint) {
+        self.regs[r as usize] = t;
+    }
+
+    fn join_all_regs(&self) -> AbsTaint {
+        self.regs
+            .iter()
+            .copied()
+            .fold(AbsTaint::EMPTY, AbsTaint::join)
+    }
+}
+
+fn is_rbp_slot(mem: &MemOperand) -> bool {
+    mem.base == Some(Reg::Rbp) && mem.index.is_none() && !mem.rip_relative
+}
+
+fn resolve_ea(mem: &MemOperand, insn: &Insn, consts: &RegState) -> Option<u64> {
+    if mem.rip_relative {
+        return Some(insn.end().wrapping_add(mem.disp as i64 as u64));
+    }
+    let base = consts.get(mem.base?)?;
+    let index = match mem.index {
+        Some(i) => consts.get(i)?.wrapping_mul(u64::from(mem.scale)),
+        None => 0,
+    };
+    Some(
+        base.wrapping_add(index)
+            .wrapping_add(mem.disp as i64 as u64),
+    )
+}
+
+// ---- the interprocedural pass -----------------------------------------
+
+struct Pass<'a> {
+    insns: &'a [Insn],
+    cfg: &'a Cfg,
+    fn_starts: &'a [u64],
+    block_fn: &'a [Option<usize>],
+    enclave: (u64, u64),
+    sources: &'a [SecretRange],
+    summaries: Vec<FnSummary>,
+    /// (kind discriminant, sink address, source bits) — a set so
+    /// fixpoint revisits never duplicate findings.
+    findings: BTreeSet<(u8, u64, u64)>,
+    steps: u64,
+    pops: u64,
+    summaries_computed: u64,
+}
+
+impl Pass<'_> {
+    /// The taint of the value a memory read produces.
+    fn load_taint(&self, mem: &MemOperand, insn: &Insn, st: &TaintState) -> AbsTaint {
+        if let Some(addr) = resolve_ea(mem, insn, &st.consts) {
+            let mut t = AbsTaint::EMPTY;
+            let mut hit = false;
+            for (i, r) in self.sources.iter().enumerate() {
+                if addr >= r.start && addr < r.end {
+                    t.concrete = t.concrete.join(TaintSet::source(i));
+                    hit = true;
+                }
+            }
+            if hit {
+                return t;
+            }
+        }
+        if is_rbp_slot(mem) {
+            return st.slots.get(&mem.disp).copied().unwrap_or(AbsTaint::EMPTY);
+        }
+        AbsTaint::EMPTY
+    }
+
+    /// Records a tainted value reaching a sink: concrete sources become
+    /// findings, input dependence flows into the function summary.
+    fn sink(&mut self, kind: SinkKind, addr: u64, t: AbsTaint, summary: &mut FnSummary) {
+        if !t.concrete.is_empty() {
+            self.findings.insert((kind as u8, addr, t.concrete.bits()));
+        }
+        summary.sink_inputs[kind as usize] |= t.inputs;
+    }
+
+    /// A store to `mem`: out-of-enclave sink check, then the slot
+    /// update for tracked `%rbp` frames.
+    fn store(
+        &mut self,
+        mem: &MemOperand,
+        insn: &Insn,
+        t: AbsTaint,
+        st: &mut TaintState,
+        summary: &mut FnSummary,
+    ) {
+        if let Some(addr) = resolve_ea(mem, insn, &st.consts) {
+            if (addr < self.enclave.0 || addr >= self.enclave.1) && !t.is_empty() {
+                self.sink(SinkKind::OutOfEnclaveWrite, insn.addr, t, summary);
+            }
+        }
+        if is_rbp_slot(mem) {
+            st.slots.insert(mem.disp, t);
+        }
+    }
+
+    /// Substitutes a callee summary at a call site: resolves the
+    /// callee's input-dependence masks against the caller's current
+    /// register taints.
+    fn apply_summary(
+        &mut self,
+        callee: usize,
+        insn: &Insn,
+        st: &mut TaintState,
+        summary: &mut FnSummary,
+    ) {
+        let callee_summary = self.summaries[callee];
+        let resolve = |mask: u16, st: &TaintState| -> AbsTaint {
+            (0..16)
+                .filter(|r| mask & (1 << r) != 0)
+                .fold(AbsTaint::EMPTY, |acc, r| acc.join(st.regs[r]))
+        };
+        for kind in [
+            SinkKind::OutOfEnclaveWrite,
+            SinkKind::ExitOperand,
+            SinkKind::TaintedBranch,
+        ] {
+            let reached = resolve(callee_summary.sink_inputs[kind as usize], st);
+            if !reached.is_empty() {
+                self.sink(kind, insn.addr, reached, summary);
+            }
+        }
+        let mut new_regs = [AbsTaint::EMPTY; 16];
+        for (r, slot) in new_regs.iter_mut().enumerate() {
+            let ret = callee_summary.ret[r];
+            *slot = AbsTaint {
+                concrete: ret.concrete,
+                inputs: 0,
+            }
+            .join(resolve(ret.inputs, st));
+        }
+        st.regs = new_regs;
+        st.flags = AbsTaint::EMPTY;
+    }
+
+    /// An unknown callee (indirect call or direct call outside the
+    /// function set): assume it may move any argument anywhere.
+    fn smear_call(&self, st: &mut TaintState) {
+        let all = st.join_all_regs();
+        st.regs = [all; 16];
+        st.flags = AbsTaint::EMPTY;
+    }
+
+    /// One instruction's taint transfer (sinks checked against the
+    /// pre-instruction state, then the state update).
+    fn transfer(&mut self, insn: &Insn, st: &mut TaintState, summary: &mut FnSummary) {
+        self.steps += 1;
+        match insn.kind {
+            InsnKind::MovRegToMem { src, ref mem, .. } => {
+                let t = st.reg(src);
+                self.store(mem, insn, t, st, summary);
+            }
+            // An untainted store: clears a tracked slot, never sinks.
+            InsnKind::MovImmToMem { ref mem, .. } if is_rbp_slot(mem) => {
+                st.slots.insert(mem.disp, AbsTaint::EMPTY);
+            }
+            InsnKind::MovMemToReg { dest, ref mem, .. } => {
+                let t = self.load_taint(mem, insn, st);
+                st.set_reg(dest, t);
+            }
+            InsnKind::MovRegToReg { dest, src, .. } => {
+                st.set_reg(dest, st.reg(src));
+            }
+            InsnKind::MovImmToReg { dest, .. }
+            | InsnKind::LeaRipRel { dest, .. }
+            | InsnKind::MovFsToReg { dest, .. }
+            | InsnKind::PopReg { reg: dest } => {
+                st.set_reg(dest, AbsTaint::EMPTY);
+            }
+            InsnKind::Lea { dest, ref mem } => {
+                let mut t = AbsTaint::EMPTY;
+                if let Some(b) = mem.base {
+                    t = t.join(st.reg(b));
+                }
+                if let Some(i) = mem.index {
+                    t = t.join(st.reg(i));
+                }
+                st.set_reg(dest, t);
+            }
+            InsnKind::AluRegReg { op, dest, src, .. } => {
+                if op == AluOp::Xor && dest == src {
+                    // The zeroing idiom destroys the value entirely.
+                    st.set_reg(dest, AbsTaint::EMPTY);
+                    st.flags = AbsTaint::EMPTY;
+                } else {
+                    let t = st.reg(dest).join(st.reg(src));
+                    st.flags = t;
+                    if op != AluOp::Cmp {
+                        st.set_reg(dest, t);
+                    }
+                }
+            }
+            InsnKind::AluImmReg { op, dest, .. } => {
+                let t = st.reg(dest);
+                st.flags = t;
+                if op == AluOp::Cmp {
+                    // flags only
+                } else {
+                    st.set_reg(dest, t);
+                }
+            }
+            InsnKind::AluMemReg {
+                op, dest, ref mem, ..
+            } => {
+                let t = st.reg(dest).join(self.load_taint(mem, insn, st));
+                st.flags = t;
+                if op != AluOp::Cmp {
+                    st.set_reg(dest, t);
+                }
+            }
+            InsnKind::AluRegMem {
+                op, src, ref mem, ..
+            } => {
+                let t = st.reg(src).join(self.load_taint(mem, insn, st));
+                st.flags = t;
+                if op != AluOp::Cmp {
+                    self.store(mem, insn, t, st, summary);
+                }
+            }
+            InsnKind::AluImmMem { op, ref mem, .. } => {
+                let t = self.load_taint(mem, insn, st);
+                st.flags = t;
+                if op != AluOp::Cmp && is_rbp_slot(mem) {
+                    st.slots.insert(mem.disp, t);
+                }
+            }
+            InsnKind::CondJmp { .. } => {
+                let t = st.flags;
+                if !t.is_empty() {
+                    self.sink(SinkKind::TaintedBranch, insn.addr, t, summary);
+                }
+            }
+            InsnKind::IndirectJmpReg { reg } | InsnKind::IndirectCallReg { reg } => {
+                let t = st.reg(reg);
+                if !t.is_empty() {
+                    self.sink(SinkKind::ExitOperand, insn.addr, t, summary);
+                }
+                if matches!(insn.kind, InsnKind::IndirectCallReg { .. }) {
+                    self.smear_call(st);
+                }
+            }
+            InsnKind::IndirectJmpMem { ref mem } | InsnKind::IndirectCallMem { ref mem } => {
+                let t = self.load_taint(mem, insn, st);
+                if !t.is_empty() {
+                    self.sink(SinkKind::ExitOperand, insn.addr, t, summary);
+                }
+                if matches!(insn.kind, InsnKind::IndirectCallMem { .. }) {
+                    self.smear_call(st);
+                }
+            }
+            InsnKind::DirectCall { target } => match self.fn_starts.binary_search(&target).ok() {
+                Some(callee) => self.apply_summary(callee, insn, st, summary),
+                None => self.smear_call(st),
+            },
+            InsnKind::Ret => {
+                for (slot, v) in summary.ret.iter_mut().zip(st.regs) {
+                    slot.join_in(v);
+                }
+            }
+            _ => {}
+        }
+        // Constants run in lockstep — the same transfer the dataflow
+        // pass uses, so effective addresses resolve identically.
+        dataflow::transfer(&mut st.consts, insn);
+    }
+
+    /// Analyzes one function to its local fixpoint under the current
+    /// summary table; returns true when the function's summary grew.
+    fn analyze_function(&mut self, f: usize) -> bool {
+        self.summaries_computed += 1;
+        let Some(entry) = self.cfg.block_at(self.fn_starts[f]) else {
+            return false;
+        };
+        let mut summary = self.summaries[f];
+        let mut in_states: HashMap<BlockId, TaintState> = HashMap::new();
+        let mut queued: BTreeSet<BlockId> = BTreeSet::new();
+        let mut worklist: VecDeque<BlockId> = VecDeque::new();
+        in_states.insert(entry, TaintState::entry());
+        queued.insert(entry);
+        worklist.push_back(entry);
+
+        while let Some(b) = worklist.pop_front() {
+            queued.remove(&b);
+            self.pops += 1;
+            let Some(mut st) = in_states.get(&b).cloned() else {
+                continue;
+            };
+            for i in self.cfg.blocks[b].insns.clone() {
+                let insn = self.insns[i];
+                self.transfer(&insn, &mut st, &mut summary);
+            }
+            for edge in self.cfg.successors(b) {
+                // Stay inside the function; a nop bridge is padding
+                // adjacency, entered from outside with a fresh frame.
+                if self.block_fn[edge.to] != Some(f) {
+                    continue;
+                }
+                let carried = if edge.kind == EdgeKind::NopBridge {
+                    TaintState::entry()
+                } else {
+                    st.clone()
+                };
+                let changed = match in_states.get_mut(&edge.to) {
+                    Some(existing) => existing.join(&carried),
+                    None => {
+                        in_states.insert(edge.to, carried);
+                        true
+                    }
+                };
+                if changed && queued.insert(edge.to) {
+                    worklist.push_back(edge.to);
+                }
+            }
+        }
+
+        // `summary` started from the stored value and only grew, so a
+        // plain inequality detects growth.
+        let grew = summary != self.summaries[f];
+        self.summaries[f] = summary;
+        grew
+    }
+}
+
+// ---- SCC computation ---------------------------------------------------
+
+/// Iterative Tarjan: returns SCCs in emission order, which for a
+/// caller→callee edge orientation is callee-first (each SCC precedes
+/// every SCC that calls into it).
+fn tarjan_sccs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSEEN {
+            continue;
+        }
+        // (node, next child position) call frames.
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, child)) = frames.last() {
+            if index[v] == UNSEEN {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(child) {
+                if let Some(frame) = frames.last_mut() {
+                    frame.1 += 1;
+                }
+                if index[w] == UNSEEN {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(scc);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taint_set_join_is_union() {
+        let a = TaintSet::source(0);
+        let b = TaintSet::source(3);
+        let j = a.join(b);
+        assert!(a.is_subset(j) && b.is_subset(j));
+        assert_eq!(j.join(j), j);
+        assert_eq!(j.iter_sources().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn source_indices_saturate_at_63() {
+        assert_eq!(TaintSet::source(80), TaintSet::source(63));
+    }
+
+    #[test]
+    fn abs_taint_join_is_monotone_and_idempotent() {
+        let a = AbsTaint {
+            concrete: TaintSet::source(1),
+            inputs: 0b0101,
+        };
+        let b = AbsTaint::input(7);
+        let j = a.join(b);
+        assert_eq!(j.join(a), j);
+        assert_eq!(j.join(j), j);
+        assert!(a.concrete.is_subset(j.concrete));
+        assert_eq!(j.inputs, 0b0101 | (1 << 7));
+    }
+
+    #[test]
+    fn tarjan_finds_cycles_and_orders_callees_first() {
+        // 0 → 1 → 2 → 1 (cycle {1,2}), 0 → 3.
+        let adj = vec![vec![1, 3], vec![2], vec![1], vec![]];
+        let sccs = tarjan_sccs(4, &adj);
+        assert_eq!(sccs.len(), 3);
+        let pos = |node: usize| sccs.iter().position(|s| s.contains(&node)).unwrap();
+        // Callees emitted before callers.
+        assert!(pos(1) < pos(0));
+        assert!(pos(3) < pos(0));
+        assert_eq!(pos(1), pos(2), "cycle collapses into one SCC");
+    }
+
+    #[test]
+    fn self_loop_is_a_cyclic_scc() {
+        let adj = vec![vec![0]];
+        let sccs = tarjan_sccs(1, &adj);
+        assert_eq!(sccs, vec![vec![0]]);
+    }
+}

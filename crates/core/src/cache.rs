@@ -32,6 +32,7 @@
 //! image differs from the received one, so its verdict does not describe
 //! the cached key's content.
 
+use crate::analysis::TaintStats;
 use crate::policy::PolicyReport;
 use engarde_crypto::sha256::{Digest, Sha256};
 use std::collections::HashMap;
@@ -82,6 +83,11 @@ pub struct CachedVerdict {
     pub policy_cycles: u64,
     /// Instructions the original session disassembled.
     pub instructions: usize,
+    /// Taint-analysis counters from the original session, when a
+    /// taint-backed policy ran. Replayed alongside the verdict so a
+    /// cache hit reports the same analysis statistics the cold
+    /// inspection produced (with the cost already paid once).
+    pub taint: Option<TaintStats>,
 }
 
 impl CachedVerdict {
@@ -244,6 +250,7 @@ mod tests {
             disassembly_cycles: 1_000,
             policy_cycles: 500,
             instructions: 42,
+            taint: None,
         }
     }
 

@@ -125,6 +125,8 @@ pub struct Executor<'m> {
     page_cache: HashMap<u64, Vec<u8>>,
     stack_chk_fail: Option<u64>,
     code_page_trace: Vec<u64>,
+    secret_ranges: Vec<(u64, u64)>,
+    secret_read_trace: Vec<u64>,
 }
 
 impl<'m> std::fmt::Debug for Executor<'m> {
@@ -149,7 +151,26 @@ impl<'m> Executor<'m> {
             page_cache: HashMap::new(),
             stack_chk_fail,
             code_page_trace: Vec::new(),
+            secret_ranges: Vec::new(),
+            secret_read_trace: Vec::new(),
         }
+    }
+
+    /// Registers `[start, end)` ranges whose runtime reads should be
+    /// recorded in [`secret_read_trace`](Self::secret_read_trace) —
+    /// the dynamic counterpart of the static taint pass's source list,
+    /// used by tests to confirm a flagged binary really touches the
+    /// secret it is accused of leaking.
+    pub fn watch_secret_ranges(&mut self, ranges: &[crate::analysis::SecretRange]) {
+        self.secret_ranges
+            .extend(ranges.iter().map(|r| (r.start, r.end)));
+    }
+
+    /// Addresses of runtime reads that overlapped a watched secret
+    /// range, in order (consecutive duplicates collapsed, mirroring
+    /// [`code_page_trace`](Self::code_page_trace)).
+    pub fn secret_read_trace(&self) -> &[u64] {
+        &self.secret_read_trace
     }
 
     /// The sequence of distinct code pages control flow entered, in
@@ -168,6 +189,14 @@ impl<'m> Executor<'m> {
     }
 
     fn read_mem(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, String> {
+        if self
+            .secret_ranges
+            .iter()
+            .any(|&(s, e)| addr < e && addr + len as u64 > s)
+            && self.secret_read_trace.last() != Some(&addr)
+        {
+            self.secret_read_trace.push(addr);
+        }
         let (lo, hi) = self.stack_range();
         if addr >= lo && addr + len as u64 <= hi {
             let off = (addr - lo) as usize;
@@ -668,6 +697,38 @@ mod tests {
         let out = exec.run(entry, &ExecConfig::default()).expect("runs");
         assert_eq!(out.exit, ExitReason::Returned, "{out:?}");
         assert!(out.instructions >= 9);
+    }
+
+    #[test]
+    fn secret_reads_are_traced() {
+        use crate::analysis::{SecretClass, SecretRange};
+        // f: reads one qword from a fixed in-region address, twice (the
+        // consecutive duplicate collapses), then an unwatched one.
+        let watched = ENCLAVE_BASE + PAGE_SIZE as u64 + 0x40000;
+        let mut asm = Assembler::new();
+        asm.movabs(Reg::Rbx, watched);
+        asm.mov_mem_to_reg64(Reg::Rax, Reg::Rbx);
+        asm.mov_mem_to_reg64(Reg::Rcx, Reg::Rbx);
+        asm.movabs(Reg::Rbx, watched + 0x100);
+        asm.mov_mem_to_reg64(Reg::Rdx, Reg::Rbx);
+        asm.ret();
+        let text = asm.finish();
+        let len = text.len() as u64;
+        let image = ElfBuilder::new()
+            .text(text)
+            .function("f", 0, len)
+            .entry(0)
+            .build();
+        let (mut m, id, entry, chk) = provision(&image);
+        let mut exec = Executor::new(&mut m, id, chk);
+        exec.watch_secret_ranges(&[SecretRange {
+            start: watched,
+            end: watched + 8,
+            class: SecretClass::ChannelKey,
+        }]);
+        let out = exec.run(entry, &ExecConfig::default()).expect("runs");
+        assert_eq!(out.exit, ExitReason::Returned, "{out:?}");
+        assert_eq!(exec.secret_read_trace(), &[watched]);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! region for an instruction" — [`AllocationStrategy`] exposes both
 //! choices so the ablation benchmark can quantify that decision.
 
+use crate::analysis::taint::{SecretClass, SecretRange};
 use crate::error::EngardeError;
 use crate::symbols::SymbolHashTable;
 use engarde_elf::parse::ElfFile;
@@ -65,6 +66,15 @@ impl Default for LoaderConfig {
 /// found insufficient).
 pub const OPENSGX_DEFAULT_HEAP_PAGES: usize = 300;
 
+/// Offset of the channel-key/AES state block from the enclave base —
+/// where EnGarde's bootstrap keeps the unwrapped session key and cipher
+/// state. The taint pass treats this range as a secret source.
+pub const KEY_STATE_OFFSET: u64 = 0x100;
+
+/// Size of the channel-key/AES state block in bytes (RSA-unwrapped AES
+/// key, CTR state, HMAC state).
+pub const KEY_STATE_BYTES: u64 = 0x200;
+
 /// The loader's output: everything the policy modules and the
 /// relocation stage consume.
 #[derive(Clone, Debug)]
@@ -86,6 +96,13 @@ pub struct LoadedBinary {
     /// The received ELF image (the relocation stage reads segment file
     /// ranges straight out of it).
     pub raw_image: Vec<u8>,
+    /// The enclave's mapped virtual range `[base, end)`. The taint pass
+    /// treats resolved stores outside it as leak sinks.
+    pub enclave_range: (u64, u64),
+    /// Secret-holding ranges known at load time (the channel-key state
+    /// block). Provisioning extends this with the decrypted-content
+    /// staging region; policies may declare further ranges.
+    pub secret_ranges: Vec<SecretRange>,
 }
 
 /// Runs the in-enclave loader over a received ELF image, charging all
@@ -102,6 +119,22 @@ pub fn load(
     image: &[u8],
     config: &LoaderConfig,
 ) -> Result<LoadedBinary, EngardeError> {
+    // ---- enclave geometry ---------------------------------------------
+    // The loader runs inside the enclave, so its own mapped range and
+    // key-state location are known facts, not guesses.
+    let (encl_base, encl_size) = machine
+        .enclave(enclave)
+        .map(|e| (e.base(), e.size()))
+        .ok_or_else(|| EngardeError::Protocol {
+            what: format!("loader invoked for unknown enclave {enclave}"),
+        })?;
+    let enclave_range = (encl_base, encl_base + encl_size);
+    let secret_ranges = vec![SecretRange {
+        start: encl_base + KEY_STATE_OFFSET,
+        end: encl_base + KEY_STATE_OFFSET + KEY_STATE_BYTES,
+        class: SecretClass::ChannelKey,
+    }];
+
     // ---- header checks -----------------------------------------------
     machine.counter_mut().charge_native(500); // header parse + checks
     let elf = ElfFile::parse(image)?;
@@ -189,6 +222,8 @@ pub fn load(
         validation,
         buffer_pages,
         raw_image: image.to_vec(),
+        enclave_range,
+        secret_ranges,
     })
 }
 

@@ -16,15 +16,20 @@
 pub mod ifcc;
 pub mod library_linking;
 pub mod reachability;
+pub mod secret_branch;
+pub mod secret_leakage;
 pub mod stack_protection;
 pub mod wx_segments;
 
 pub use ifcc::IfccPolicy;
 pub use library_linking::LibraryLinkingPolicy;
 pub use reachability::CodeReachability;
+pub use secret_branch::SecretDependentBranch;
+pub use secret_leakage::SecretLeakage;
 pub use stack_protection::StackProtectionPolicy;
 pub use wx_segments::WxSegments;
 
+use crate::analysis::taint::{TaintAnalysis, TaintStats};
 use crate::analysis::ProgramAnalysis;
 use crate::error::EngardeError;
 use crate::loader::LoadedBinary;
@@ -41,6 +46,7 @@ use std::cell::OnceCell;
 #[derive(Default)]
 pub struct AnalysisCache {
     memo: OnceCell<(ProgramAnalysis, u64)>,
+    taint_memo: OnceCell<(TaintAnalysis, u64)>,
 }
 
 impl AnalysisCache {
@@ -60,6 +66,27 @@ impl AnalysisCache {
             (analysis, cost)
         });
         (analysis, charged)
+    }
+
+    /// The interprocedural taint analysis for `binary` (over the
+    /// binary's own secret ranges), computing it — and the base
+    /// analysis, if needed — on first use. Returns the cycles to charge
+    /// *this* call.
+    fn get_or_compute_taint(&self, binary: &LoadedBinary) -> (&TaintAnalysis, u64) {
+        let (analysis, mut charged) = self.get_or_compute(binary);
+        let (taint, _) = self.taint_memo.get_or_init(|| {
+            let (taint, cost) = TaintAnalysis::compute(binary, analysis, &binary.secret_ranges);
+            charged += cost;
+            (taint, cost)
+        });
+        (taint, charged)
+    }
+
+    /// Verdict-level taint counters, if the taint pass ran under this
+    /// cache. Provisioning reads these after the policy run — even a
+    /// rejecting one — to surface analysis cost in its outcome.
+    pub fn taint_stats(&self) -> Option<TaintStats> {
+        self.taint_memo.get().map(|(t, cost)| t.stats(*cost))
     }
 }
 
@@ -101,6 +128,16 @@ impl<'a> PolicyContext<'a> {
         let (analysis, cycles) = self.analysis.get_or_compute(self.binary);
         self.counter.charge_native(cycles);
         analysis
+    }
+
+    /// The shared interprocedural taint analysis (over the loader's
+    /// secret ranges), computed lazily on first use; the base analysis
+    /// is computed too if no policy has touched it yet. Charging
+    /// follows the same memo discipline as [`PolicyContext::analysis`].
+    pub fn taint(&mut self) -> &'a TaintAnalysis {
+        let (taint, cycles) = self.analysis.get_or_compute_taint(self.binary);
+        self.counter.charge_native(cycles);
+        taint
     }
 
     /// Charges `cycles` of native policy work.
@@ -186,15 +223,31 @@ pub fn run_policies(
     binary: &LoadedBinary,
     counter: &mut CycleCounter,
 ) -> Result<Vec<PolicyReport>, EngardeError> {
-    let mut reports = Vec::with_capacity(policies.len());
     // One analysis cache per binary: the first policy that needs the
     // CFG pays for it, the rest share the memo.
     let cache = AnalysisCache::new();
+    run_policies_with_cache(policies, binary, counter, &cache)
+}
+
+/// [`run_policies`] with a caller-owned [`AnalysisCache`], letting the
+/// caller read memoized results (e.g. [`AnalysisCache::taint_stats`])
+/// after the run — including a rejecting one.
+///
+/// # Errors
+///
+/// Propagates the first policy failure.
+pub fn run_policies_with_cache(
+    policies: &[Box<dyn PolicyModule>],
+    binary: &LoadedBinary,
+    counter: &mut CycleCounter,
+    cache: &AnalysisCache,
+) -> Result<Vec<PolicyReport>, EngardeError> {
+    let mut reports = Vec::with_capacity(policies.len());
     for policy in policies {
         if policy.requires_symbols() && binary.symbols.is_empty() {
             return Err(EngardeError::StrippedBinary);
         }
-        let mut ctx = PolicyContext::new(binary, counter, &cache);
+        let mut ctx = PolicyContext::new(binary, counter, cache);
         reports.push(policy.check(&mut ctx)?);
     }
     Ok(reports)

@@ -42,6 +42,9 @@ pub struct ProviderView {
     /// Whether the disassembly+policy verdict came from the verdict
     /// cache (observable by the provider anyway through timing).
     pub cache_hit: bool,
+    /// Taint-analysis counters, when a taint-backed policy ran. Only
+    /// aggregate numbers — finding addresses stay inside the enclave.
+    pub taint: Option<crate::analysis::TaintStats>,
 }
 
 /// The cloud provider's machine, host OS, and active EnGarde sessions.
@@ -307,6 +310,7 @@ impl CloudProvider {
             stages: outcome.stages,
             instructions: outcome.instructions,
             cache_hit: outcome.cache_hit,
+            taint: outcome.taint,
         })
     }
 

@@ -11,10 +11,11 @@
 //! the content, and produces a signed verdict plus the executable-page
 //! list for the host.
 
+use crate::analysis::{SecretClass, SecretRange, TaintStats};
 use crate::cache::{lock_cache, CacheKey, CachedVerdict, SharedVerdictCache};
 use crate::error::EngardeError;
 use crate::loader::{load, LoaderConfig};
-use crate::policy::{run_policies, PolicyModule, PolicyReport};
+use crate::policy::{run_policies_with_cache, AnalysisCache, PolicyModule, PolicyReport};
 use crate::protocol::{
     classify_pages, section_extents, ContentManifest, PagePayload, SignedVerdict,
 };
@@ -187,6 +188,11 @@ pub struct InspectionOutcome {
     /// verdict cache (the session still paid receive/decrypt and a
     /// fresh loading/relocation pass).
     pub cache_hit: bool,
+    /// Taint-analysis counters, when a taint-backed policy ran (None
+    /// when no policy touched the taint engine). Populated on
+    /// rejections too — the analysis that said "no" is part of the
+    /// verdict's accounting — and replayed on cache hits.
+    pub taint: Option<TaintStats>,
 }
 
 /// The in-enclave EnGarde state machine.
@@ -425,8 +431,18 @@ impl EngardeEnclave {
             return self.replay_cached(machine, &image, manifest, stages, cached, &content_digest);
         }
 
+        // The staging region the decrypted client content occupies —
+        // a taint source on top of the loader's channel-key range.
+        let decrypted_content_range = SecretRange {
+            start: self.spec.client_region_base(self.base),
+            end: self.spec.client_region_base(self.base)
+                + (self.spec.client_region_pages * PAGE_SIZE) as u64,
+            class: SecretClass::DecryptedContent,
+        };
+
         let run = |machine: &mut SgxMachine,
-                   stages: &mut StageCycles|
+                   stages: &mut StageCycles,
+                   taint: &mut Option<TaintStats>|
          -> Result<
             (Vec<PolicyReport>, MappedSegments, usize, String, bool),
             EngardeError,
@@ -443,13 +459,23 @@ impl EngardeEnclave {
             // ---- disassembly ---------------------------------------------
             let snap = *machine.counter();
             let mut loaded = load(machine, self.enclave, &image, &self.spec.loader)?;
+            loaded.secret_ranges.push(decrypted_content_range);
             stages.disassembly = machine.counter().since(&snap);
 
             // ---- policy checking -------------------------------------------
             let snap = *machine.counter();
             let mut rewritten = false;
-            let reports = match run_policies(&self.policies, &loaded, machine.counter_mut()) {
-                Ok(reports) => reports,
+            let analysis_cache = AnalysisCache::new();
+            let reports = match run_policies_with_cache(
+                &self.policies,
+                &loaded,
+                machine.counter_mut(),
+                &analysis_cache,
+            ) {
+                Ok(reports) => {
+                    *taint = analysis_cache.taint_stats();
+                    reports
+                }
                 // The runtime-instrumentation extension: a missing
                 // stack-protector is fixable by rewriting; anything
                 // else stays a rejection.
@@ -460,10 +486,26 @@ impl EngardeEnclave {
                     let (new_image, _report) =
                         crate::rewrite::StackProtectorRewriter::new().rewrite(&loaded)?;
                     loaded = load(machine, self.enclave, &new_image, &self.spec.loader)?;
+                    loaded.secret_ranges.push(decrypted_content_range);
                     rewritten = true;
-                    run_policies(&self.policies, &loaded, machine.counter_mut())?
+                    // A fresh cache: the old memo describes the
+                    // pre-rewrite image, not the one now being judged.
+                    let rewrite_cache = AnalysisCache::new();
+                    let result = run_policies_with_cache(
+                        &self.policies,
+                        &loaded,
+                        machine.counter_mut(),
+                        &rewrite_cache,
+                    );
+                    *taint = rewrite_cache.taint_stats();
+                    result?
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    // The analysis that produced the rejection is still
+                    // part of the verdict's accounting.
+                    *taint = analysis_cache.taint_stats();
+                    return Err(e);
+                }
             };
             stages.policy_checking = machine.counter().since(&snap);
 
@@ -490,7 +532,8 @@ impl EngardeEnclave {
             Ok((reports, mapping, loaded.insns.len(), summary, rewritten))
         };
 
-        let result = run(machine, &mut stages);
+        let mut taint_stats = None;
+        let result = run(machine, &mut stages, &mut taint_stats);
         match result {
             Ok((reports, mapping, instructions, summary, rewritten)) => {
                 // Cache the verdict — unless the rewriting extension
@@ -506,6 +549,7 @@ impl EngardeEnclave {
                             disassembly_cycles: stages.disassembly,
                             policy_cycles: stages.policy_checking,
                             instructions,
+                            taint: taint_stats,
                         },
                     );
                 }
@@ -524,6 +568,7 @@ impl EngardeEnclave {
                     stages,
                     instructions,
                     cache_hit: false,
+                    taint: taint_stats,
                 })
             }
             Err(e @ (EngardeError::Protocol { .. } | EngardeError::Sgx(_))) => Err(e),
@@ -543,6 +588,7 @@ impl EngardeEnclave {
                             disassembly_cycles: stages.disassembly,
                             policy_cycles: stages.policy_checking,
                             instructions: 0,
+                            taint: taint_stats,
                         },
                     );
                 }
@@ -559,6 +605,7 @@ impl EngardeEnclave {
                     stages,
                     instructions: 0,
                     cache_hit: false,
+                    taint: taint_stats,
                 })
             }
         }
@@ -630,6 +677,7 @@ impl EngardeEnclave {
                     stages,
                     instructions: cached.instructions,
                     cache_hit: true,
+                    taint: cached.taint,
                 })
             }
             Ok(None) => {
@@ -643,6 +691,7 @@ impl EngardeEnclave {
                     stages,
                     instructions: 0,
                     cache_hit: true,
+                    taint: cached.taint,
                 })
             }
             Err(e @ (EngardeError::Protocol { .. } | EngardeError::Sgx(_))) => Err(e),
@@ -660,6 +709,7 @@ impl EngardeEnclave {
                     stages,
                     instructions: 0,
                     cache_hit: true,
+                    taint: cached.taint,
                 })
             }
         }

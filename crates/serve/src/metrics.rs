@@ -108,6 +108,37 @@ struct CacheCounters {
     cycles_saved: AtomicU64,
 }
 
+/// Taint-analysis verdict counters, accumulated from
+/// [`TaintStats`](engarde_core::analysis::TaintStats) across every
+/// session whose policy run touched the taint engine (cache hits
+/// replay the original session's stats and count here too).
+#[derive(Default)]
+struct TaintCounters {
+    sessions: AtomicU64,
+    leaks_found: AtomicU64,
+    tainted_branches: AtomicU64,
+    scc_count: AtomicU64,
+    fixpoint_iterations: AtomicU64,
+    cycles_charged: AtomicU64,
+}
+
+/// Snapshot of the accumulated taint counters, as plain numbers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TaintSnapshot {
+    /// Sessions whose verdict included taint statistics.
+    pub sessions: u64,
+    /// Leak findings (out-of-enclave writes + exit operands) summed.
+    pub leaks_found: u64,
+    /// Secret-dependent branch findings summed.
+    pub tainted_branches: u64,
+    /// Call-graph SCCs analyzed, summed.
+    pub scc_count: u64,
+    /// Fixpoint block visits, summed.
+    pub fixpoint_iterations: u64,
+    /// Native cycles charged for taint analyses, summed.
+    pub cycles_charged: u64,
+}
+
 /// Per-fault-kind lifecycle counters: how many faults the layer
 /// injected, how many a typed error detected, how many retries they
 /// cost, how many sessions recovered cleanly, and how many were
@@ -194,6 +225,7 @@ pub struct ServeMetrics {
     queue_depth_highwater: AtomicUsize,
     stage_cycles: StageTotals,
     cache: CacheCounters,
+    taint: TaintCounters,
     total_cycles: AtomicU64,
     total_wall_nanos: AtomicU64,
     latency_cycles: Mutex<Vec<u64>>,
@@ -310,6 +342,39 @@ impl ServeMetrics {
         self.total_wall_nanos
             .fetch_add(wall_nanos, Ordering::Relaxed);
         lock_recover(&self.latency_cycles).push(latency_cycles);
+    }
+
+    /// Accumulates one session's taint-analysis counters (call once
+    /// per completed session that carried taint statistics).
+    pub fn record_taint(&self, stats: &engarde_core::analysis::TaintStats) {
+        self.taint.sessions.fetch_add(1, Ordering::Relaxed);
+        self.taint
+            .leaks_found
+            .fetch_add(stats.leaks_found, Ordering::Relaxed);
+        self.taint
+            .tainted_branches
+            .fetch_add(stats.tainted_branches, Ordering::Relaxed);
+        self.taint
+            .scc_count
+            .fetch_add(stats.scc_count, Ordering::Relaxed);
+        self.taint
+            .fixpoint_iterations
+            .fetch_add(stats.fixpoint_iterations, Ordering::Relaxed);
+        self.taint
+            .cycles_charged
+            .fetch_add(stats.cycles_charged, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the accumulated taint counters.
+    pub fn taint_stats(&self) -> TaintSnapshot {
+        TaintSnapshot {
+            sessions: self.taint.sessions.load(Ordering::Relaxed),
+            leaks_found: self.taint.leaks_found.load(Ordering::Relaxed),
+            tainted_branches: self.taint.tainted_branches.load(Ordering::Relaxed),
+            scc_count: self.taint.scc_count.load(Ordering::Relaxed),
+            fixpoint_iterations: self.taint.fixpoint_iterations.load(Ordering::Relaxed),
+            cycles_charged: self.taint.cycles_charged.load(Ordering::Relaxed),
+        }
     }
 
     /// Records that the fault layer injected a fault of `kind`.
@@ -462,6 +527,16 @@ impl ServeMetrics {
             c.cache_evictions,
             c.cache_insertions,
             self.cache.cycles_saved.load(Ordering::Relaxed),
+        ));
+        let t = self.taint_stats();
+        out.push_str(&format!(
+            "  \"taint\": {{\"sessions\": {}, \"leaks_found\": {}, \"tainted_branches\": {}, \"scc_count\": {}, \"fixpoint_iterations\": {}, \"cycles_charged\": {}}},\n",
+            t.sessions,
+            t.leaks_found,
+            t.tainted_branches,
+            t.scc_count,
+            t.fixpoint_iterations,
+            t.cycles_charged,
         ));
         let fstats = self.fault_stats();
         out.push_str("  \"faults\": {");
@@ -690,6 +765,44 @@ mod tests {
         for kind in FaultKind::ALL {
             assert!(json.contains(&format!("\"{}\":", kind.name())), "{json}");
         }
+    }
+
+    #[test]
+    fn taint_counters_accumulate_and_export() {
+        let m = ServeMetrics::new();
+        let a = engarde_core::analysis::TaintStats {
+            leaks_found: 2,
+            tainted_branches: 1,
+            scc_count: 4,
+            fixpoint_iterations: 30,
+            cycles_charged: 10_000,
+        };
+        let b = engarde_core::analysis::TaintStats {
+            leaks_found: 0,
+            tainted_branches: 0,
+            scc_count: 3,
+            fixpoint_iterations: 12,
+            cycles_charged: 5_000,
+        };
+        m.record_taint(&a);
+        m.record_taint(&b);
+        let t = m.taint_stats();
+        assert_eq!(t.sessions, 2);
+        assert_eq!(t.leaks_found, 2);
+        assert_eq!(t.tainted_branches, 1);
+        assert_eq!(t.scc_count, 7);
+        assert_eq!(t.fixpoint_iterations, 42);
+        assert_eq!(t.cycles_charged, 15_000);
+        let json = m.to_json();
+        assert!(json.contains(
+            "\"taint\": {\"sessions\": 2, \"leaks_found\": 2, \"tainted_branches\": 1, \
+             \"scc_count\": 7, \"fixpoint_iterations\": 42, \"cycles_charged\": 15000}"
+        ));
+        // The block is present (zeroed) even with no taint-backed
+        // policies loaded.
+        assert!(ServeMetrics::new()
+            .to_json()
+            .contains("\"taint\": {\"sessions\": 0,"));
     }
 
     #[test]

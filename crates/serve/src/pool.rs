@@ -182,6 +182,7 @@ struct AttemptOutput {
     verdict: Option<SignedVerdict>,
     client_verified: bool,
     cache_hit: bool,
+    taint: Option<engarde_core::analysis::TaintStats>,
 }
 
 impl Shard {
@@ -454,6 +455,9 @@ impl Shard {
                     SessionOutcome::NonCompliant
                 };
                 metrics.record_verdict(out.compliant);
+                if let Some(taint) = &out.taint {
+                    metrics.record_taint(taint);
+                }
                 if out.cache_hit {
                     metrics.record(
                         EventKind::CacheHit,
@@ -670,6 +674,7 @@ impl Shard {
             verdict: Some(verdict.verdict),
             client_verified: verdict.client_verified,
             cache_hit: verdict.view.cache_hit,
+            taint: verdict.view.taint,
         })
     }
 }

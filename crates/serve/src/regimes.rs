@@ -9,8 +9,8 @@
 use crate::session::{PolicyFactory, SessionRequest};
 use engarde_core::loader::LoaderConfig;
 use engarde_core::policy::{
-    CodeReachability, IfccPolicy, LibraryLinkingPolicy, PolicyModule, StackProtectionPolicy,
-    WxSegments,
+    CodeReachability, IfccPolicy, LibraryLinkingPolicy, PolicyModule, SecretDependentBranch,
+    SecretLeakage, StackProtectionPolicy, WxSegments,
 };
 use engarde_core::provision::BootstrapSpec;
 use engarde_crypto::sha256::Digest;
@@ -50,6 +50,8 @@ pub fn policy_factory(regime: PolicyRegime, musl: &Arc<HashMap<String, Digest>>)
             vec![
                 Box::new(CodeReachability::new()) as Box<dyn PolicyModule>,
                 Box::new(WxSegments::new()) as Box<dyn PolicyModule>,
+                Box::new(SecretLeakage::new()) as Box<dyn PolicyModule>,
+                Box::new(SecretDependentBranch::new()) as Box<dyn PolicyModule>,
             ]
         }),
     }

@@ -95,6 +95,17 @@ pub mod costs {
     /// AES-CTR + HMAC cost per received ciphertext byte (the channel
     /// decryption EnGarde performs while receiving client content).
     pub const DECRYPT_PER_BYTE: u64 = 20;
+    /// Cost of one taint-transfer step (one instruction visited by the
+    /// interprocedural taint worklist; like constant propagation, blocks
+    /// may be revisited until the fixpoint, and the per-step work is
+    /// heavier — taint sets for 16 registers plus tracked stack slots and
+    /// flags, alongside the constant lattice used to resolve effective
+    /// addresses).
+    pub const TAINT_PER_STEP: u64 = 110;
+    /// Cost of one function-summary (re)computation in the taint pass:
+    /// SCC bookkeeping, summary join, and the call-site substitution of
+    /// callee input-dependence masks.
+    pub const TAINT_PER_SUMMARY: u64 = 650;
     /// Cost of one verdict-cache probe: hashing the 32-byte content
     /// measurement into the cache's table, one bucket walk, and a full
     /// 32-byte key compare. Charged on every probe, hit or miss, so a

@@ -104,6 +104,99 @@ pub fn wx_segment() -> AdversarialImage {
     }
 }
 
+// ---- secret-leakage fixtures ------------------------------------------
+//
+// Each generator below takes the secret and sink addresses explicitly —
+// the workloads crate knows nothing about enclave geometry, so the test
+// (or bench) supplies the key-state address of *its* machine and a sink
+// either outside the enclave (leaking) or inside it (the compliant
+// near-miss twin). All fixtures pass load-time NaCl validation; only
+// the interprocedural taint pass tells the pairs apart.
+
+/// A staged register leak: loads a secret qword, launders it through a
+/// register copy, and stores it to `sink` — out-of-enclave `sink` makes
+/// this the leaking fixture, in-enclave `sink` its compliant twin.
+pub fn secret_register_leak(secret: u64, sink: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.movabs(Reg::Rbx, secret);
+    asm.mov_mem_to_reg64(Reg::Rax, Reg::Rbx); // rax = *secret
+    asm.mov_rr64(Reg::Rcx, Reg::Rax); // staged copy
+    asm.movabs(Reg::Rdx, sink);
+    asm.mov_reg_to_mem64(Reg::Rcx, Reg::Rdx); // *sink = rcx
+    asm.ret();
+    wrap(asm.finish())
+}
+
+/// A secret-dependent branch: loads a secret byte-bearing qword and
+/// conditions a `jne` on it — the page-fault/branch-predictor
+/// side-channel shape the secret-dependent-branch policy rejects.
+pub fn secret_branch(secret: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.movabs(Reg::Rbx, secret);
+    asm.mov_mem_to_reg64(Reg::Rax, Reg::Rbx); // rax = *secret
+    asm.xor_rr32(Reg::Rcx, Reg::Rcx);
+    asm.cmp_rr64(Reg::Rax, Reg::Rcx);
+    let done = asm.label();
+    asm.jne_label(done);
+    asm.nop();
+    asm.bind(done);
+    asm.ret();
+    wrap(asm.finish())
+}
+
+/// The compliant twin of [`secret_branch`]: identical shape, but the
+/// compared value is a constant — no secret enters the flags.
+pub fn constant_branch() -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.mov_ri32(Reg::Rax, 0x5a);
+    asm.xor_rr32(Reg::Rcx, Reg::Rcx);
+    asm.cmp_rr64(Reg::Rax, Reg::Rcx);
+    let done = asm.label();
+    asm.jne_label(done);
+    asm.nop();
+    asm.bind(done);
+    asm.ret();
+    wrap(asm.finish())
+}
+
+/// An interprocedural leak laundered through two call hops:
+/// `_start` loads the secret into `%rdi` and calls `f`; `f` moves it to
+/// `%rsi` and calls `g`; `g` stores `%rsi` to `sink`. No single
+/// function both touches the secret and writes out — only bottom-up
+/// call-graph summaries connect the flow. An in-enclave `sink` yields
+/// the compliant twin.
+pub fn interprocedural_leak(secret: u64, sink: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    let f = asm.label();
+    let g = asm.label();
+    // _start
+    asm.movabs(Reg::Rdi, secret);
+    asm.mov_mem_to_reg64(Reg::Rdi, Reg::Rdi); // rdi = *secret
+    asm.call_label(f);
+    asm.ret();
+    asm.align_to(BUNDLE_SIZE);
+    let f_off = asm.offset();
+    asm.bind(f);
+    asm.mov_rr64(Reg::Rsi, Reg::Rdi);
+    asm.call_label(g);
+    asm.ret();
+    asm.align_to(BUNDLE_SIZE);
+    let g_off = asm.offset();
+    asm.bind(g);
+    asm.movabs(Reg::Rbx, sink);
+    asm.mov_reg_to_mem64(Reg::Rsi, Reg::Rbx); // *sink = rsi
+    asm.ret();
+    let text = asm.finish();
+    let len = text.len() as u64;
+    ElfBuilder::new()
+        .text(text)
+        .function("_start", 0, f_off)
+        .function("f", f_off, g_off - f_off)
+        .function("g", g_off, len - g_off)
+        .entry(0)
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +242,35 @@ mod tests {
             decode_all(&text.data[off..off + 3], adv.hidden_target).expect("hidden stream decodes");
         assert_eq!(hidden.len(), 2, "xor; ret");
         assert!(matches!(hidden[1].kind, engarde_x86::insn::InsnKind::Ret));
+    }
+
+    #[test]
+    fn leakage_fixtures_pass_load_time_validation() {
+        // Geometry-agnostic here: any addresses produce the same
+        // instruction stream, and validation never inspects operands.
+        for image in [
+            secret_register_leak(0x10100, 0x20000),
+            secret_register_leak(0x10100, 0x10800),
+            secret_branch(0x10100),
+            constant_branch(),
+            interprocedural_leak(0x10100, 0x20000),
+            interprocedural_leak(0x10100, 0x10800),
+        ] {
+            loads_cleanly(&image);
+        }
+    }
+
+    #[test]
+    fn interprocedural_fixture_has_three_function_symbols() {
+        let image = interprocedural_leak(0x10100, 0x20000);
+        let elf = ElfFile::parse(&image).expect("parses");
+        let names: Vec<String> = elf.function_symbols().map(|s| s.name.to_string()).collect();
+        assert_eq!(names, ["_start", "f", "g"]);
+        // f and g start on bundle boundaries, so calls target bundle
+        // entries the validator accepts as roots.
+        for sym in elf.function_symbols().skip(1) {
+            assert_eq!(sym.symbol.st_value % BUNDLE_SIZE, 0);
+        }
     }
 
     #[test]

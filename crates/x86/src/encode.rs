@@ -337,6 +337,35 @@ impl Assembler {
         self.emit(&[rex, 0x8b, modrm(1, dest.low3(), 5), disp as u8]);
     }
 
+    fn rex_mem(&self, reg: Reg, base: Reg) -> u8 {
+        let mut rex = REX_W;
+        if reg.needs_rex_bit() {
+            rex |= 4;
+        }
+        if base.needs_rex_bit() {
+            rex |= 1;
+        }
+        rex
+    }
+
+    /// `mov (%base), %dest` — 64-bit load through a register-held
+    /// pointer (mod=00). `base` must not be rsp/rbp/r12/r13, whose rm
+    /// encodings mean SIB or disp32 instead of a bare base.
+    pub fn mov_mem_to_reg64(&mut self, dest: Reg, base: Reg) {
+        debug_assert!(!matches!(base, Reg::Rsp | Reg::Rbp | Reg::R12 | Reg::R13));
+        let rex = self.rex_mem(dest, base);
+        self.emit(&[rex, 0x8b, modrm(0, dest.low3(), base.low3())]);
+    }
+
+    /// `mov %src, (%base)` — 64-bit store through a register-held
+    /// pointer (mod=00). Same base-register restriction as
+    /// [`Assembler::mov_mem_to_reg64`].
+    pub fn mov_reg_to_mem64(&mut self, src: Reg, base: Reg) {
+        debug_assert!(!matches!(base, Reg::Rsp | Reg::Rbp | Reg::R12 | Reg::R13));
+        let rex = self.rex_mem(src, base);
+        self.emit(&[rex, 0x89, modrm(0, src.low3(), base.low3())]);
+    }
+
     /// `lea label(%rip), %dest` — address-taken code/data (IFCC table base).
     pub fn lea_rip_label(&mut self, dest: Reg, label: Label) {
         let rex = if dest.needs_rex_bit() { 0x4c } else { REX_W };
@@ -567,6 +596,39 @@ mod tests {
         Validator::new()
             .validate(&insns, 0, &[])
             .expect("bundle-clean");
+    }
+
+    #[test]
+    fn mem_movs_roundtrip() {
+        use crate::insn::MemOperand;
+        let insns = roundtrip(|asm| {
+            asm.mov_mem_to_reg64(Reg::Rbx, Reg::Rax);
+            asm.mov_reg_to_mem64(Reg::R9, Reg::Rsi);
+            asm.ret();
+        });
+        let bare = |base| MemOperand {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp: 0,
+            rip_relative: false,
+        };
+        assert_eq!(
+            insns[0].kind,
+            InsnKind::MovMemToReg {
+                dest: Reg::Rbx,
+                mem: bare(Reg::Rax),
+                width: Width::W64
+            }
+        );
+        assert_eq!(
+            insns[1].kind,
+            InsnKind::MovRegToMem {
+                src: Reg::R9,
+                mem: bare(Reg::Rsi),
+                width: Width::W64
+            }
+        );
     }
 
     #[test]

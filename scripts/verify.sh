@@ -88,14 +88,41 @@ jq -e '
     || { echo "FAIL: $faults_out missing required keys/invariants" >&2; exit 1; }
 echo "OK: $faults_out schema + invariants hold"
 
+echo "== smoke: bench_taint_analysis (bounded) =="
+# Bounded taint-engine replay: the bench itself asserts every leaking
+# fixture is rejected, every compliant twin passes, and the shared
+# analysis memo beats two fresh passes; the jq gate re-checks the
+# exported schema and the linear-scaling/memo invariants.
+taint_out=target/BENCH_analysis_smoke.json
+cargo run --release --offline -q -p engarde-bench --bin bench_taint_analysis -- \
+    --depths 2,4,8 --out "$taint_out"
+jq -e '
+    .all_fixtures_correct == true
+    and (.fixtures | [.[]] | all(. == true))
+    and (.scaling | length == 3)
+    and (.scaling | all(
+        (.taint_cycles > 0)
+        and (.propagation_steps > 0)
+        and (.sccs == .functions)
+        and (.leaks == 0)))
+    and (.memo.memo_speedup > 1)
+    and (.memo.shared_two_policy_cycles
+         < .memo.single_leakage_cycles + .memo.single_branch_cycles)
+' "$taint_out" > /dev/null \
+    || { echo "FAIL: $taint_out missing required keys/invariants" >&2; exit 1; }
+echo "OK: $taint_out schema + invariants hold"
+
 echo "== gate: no unwrap/expect in hostile-input/serve non-test code =="
-# The parser faces hostile bytes and the serve path faces injected
-# faults; every read must be fallible and no fault may panic a worker.
-# Strip each file's #[cfg(test)] module, then refuse any
-# unwrap()/expect( left.
+# The parser faces hostile bytes, the analysis/policy engines chew on
+# attacker-shaped binaries, and the serve path faces injected faults;
+# every read must be fallible and no fault may panic a worker. Strip
+# each file's #[cfg(test)] module, then refuse any unwrap()/expect(
+# left.
 panic_free_files=(
     crates/elf/src/parse.rs
     crates/core/src/exec.rs
+    crates/core/src/analysis/*.rs
+    crates/core/src/policy/*.rs
     crates/serve/src/error.rs
     crates/serve/src/faults.rs
     crates/serve/src/metrics.rs

@@ -134,6 +134,7 @@ fn provider_view_is_only_verdict_and_code_pages() {
         stages,
         instructions,
         cache_hit,
+        taint,
     } = view;
     assert!(compliant);
     assert!(!exec_pages.is_empty());
@@ -143,6 +144,11 @@ fn provider_view_is_only_verdict_and_code_pages() {
     // (a hit's inspection is orders of magnitude shorter), so surfacing
     // it leaks nothing the cycle counts don't already.
     assert!(!cache_hit, "no cache attached in this protocol run");
+    // TaintStats is aggregate counters only (counts and cycles, no
+    // finding addresses) — audited when the field was added. No
+    // taint-backed policy runs under the library-linking regime, so
+    // this protocol run carries none.
+    assert!(taint.is_none(), "library-linking regime runs no taint pass");
 }
 
 #[test]

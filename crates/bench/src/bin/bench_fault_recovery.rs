@@ -93,6 +93,7 @@ fn run(
         run: SessionRunConfig::chaos_hardened(),
         verdict_cache: None,
         faults: plan,
+        store: None,
     });
     for item in traffic {
         svc.submit(regimes::request_for(item, musl))

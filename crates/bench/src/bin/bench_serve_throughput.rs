@@ -142,6 +142,7 @@ fn run_virtual(
         run: SessionRunConfig::default(),
         verdict_cache: None,
         faults: None,
+        store: None,
     });
     let rejected = submit_all(&mut svc, traffic, musl);
     let result = svc.drain();
@@ -218,6 +219,7 @@ fn main() {
         run: SessionRunConfig::default(),
         verdict_cache: None,
         faults: None,
+        store: None,
     });
     let overload_rejected = submit_all(&mut svc, &overload_traffic, &musl);
     let overload = svc.drain();
@@ -239,6 +241,7 @@ fn main() {
             run: SessionRunConfig::default(),
             verdict_cache: None,
             faults: None,
+            store: None,
         });
         let rejected = submit_all(&mut svc, &traffic, &musl);
         let result = svc.drain();

@@ -1,0 +1,256 @@
+//! Warm-start effectiveness of the sealed verdict store: provisions a
+//! fleet of distinct-binary tenants cold, restarts the service over the
+//! same store directory, replays the identical traffic, and writes
+//! `BENCH_store.json`.
+//!
+//! Three headline numbers:
+//!
+//! * `warmstart_speedup` — sessions per model-second of the restarted
+//!   fleet over the cold fleet. The restart hydrates every sealed
+//!   verdict at boot, so every known binary re-admits for cache-probe
+//!   cost only (disassembly and policy checking skipped); the paper's
+//!   load-time inspection cost is paid once per binary per fleet
+//!   *lifetime*, not once per boot.
+//! * `verdicts_bit_identical` — the restarted fleet must reproduce the
+//!   cold run's signed outcomes byte-for-byte; persistence may only
+//!   change *when* a verdict is computed, never *what* it says.
+//! * `deterministic` — two warm restarts over the same store lineage
+//!   agree on makespan, counters, and verdict bytes exactly.
+//!
+//! All measurements use the deterministic virtual-time scheduler with
+//! hydration and write-behind flush costs charged to the model clock.
+//!
+//! ```text
+//! bench_store_warmstart [--sessions N] [--scale P] [--seed S]
+//!                       [--arrival-gap CYCLES] [--shards N]
+//!                       [--dir PATH] [--out PATH]
+//! ```
+
+use engarde_core::loader::LoaderConfig;
+use engarde_core::provision::BootstrapSpec;
+use engarde_serve::persist::StoreConfig;
+use engarde_serve::regimes;
+use engarde_serve::service::{ProvisioningService, SchedMode, ServiceConfig};
+use engarde_serve::SessionRunConfig;
+use engarde_sgx::instr::SgxVersion;
+use engarde_sgx::machine::MachineConfig;
+use engarde_sgx::perf::CLOCK_GHZ;
+use engarde_workloads::traffic::{distinct_binary_traffic, TrafficItem};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    sessions: usize,
+    scale_percent: usize,
+    seed: u64,
+    arrival_gap: u64,
+    shards: usize,
+    dir: Option<PathBuf>,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            sessions: 12,
+            scale_percent: 5,
+            seed: 0x5708_E000,
+            arrival_gap: 2_000_000,
+            shards: 2,
+            dir: None,
+            out: "BENCH_store.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--sessions" => args.sessions = take().parse().expect("--sessions"),
+            "--scale" => args.scale_percent = take().parse().expect("--scale"),
+            "--seed" => args.seed = take().parse().expect("--seed"),
+            "--arrival-gap" => args.arrival_gap = take().parse().expect("--arrival-gap"),
+            "--shards" => args.shards = take().parse().expect("--shards"),
+            "--dir" => args.dir = Some(PathBuf::from(take())),
+            "--out" => args.out = take(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn machine(seed: u64) -> MachineConfig {
+    MachineConfig {
+        epc_pages: 8_192,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed,
+    }
+}
+
+/// One measured fleet generation over the persistent store.
+struct FleetRun {
+    label: &'static str,
+    makespan_cycles: u64,
+    sessions_per_model_sec: f64,
+    compliant: u64,
+    warm_hits: u64,
+    report_hits: u64,
+    hydrated: u64,
+    flushed: u64,
+    live_records: u64,
+    segments: u64,
+    verdict_fingerprint: String,
+}
+
+fn run_fleet(
+    label: &'static str,
+    traffic: &[TrafficItem],
+    store: StoreConfig,
+    args: &Args,
+    musl: &Arc<HashMap<String, engarde_crypto::sha256::Digest>>,
+) -> FleetRun {
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: args.shards,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: args.arrival_gap,
+        },
+        machine: machine(args.seed),
+        queue_capacity: traffic.len().max(1) * 2,
+        run: SessionRunConfig::default(),
+        verdict_cache: None,
+        faults: None,
+        store: Some(store),
+    });
+    for item in traffic {
+        svc.submit(regimes::request_for(item, musl))
+            .unwrap_or_else(|e| panic!("submit {}: {e}", item.name));
+    }
+    let result = svc.drain();
+    let m = result.metrics.counters();
+    let s = result.metrics.store_stats();
+    let makespan = result.makespan_cycles.max(1);
+    let model_seconds = makespan as f64 / (CLOCK_GHZ * 1e9);
+    let run = FleetRun {
+        label,
+        makespan_cycles: result.makespan_cycles,
+        sessions_per_model_sec: m.completed as f64 / model_seconds,
+        compliant: m.compliant,
+        warm_hits: m.cache_warm_hits,
+        report_hits: result.reports.iter().filter(|r| r.cache_hit).count() as u64,
+        hydrated: s.hydrated,
+        flushed: s.flushed,
+        live_records: s.live_records,
+        segments: s.segments,
+        verdict_fingerprint: result.verdict_fingerprint(),
+    };
+    eprintln!(
+        "  {label}: makespan {} cycles, {:.2} sessions/model-s, hydrated {}, flushed {}, warm hits {}",
+        run.makespan_cycles, run.sessions_per_model_sec, run.hydrated, run.flushed, run.warm_hits
+    );
+    run
+}
+
+fn fleet_json(r: &FleetRun) -> String {
+    format!(
+        "{{\"makespan_cycles\": {}, \"sessions_per_model_sec\": {:.4}, \"compliant\": {}, \"warm_hits\": {}, \"report_hits\": {}, \"hydrated\": {}, \"flushed\": {}, \"live_records\": {}, \"segments\": {}, \"verdict_fingerprint\": \"{}\"}}",
+        r.makespan_cycles,
+        r.sessions_per_model_sec,
+        r.compliant,
+        r.warm_hits,
+        r.report_hits,
+        r.hydrated,
+        r.flushed,
+        r.live_records,
+        r.segments,
+        r.verdict_fingerprint
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let musl = Arc::new(regimes::musl_hashes());
+    let traffic = distinct_binary_traffic(args.sessions, args.scale_percent, args.seed);
+
+    let dir = args.dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("engarde-bench-store-{}", std::process::id()))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &[], 64, 512);
+    let store = StoreConfig::sealed_at(&dir, &machine(args.seed), &spec);
+    eprintln!(
+        "bench_store_warmstart: {}-tenant distinct-binary fleet (scale {}%), store at {}",
+        args.sessions,
+        args.scale_percent,
+        dir.display()
+    );
+
+    // Generation 1: cold boot over an empty store. Every binary is
+    // novel — full disassembly + policy per session, every verdict
+    // sealed and flushed.
+    let cold = run_fleet("cold", &traffic, store.clone(), &args, &musl);
+
+    // Generation 2: service restart over the populated store.
+    let warm = run_fleet("warm_restart", &traffic, store.clone(), &args, &musl);
+
+    // Generation 3: a second restart, pinning determinism end-to-end
+    // (the warm run appends nothing, so the lineage is unchanged).
+    let warm_repeat = run_fleet("warm_repeat", &traffic, store, &args, &musl);
+
+    let speedup = warm.sessions_per_model_sec / cold.sessions_per_model_sec;
+    let identical = warm.verdict_fingerprint == cold.verdict_fingerprint;
+    let all_warm = warm.report_hits == args.sessions as u64
+        && warm.warm_hits == args.sessions as u64
+        && warm.hydrated == args.sessions as u64;
+    let deterministic = warm.makespan_cycles == warm_repeat.makespan_cycles
+        && warm.verdict_fingerprint == warm_repeat.verdict_fingerprint
+        && warm.warm_hits == warm_repeat.warm_hits;
+    eprintln!(
+        "  warm-start speedup: {speedup:.2}x; verdicts identical: {identical}; all warm hits: {all_warm}; deterministic: {deterministic}"
+    );
+
+    assert!(
+        identical,
+        "restart changed a verdict: {} != {}",
+        warm.verdict_fingerprint, cold.verdict_fingerprint
+    );
+    assert!(
+        all_warm,
+        "restart must hydrate and re-admit every binary from the store"
+    );
+    assert!(
+        deterministic,
+        "warm restarts over the same lineage must be bit-identical"
+    );
+    assert_eq!(
+        cold.flushed, args.sessions as u64,
+        "cold run must flush every verdict"
+    );
+    assert!(
+        speedup >= 2.0,
+        "warm restart must be at least 2x cold, got {speedup:.2}x"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"sessions\": {},\n  \"scale_percent\": {},\n  \"seed\": {},\n  \"arrival_gap_cycles\": {},\n  \"shards\": {},\n  \"clock_ghz\": {CLOCK_GHZ},\n",
+        args.sessions, args.scale_percent, args.seed, args.arrival_gap, args.shards
+    ));
+    for r in [&cold, &warm, &warm_repeat] {
+        json.push_str(&format!("  \"{}\": {},\n", r.label, fleet_json(r)));
+    }
+    json.push_str(&format!(
+        "  \"warmstart_speedup\": {speedup:.4},\n  \"verdicts_bit_identical\": {identical},\n  \"all_warm_hits\": {all_warm},\n  \"deterministic\": {deterministic}\n"
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&args.out, &json).expect("write BENCH_store.json");
+    eprintln!("wrote {}", args.out);
+    if args.dir.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -147,6 +147,7 @@ fn run_fleet(
         run: SessionRunConfig::default(),
         verdict_cache: cache,
         faults: None,
+        store: None,
     });
     for item in traffic {
         svc.submit(regimes::request_for(item, musl))

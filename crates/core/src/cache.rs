@@ -33,7 +33,7 @@
 //! the cached key's content.
 
 use crate::analysis::TaintStats;
-use crate::policy::PolicyReport;
+use crate::policy::{canonical_policy_name, PolicyReport};
 use engarde_crypto::sha256::{Digest, Sha256};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -62,6 +62,13 @@ impl CacheKey {
     /// The raw 32 key bytes.
     pub fn as_bytes(&self) -> &[u8; 32] {
         &self.0
+    }
+
+    /// Rebuilds a key from its raw bytes (the persistent store's
+    /// records carry keys verbatim; authenticity comes from the store's
+    /// MAC, not from re-derivation).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        CacheKey(bytes)
     }
 }
 
@@ -95,6 +102,232 @@ impl CachedVerdict {
     pub fn replayed_cycles(&self) -> u64 {
         self.disassembly_cycles + self.policy_cycles
     }
+
+    /// Serializes the verdict to the versioned on-disk byte layout
+    /// (`ECV1`): little-endian integers, length-prefixed strings, one
+    /// flag byte for the optional taint block. The layout is pinned
+    /// byte-for-byte by `cached_verdict_byte_layout_is_pinned` — the
+    /// sealed verdict store depends on it.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.detail.len());
+        out.extend_from_slice(CODEC_MAGIC);
+        out.push(self.compliant as u8);
+        put_str(&mut out, &self.detail);
+        out.extend_from_slice(&(self.policy_reports.len() as u32).to_le_bytes());
+        for report in &self.policy_reports {
+            put_str(&mut out, report.policy);
+            out.extend_from_slice(&(report.items_checked as u64).to_le_bytes());
+            put_str(&mut out, &report.detail);
+        }
+        out.extend_from_slice(&self.disassembly_cycles.to_le_bytes());
+        out.extend_from_slice(&self.policy_cycles.to_le_bytes());
+        out.extend_from_slice(&(self.instructions as u64).to_le_bytes());
+        match &self.taint {
+            None => out.push(0),
+            Some(t) => {
+                out.push(1);
+                for v in [
+                    t.leaks_found,
+                    t.tainted_branches,
+                    t.scc_count,
+                    t.fixpoint_iterations,
+                    t.cycles_charged,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a verdict from [`CachedVerdict::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CodecError`] on any malformed input: wrong
+    /// magic, truncation, a non-boolean flag byte, a policy name no
+    /// shipped module reports, invalid UTF-8, or trailing bytes. Never
+    /// panics — the bytes come from disk and may be corrupt.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(CODEC_MAGIC.len(), "magic")? != CODEC_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let compliant = r.bool("compliant")?;
+        let detail = r.string("detail")?;
+        let report_count = r.u32("report count")?;
+        // A report is ≥ 18 bytes on the wire; reject counts the
+        // remaining input cannot possibly satisfy before allocating.
+        if report_count as usize > r.remaining() / 18 {
+            return Err(CodecError::LengthOverflow {
+                field: "report count",
+            });
+        }
+        let mut policy_reports = Vec::with_capacity(report_count as usize);
+        for _ in 0..report_count {
+            let name = r.string("policy name")?;
+            let policy =
+                canonical_policy_name(&name).ok_or(CodecError::UnknownPolicyName { name })?;
+            let items_checked = r.u64("items checked")? as usize;
+            let detail = r.string("report detail")?;
+            policy_reports.push(PolicyReport {
+                policy,
+                items_checked,
+                detail,
+            });
+        }
+        let disassembly_cycles = r.u64("disassembly cycles")?;
+        let policy_cycles = r.u64("policy cycles")?;
+        let instructions = r.u64("instructions")? as usize;
+        let taint = match r.byte("taint flag")? {
+            0 => None,
+            1 => Some(TaintStats {
+                leaks_found: r.u64("leaks found")?,
+                tainted_branches: r.u64("tainted branches")?,
+                scc_count: r.u64("scc count")?,
+                fixpoint_iterations: r.u64("fixpoint iterations")?,
+                cycles_charged: r.u64("cycles charged")?,
+            }),
+            flag => return Err(CodecError::BadFlag { flag }),
+        };
+        if r.remaining() != 0 {
+            return Err(CodecError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(CachedVerdict {
+            compliant,
+            detail,
+            policy_reports,
+            disassembly_cycles,
+            policy_cycles,
+            instructions,
+            taint,
+        })
+    }
+}
+
+/// Version tag leading every serialized [`CachedVerdict`].
+const CODEC_MAGIC: &[u8] = b"ECV1";
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Typed failure decoding a serialized [`CachedVerdict`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// The input does not start with the `ECV1` version tag.
+    BadMagic,
+    /// The input ended inside a field.
+    UnexpectedEof {
+        /// The field being read when the input ran out.
+        field: &'static str,
+    },
+    /// A declared length exceeds the remaining input.
+    LengthOverflow {
+        /// The field whose declared length overflows.
+        field: &'static str,
+    },
+    /// A boolean/flag byte held something other than its legal values.
+    BadFlag {
+        /// The illegal byte value.
+        flag: u8,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8 {
+        /// The field holding the invalid bytes.
+        field: &'static str,
+    },
+    /// A stored policy name matches no shipped policy module.
+    UnknownPolicyName {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// Well-formed value followed by unconsumed bytes.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "verdict bytes lack the ECV1 magic"),
+            CodecError::UnexpectedEof { field } => {
+                write!(f, "verdict bytes truncated inside {field}")
+            }
+            CodecError::LengthOverflow { field } => {
+                write!(f, "declared length of {field} exceeds the input")
+            }
+            CodecError::BadFlag { flag } => write!(f, "illegal flag byte {flag:#04x}"),
+            CodecError::BadUtf8 { field } => write!(f, "{field} is not valid UTF-8"),
+            CodecError::UnknownPolicyName { name } => {
+                write!(f, "stored policy name {name:?} matches no shipped module")
+            }
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a well-formed verdict")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Bounds-checked cursor over untrusted verdict bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { field });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn byte(&mut self, field: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn bool(&mut self, field: &'static str) -> Result<bool, CodecError> {
+        match self.byte(field)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            flag => Err(CodecError::BadFlag { flag }),
+        }
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, CodecError> {
+        let b = self.take(4, field)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, CodecError> {
+        let b = self.take(8, field)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn string(&mut self, field: &'static str) -> Result<String, CodecError> {
+        let len = self.u32(field)? as usize;
+        if len > self.remaining() {
+            return Err(CodecError::LengthOverflow { field });
+        }
+        let raw = self.take(len, field)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadUtf8 { field })
+    }
 }
 
 /// Hit/miss/eviction counters, exported through `engarde-serve` metrics.
@@ -110,11 +343,18 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Disassembly + policy cycles hits avoided re-paying.
     pub cycles_saved: u64,
+    /// The subset of `hits` served from entries hydrated out of a
+    /// persistent store (a warm restart), rather than inserted by a
+    /// session of this process.
+    pub warm_hits: u64,
 }
 
 struct Entry {
     verdict: CachedVerdict,
     last_used: u64,
+    /// Whether this entry came from store hydration (warm start) rather
+    /// than a live inspection in this process.
+    hydrated: bool,
 }
 
 /// A bounded, LRU-evicting verdict cache.
@@ -129,6 +369,11 @@ pub struct VerdictCache {
     tick: u64,
     entries: HashMap<CacheKey, Entry>,
     stats: CacheStats,
+    /// When `Some`, every live [`VerdictCache::insert`] is also
+    /// appended here (in insertion order) for a write-behind flusher to
+    /// drain with [`VerdictCache::take_dirty`]. Hydrated inserts are
+    /// never logged — they came *from* the store.
+    dirty: Option<Vec<(CacheKey, CachedVerdict)>>,
 }
 
 impl std::fmt::Debug for VerdictCache {
@@ -151,6 +396,7 @@ impl VerdictCache {
             tick: 0,
             entries: HashMap::new(),
             stats: CacheStats::default(),
+            dirty: None,
         }
     }
 
@@ -161,6 +407,9 @@ impl VerdictCache {
             Some(entry) => {
                 entry.last_used = self.tick;
                 self.stats.hits += 1;
+                if entry.hydrated {
+                    self.stats.warm_hits += 1;
+                }
                 self.stats.cycles_saved += entry.verdict.replayed_cycles();
                 Some(entry.verdict.clone())
             }
@@ -174,6 +423,20 @@ impl VerdictCache {
     /// Inserts (or refreshes) a verdict, evicting the least-recently
     /// used entry if the bound is reached.
     pub fn insert(&mut self, key: CacheKey, verdict: CachedVerdict) {
+        if let Some(log) = &mut self.dirty {
+            log.push((key, verdict.clone()));
+        }
+        self.insert_inner(key, verdict, false);
+    }
+
+    /// Inserts a verdict recovered from the persistent store at warm
+    /// start. Hydrated entries are never appended to the dirty log (the
+    /// store already holds them) and hits on them count as `warm_hits`.
+    pub fn insert_hydrated(&mut self, key: CacheKey, verdict: CachedVerdict) {
+        self.insert_inner(key, verdict, true);
+    }
+
+    fn insert_inner(&mut self, key: CacheKey, verdict: CachedVerdict, hydrated: bool) {
         self.tick += 1;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
             // Ticks are unique, so the minimum is unique: deterministic
@@ -194,8 +457,32 @@ impl VerdictCache {
             Entry {
                 verdict,
                 last_used: self.tick,
+                hydrated,
             },
         );
+    }
+
+    /// Starts recording live inserts for write-behind persistence.
+    /// Inserts made before this call are not replayed.
+    pub fn track_dirty(&mut self) {
+        if self.dirty.is_none() {
+            self.dirty = Some(Vec::new());
+        }
+    }
+
+    /// Drains the dirty log (insertion order). Empty when
+    /// [`VerdictCache::track_dirty`] was never called or no inserts
+    /// happened since the last drain.
+    pub fn take_dirty(&mut self) -> Vec<(CacheKey, CachedVerdict)> {
+        match &mut self.dirty {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of inserts awaiting a write-behind flush.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.as_ref().map_or(0, |log| log.len())
     }
 
     /// Number of cached verdicts.
@@ -323,6 +610,169 @@ mod tests {
         c.insert(key(1), verdict("one"));
         c.insert(key(2), verdict("two"));
         assert_eq!(c.len(), 1);
+    }
+
+    fn full_verdict() -> CachedVerdict {
+        CachedVerdict {
+            compliant: true,
+            detail: "ok".to_string(),
+            policy_reports: vec![
+                PolicyReport {
+                    policy: "stack-protection",
+                    items_checked: 3,
+                    detail: "guards=3".to_string(),
+                },
+                PolicyReport {
+                    policy: "secret-leakage",
+                    items_checked: 7,
+                    detail: String::new(),
+                },
+            ],
+            disassembly_cycles: 0x0102_0304_0506_0708,
+            policy_cycles: 42,
+            instructions: 1_000,
+            taint: Some(TaintStats {
+                leaks_found: 1,
+                tainted_branches: 2,
+                scc_count: 3,
+                fixpoint_iterations: 4,
+                cycles_charged: 5,
+            }),
+        }
+    }
+
+    /// The exact `ECV1` wire bytes for [`full_verdict`], spelled out
+    /// field by field. Reordering a struct field, changing an integer
+    /// width, or touching endianness breaks this vector — and with it
+    /// every sealed verdict already on disk.
+    fn pinned_encoding() -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(b"ECV1"); // magic
+        b.push(1); // compliant = true
+        b.extend_from_slice(&[2, 0, 0, 0]); // detail len (u32 LE)
+        b.extend_from_slice(b"ok");
+        b.extend_from_slice(&[2, 0, 0, 0]); // report count
+        b.extend_from_slice(&[16, 0, 0, 0]); // name len
+        b.extend_from_slice(b"stack-protection");
+        b.extend_from_slice(&[3, 0, 0, 0, 0, 0, 0, 0]); // items (u64 LE)
+        b.extend_from_slice(&[8, 0, 0, 0]); // report detail len
+        b.extend_from_slice(b"guards=3");
+        b.extend_from_slice(&[14, 0, 0, 0]);
+        b.extend_from_slice(b"secret-leakage");
+        b.extend_from_slice(&[7, 0, 0, 0, 0, 0, 0, 0]);
+        b.extend_from_slice(&[0, 0, 0, 0]); // empty report detail
+        b.extend_from_slice(&[8, 7, 6, 5, 4, 3, 2, 1]); // disassembly cycles
+        b.extend_from_slice(&[42, 0, 0, 0, 0, 0, 0, 0]); // policy cycles
+        b.extend_from_slice(&[0xE8, 3, 0, 0, 0, 0, 0, 0]); // instructions
+        b.push(1); // taint present
+        for v in [1u8, 2, 3, 4, 5] {
+            b.extend_from_slice(&[v, 0, 0, 0, 0, 0, 0, 0]);
+        }
+        b
+    }
+
+    #[test]
+    fn cached_verdict_byte_layout_is_pinned() {
+        // Byte-exact: the encoder must emit exactly the pinned vector,
+        // and the decoder must reproduce the original verdict —
+        // TaintStats included — from those bytes alone.
+        let v = full_verdict();
+        assert_eq!(v.to_bytes(), pinned_encoding());
+        let back = CachedVerdict::from_bytes(&pinned_encoding()).expect("decodes");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn codec_round_trips_every_shape() {
+        let shapes = [
+            full_verdict(),
+            CachedVerdict {
+                compliant: false,
+                detail: "policy violation: stack-protection".to_string(),
+                policy_reports: Vec::new(),
+                disassembly_cycles: u64::MAX,
+                policy_cycles: 0,
+                instructions: 0,
+                taint: None,
+            },
+            verdict("unicode detail: ∀x ≠ y"),
+        ];
+        for v in shapes {
+            let bytes = v.to_bytes();
+            assert_eq!(CachedVerdict::from_bytes(&bytes).expect("decodes"), v);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_malformed_bytes_with_typed_errors() {
+        let good = full_verdict().to_bytes();
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(CachedVerdict::from_bytes(&bad), Err(CodecError::BadMagic));
+        // Truncation at every prefix length: typed error, never a panic
+        // or a successful decode.
+        for len in 0..good.len() {
+            assert!(
+                CachedVerdict::from_bytes(&good[..len]).is_err(),
+                "prefix of {len} bytes must not decode"
+            );
+        }
+        // Trailing garbage after a well-formed verdict.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert_eq!(
+            CachedVerdict::from_bytes(&padded),
+            Err(CodecError::TrailingBytes { extra: 1 })
+        );
+        // A policy name no shipped module reports fails closed.
+        let idx = good
+            .windows(16)
+            .position(|w| w == b"stack-protection")
+            .expect("name present");
+        let mut renamed = good.clone();
+        renamed[idx..idx + 16].copy_from_slice(b"stack-protectioX");
+        assert!(matches!(
+            CachedVerdict::from_bytes(&renamed),
+            Err(CodecError::UnknownPolicyName { .. })
+        ));
+        // A compliant flag that is neither 0 nor 1.
+        let mut flag = good.clone();
+        flag[4] = 2;
+        assert_eq!(
+            CachedVerdict::from_bytes(&flag),
+            Err(CodecError::BadFlag { flag: 2 })
+        );
+    }
+
+    #[test]
+    fn dirty_log_records_live_inserts_only() {
+        let mut c = VerdictCache::new(4);
+        c.insert(key(1), verdict("before tracking")); // not recorded
+        c.track_dirty();
+        c.insert_hydrated(key(2), verdict("from store")); // not recorded
+        c.insert(key(3), verdict("live"));
+        c.insert(key(4), verdict("live too"));
+        assert_eq!(c.dirty_len(), 2);
+        let drained = c.take_dirty();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, key(3));
+        assert_eq!(drained[1].0, key(4));
+        assert_eq!(c.dirty_len(), 0);
+        assert!(c.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn warm_hits_count_only_hydrated_entries() {
+        let mut c = VerdictCache::new(4);
+        c.insert(key(1), verdict("live"));
+        c.insert_hydrated(key(2), verdict("hydrated"));
+        assert!(c.lookup(&key(1)).is_some());
+        assert!(c.lookup(&key(2)).is_some());
+        assert!(c.lookup(&key(2)).is_some());
+        let s = c.stats();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.warm_hits, 2);
     }
 
     #[test]

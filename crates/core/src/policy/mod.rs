@@ -186,6 +186,26 @@ pub struct PolicyReport {
     pub detail: String,
 }
 
+/// Every policy name a shipped module can report. `PolicyReport.policy`
+/// is `&'static str`, so deserializers (the sealed verdict store) must
+/// map stored name bytes back onto these statics — an unknown name is a
+/// decode error, never a fabricated policy.
+pub const KNOWN_POLICY_NAMES: &[&str] = &[
+    "code-reachability",
+    "indirect-function-call",
+    "library-linking",
+    "secret-dependent-branch",
+    "secret-leakage",
+    "stack-protection",
+    "wx-segments",
+];
+
+/// Resolves a policy name to its canonical `&'static str`, or `None`
+/// for names no shipped module reports (fail closed on decode).
+pub fn canonical_policy_name(name: &str) -> Option<&'static str> {
+    KNOWN_POLICY_NAMES.iter().find(|&&n| n == name).copied()
+}
+
 /// A pluggable compliance check.
 pub trait PolicyModule {
     /// Short kebab-case name (appears in verdicts and violations).

@@ -27,7 +27,7 @@ use engarde_crypto::channel::SealedBlock;
 use engarde_rand::{splitmix64, Rng, RngCore, SeedableRng, StdRng};
 
 /// Number of fault kinds — the size of every per-kind counter array.
-pub const FAULT_KIND_COUNT: usize = 10;
+pub const FAULT_KIND_COUNT: usize = 13;
 
 /// Every fault the layer can inject.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -55,6 +55,15 @@ pub enum FaultKind {
     EpcPressure,
     /// The worker running the session dies (detected, never hung on).
     WorkerDeath,
+    /// A crash tears the persistent verdict store's active segment
+    /// mid-record (recovery truncates to the authenticated prefix).
+    StoreTornWrite,
+    /// Silent media corruption flips one bit inside a sealed store
+    /// record (authentication fails; the record is discarded, typed).
+    StoreBitFlip,
+    /// A whole store segment file disappears (recovery counts the index
+    /// gap and serves the surviving authenticated records).
+    StoreLostSegment,
 }
 
 impl FaultKind {
@@ -70,6 +79,9 @@ impl FaultKind {
         FaultKind::ClientStall,
         FaultKind::EpcPressure,
         FaultKind::WorkerDeath,
+        FaultKind::StoreTornWrite,
+        FaultKind::StoreBitFlip,
+        FaultKind::StoreLostSegment,
     ];
 
     /// The kind's index into per-kind counter arrays.
@@ -93,15 +105,32 @@ impl FaultKind {
             FaultKind::ClientStall => "client_stall",
             FaultKind::EpcPressure => "epc_pressure",
             FaultKind::WorkerDeath => "worker_death",
+            FaultKind::StoreTornWrite => "store_torn_write",
+            FaultKind::StoreBitFlip => "store_bit_flip",
+            FaultKind::StoreLostSegment => "store_lost_segment",
         }
+    }
+
+    /// Whether this fault targets the persistent verdict store rather
+    /// than a session's transport. Store faults damage bytes at rest:
+    /// they never touch the session that was scheduled alongside them,
+    /// and their detection happens in the store's recovery scan, not in
+    /// the channel layer.
+    pub fn is_store(self) -> bool {
+        matches!(
+            self,
+            FaultKind::StoreTornWrite | FaultKind::StoreBitFlip | FaultKind::StoreLostSegment
+        )
     }
 
     /// Whether a clean re-attempt can recover from this fault: the
     /// tampering hits only one attempt's transport, so a retry with
     /// freshly sealed blocks succeeds. Stalls evict and worker death
-    /// kills the shard — neither is recoverable by retrying.
+    /// kills the shard — neither is recoverable by retrying. Store
+    /// faults damage data at rest: no retry un-tears a segment, so the
+    /// recoverable (transient) mix excludes them too.
     pub fn is_recoverable(self) -> bool {
-        !matches!(self, FaultKind::ClientStall | FaultKind::WorkerDeath)
+        !matches!(self, FaultKind::ClientStall | FaultKind::WorkerDeath) && !self.is_store()
     }
 }
 
@@ -413,10 +442,26 @@ mod tests {
     #[test]
     fn transient_mix_is_entirely_recoverable() {
         let mix = FaultMix::transient(800);
-        for kind in [FaultKind::ClientStall, FaultKind::WorkerDeath] {
-            assert_eq!(mix.per_mille[kind.index()], 0, "{}", kind.name());
+        for kind in FaultKind::ALL {
+            if !kind.is_recoverable() {
+                assert_eq!(mix.per_mille[kind.index()], 0, "{}", kind.name());
+            }
         }
         assert!(mix.total_per_mille() > 0);
+    }
+
+    #[test]
+    fn store_kinds_are_at_rest_and_unrecoverable() {
+        for kind in [
+            FaultKind::StoreTornWrite,
+            FaultKind::StoreBitFlip,
+            FaultKind::StoreLostSegment,
+        ] {
+            assert!(kind.is_store(), "{}", kind.name());
+            assert!(!kind.is_recoverable(), "{}", kind.name());
+        }
+        let at_rest = FaultKind::ALL.iter().filter(|k| k.is_store()).count();
+        assert_eq!(at_rest, 3, "exactly the three store kinds target rest");
     }
 
     #[test]

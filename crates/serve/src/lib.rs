@@ -30,6 +30,14 @@
 //!   typed error or clean rejection — never a panic, never a hang, and
 //!   never a signed `PASS` — and a fault-free run with the layer
 //!   enabled is bit-identical to one without it.
+//! - [`persist`] — the sealed, crash-safe verdict store
+//!   ([`engarde_store`]) bound to the fleet: the seal key is the
+//!   inspector's own MRENCLAVE sealing identity, the service hydrates
+//!   its cache from the store at warm start (known binaries re-admit
+//!   for probe cost only), and dirty verdicts are flushed write-behind
+//!   with the cost charged to virtual time. Store damage — torn
+//!   writes, bit flips, lost segments — is injectable through the
+//!   fault plan and recovers to the longest authenticated prefix.
 //! - [`regimes`] — glue from the workload traffic generator to
 //!   submittable session requests.
 //!
@@ -68,6 +76,7 @@
 pub mod error;
 pub mod faults;
 pub mod metrics;
+pub mod persist;
 pub mod pool;
 pub mod regimes;
 pub mod service;
@@ -76,6 +85,7 @@ pub mod session;
 pub use error::{EvictReason, ServeError};
 pub use faults::{FaultDirective, FaultKind, FaultMix, FaultPlan};
 pub use metrics::ServeMetrics;
+pub use persist::{store_seal_key, StoreConfig};
 pub use pool::{SessionOutcome, SessionReport, SessionRunConfig, Shard};
 pub use service::{ProvisioningService, SchedMode, ServiceConfig, ServiceResult};
 pub use session::{PolicyFactory, SessionFsm, SessionPhase, SessionRequest};

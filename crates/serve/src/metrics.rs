@@ -50,6 +50,11 @@ pub enum EventKind {
     BreakerOpened,
     /// A shard's circuit breaker closed again after a clean probe.
     BreakerClosed,
+    /// The persistent verdict store opened (recovery scan complete).
+    StoreOpened,
+    /// The store was disabled or a store operation failed; the service
+    /// degrades to memory-only operation instead of crashing.
+    StoreDegraded,
 }
 
 impl EventKind {
@@ -69,6 +74,8 @@ impl EventKind {
             EventKind::WorkerDied => "worker_died",
             EventKind::BreakerOpened => "breaker_opened",
             EventKind::BreakerClosed => "breaker_closed",
+            EventKind::StoreOpened => "store_opened",
+            EventKind::StoreDegraded => "store_degraded",
         }
     }
 }
@@ -106,6 +113,61 @@ struct CacheCounters {
     evictions: AtomicU64,
     insertions: AtomicU64,
     cycles_saved: AtomicU64,
+    warm_hits: AtomicU64,
+}
+
+/// Persistent-store counters. Gauges (`live_records`, `segments`,
+/// recovery findings) are mirrored idempotently from the store's own
+/// [`StoreStats`](engarde_store::StoreStats) via
+/// [`ServeMetrics::set_store_stats`]; the flow counters (`hydrated`,
+/// `flushed`, the flush-queue high-water mark) are incremented by the
+/// service as the events happen.
+#[derive(Default)]
+struct StoreCounters {
+    enabled: AtomicU64,
+    hydrated: AtomicU64,
+    flushed: AtomicU64,
+    flush_queue_highwater: AtomicU64,
+    live_records: AtomicU64,
+    stored_records: AtomicU64,
+    segments: AtomicU64,
+    compactions: AtomicU64,
+    records_recovered: AtomicU64,
+    torn_tail_truncations: AtomicU64,
+    corrupt_records: AtomicU64,
+    garbage_segments: AtomicU64,
+    lost_segments: AtomicU64,
+}
+
+/// Snapshot of the persistent-store counters, as plain numbers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StoreSnapshot {
+    /// Whether a store was attached to the service at all.
+    pub enabled: bool,
+    /// Records hydrated into the fleet cache at warm start.
+    pub hydrated: u64,
+    /// Records flushed from the dirty queue to disk.
+    pub flushed: u64,
+    /// Deepest the write-behind dirty queue ever got.
+    pub flush_queue_highwater: u64,
+    /// Distinct live keys in the store (last-write-wins).
+    pub live_records: u64,
+    /// Sealed records on disk (live + superseded).
+    pub stored_records: u64,
+    /// Segment files on disk.
+    pub segments: u64,
+    /// Compaction passes run.
+    pub compactions: u64,
+    /// Authenticated records the last recovery scan admitted.
+    pub records_recovered: u64,
+    /// Torn tails the last recovery scan truncated.
+    pub torn_tail_truncations: u64,
+    /// Authenticated-but-corrupt records the last recovery scan dropped.
+    pub corrupt_records: u64,
+    /// Whole segments the last recovery scan skipped as garbage.
+    pub garbage_segments: u64,
+    /// Segment-index holes the last recovery scan observed.
+    pub lost_segments: u64,
 }
 
 /// Taint-analysis verdict counters, accumulated from
@@ -225,6 +287,7 @@ pub struct ServeMetrics {
     queue_depth_highwater: AtomicUsize,
     stage_cycles: StageTotals,
     cache: CacheCounters,
+    store: StoreCounters,
     taint: TaintCounters,
     total_cycles: AtomicU64,
     total_wall_nanos: AtomicU64,
@@ -266,6 +329,8 @@ pub struct CounterSnapshot {
     pub cache_evictions: u64,
     /// Verdict-cache entries inserted.
     pub cache_insertions: u64,
+    /// Cache hits served by entries hydrated from the persistent store.
+    pub cache_warm_hits: u64,
 }
 
 impl ServeMetrics {
@@ -295,7 +360,9 @@ impl ServeMetrics {
             | EventKind::DrainStarted
             | EventKind::FaultInjected
             | EventKind::BreakerOpened
-            | EventKind::BreakerClosed => 0,
+            | EventKind::BreakerClosed
+            | EventKind::StoreOpened
+            | EventKind::StoreDegraded => 0,
         };
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut events = lock_recover(&self.events);
@@ -439,6 +506,82 @@ impl ServeMetrics {
         self.cache
             .cycles_saved
             .store(stats.cycles_saved, Ordering::Relaxed);
+        self.cache
+            .warm_hits
+            .store(stats.warm_hits, Ordering::Relaxed);
+    }
+
+    /// Marks that a persistent store is attached (the `store` JSON
+    /// block stays zeroed-but-present without one).
+    pub fn mark_store_enabled(&self) {
+        self.store.enabled.store(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` verdicts hydrated from the store at warm start.
+    pub fn record_store_hydrated(&self, n: u64) {
+        self.store.hydrated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` dirty verdicts flushed through to the store.
+    pub fn record_store_flushed(&self, n: u64) {
+        self.store.flushed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the flush-queue high-water mark to at least `depth`.
+    pub fn observe_flush_queue_depth(&self, depth: u64) {
+        self.store
+            .flush_queue_highwater
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Mirrors the persistent store's own counters (the store is the
+    /// authoritative source; these are stores, not increments, so the
+    /// call is idempotent).
+    pub fn set_store_stats(&self, stats: &engarde_store::StoreStats) {
+        self.store
+            .live_records
+            .store(stats.live_records, Ordering::Relaxed);
+        self.store
+            .stored_records
+            .store(stats.stored_records, Ordering::Relaxed);
+        self.store.segments.store(stats.segments, Ordering::Relaxed);
+        self.store
+            .compactions
+            .store(stats.compactions, Ordering::Relaxed);
+        self.store
+            .records_recovered
+            .store(stats.recovery.records_recovered, Ordering::Relaxed);
+        self.store
+            .torn_tail_truncations
+            .store(stats.recovery.torn_tail_truncations, Ordering::Relaxed);
+        self.store
+            .corrupt_records
+            .store(stats.recovery.corrupt_records, Ordering::Relaxed);
+        self.store
+            .garbage_segments
+            .store(stats.recovery.garbage_segments, Ordering::Relaxed);
+        self.store
+            .lost_segments
+            .store(stats.recovery.lost_segments, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the persistent-store counters.
+    pub fn store_stats(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            enabled: self.store.enabled.load(Ordering::Relaxed) != 0,
+            hydrated: self.store.hydrated.load(Ordering::Relaxed),
+            flushed: self.store.flushed.load(Ordering::Relaxed),
+            flush_queue_highwater: self.store.flush_queue_highwater.load(Ordering::Relaxed),
+            live_records: self.store.live_records.load(Ordering::Relaxed),
+            stored_records: self.store.stored_records.load(Ordering::Relaxed),
+            segments: self.store.segments.load(Ordering::Relaxed),
+            compactions: self.store.compactions.load(Ordering::Relaxed),
+            records_recovered: self.store.records_recovered.load(Ordering::Relaxed),
+            torn_tail_truncations: self.store.torn_tail_truncations.load(Ordering::Relaxed),
+            corrupt_records: self.store.corrupt_records.load(Ordering::Relaxed),
+            garbage_segments: self.store.garbage_segments.load(Ordering::Relaxed),
+            lost_segments: self.store.lost_segments.load(Ordering::Relaxed),
+        }
     }
 
     /// Current counter values.
@@ -459,6 +602,7 @@ impl ServeMetrics {
             cache_misses: self.cache.misses.load(Ordering::Relaxed),
             cache_evictions: self.cache.evictions.load(Ordering::Relaxed),
             cache_insertions: self.cache.insertions.load(Ordering::Relaxed),
+            cache_warm_hits: self.cache.warm_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -521,12 +665,30 @@ impl ServeMetrics {
             self.stage_cycles.loading_relocation.load(Ordering::Relaxed),
         ));
         out.push_str(&format!(
-            "  \"verdict_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"insertions\": {}, \"cycles_saved\": {}}},\n",
+            "  \"verdict_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"insertions\": {}, \"cycles_saved\": {}, \"warm_hits\": {}}},\n",
             c.cache_hits,
             c.cache_misses,
             c.cache_evictions,
             c.cache_insertions,
             self.cache.cycles_saved.load(Ordering::Relaxed),
+            c.cache_warm_hits,
+        ));
+        let st = self.store_stats();
+        out.push_str(&format!(
+            "  \"store\": {{\"enabled\": {}, \"hydrated\": {}, \"flushed\": {}, \"flush_queue_highwater\": {}, \"live_records\": {}, \"stored_records\": {}, \"segments\": {}, \"compactions\": {}, \"recovery\": {{\"records_recovered\": {}, \"torn_tail_truncations\": {}, \"corrupt_records\": {}, \"garbage_segments\": {}, \"lost_segments\": {}}}}},\n",
+            st.enabled,
+            st.hydrated,
+            st.flushed,
+            st.flush_queue_highwater,
+            st.live_records,
+            st.stored_records,
+            st.segments,
+            st.compactions,
+            st.records_recovered,
+            st.torn_tail_truncations,
+            st.corrupt_records,
+            st.garbage_segments,
+            st.lost_segments,
         ));
         let t = self.taint_stats();
         out.push_str(&format!(
@@ -692,6 +854,7 @@ mod tests {
             evictions: 1,
             insertions: 4,
             cycles_saved: 123_456,
+            warm_hits: 2,
         };
         m.set_cache_stats(&stats);
         // Idempotent: stores, not increments.
@@ -702,14 +865,15 @@ mod tests {
                 c.cache_hits,
                 c.cache_misses,
                 c.cache_evictions,
-                c.cache_insertions
+                c.cache_insertions,
+                c.cache_warm_hits,
             ),
-            (5, 3, 1, 4)
+            (5, 3, 1, 4, 2)
         );
         let json = m.to_json();
         assert!(json.contains(
             "\"verdict_cache\": {\"hits\": 5, \"misses\": 3, \"evictions\": 1, \
-             \"insertions\": 4, \"cycles_saved\": 123456}"
+             \"insertions\": 4, \"cycles_saved\": 123456, \"warm_hits\": 2}"
         ));
         m.record(EventKind::CacheHit, "tenant-1", Some(0), "verdict replayed");
         assert!(m.to_json().contains("\"kind\": \"cache_hit\""));
@@ -765,6 +929,59 @@ mod tests {
         for kind in FaultKind::ALL {
             assert!(json.contains(&format!("\"{}\":", kind.name())), "{json}");
         }
+    }
+
+    #[test]
+    fn store_counters_mirror_and_export() {
+        let m = ServeMetrics::new();
+        assert!(m.to_json().contains("\"store\": {\"enabled\": false,"));
+        m.mark_store_enabled();
+        m.record_store_hydrated(7);
+        m.record_store_flushed(3);
+        m.record_store_flushed(2);
+        m.observe_flush_queue_depth(4);
+        m.observe_flush_queue_depth(2);
+        let stats = engarde_store::StoreStats {
+            live_records: 9,
+            stored_records: 12,
+            segments: 3,
+            appended_records: 5,
+            compactions: 1,
+            compaction_dropped: 3,
+            recovery: engarde_store::RecoveryReport {
+                segments_scanned: 3,
+                garbage_segments: 1,
+                lost_segments: 0,
+                records_recovered: 7,
+                superseded_records: 0,
+                corrupt_records: 2,
+                torn_tail_truncations: 1,
+                bytes_discarded: 640,
+            },
+        };
+        m.set_store_stats(&stats);
+        // Idempotent: stores, not increments.
+        m.set_store_stats(&stats);
+        let s = m.store_stats();
+        assert!(s.enabled);
+        assert_eq!(s.hydrated, 7);
+        assert_eq!(s.flushed, 5);
+        assert_eq!(s.flush_queue_highwater, 4);
+        assert_eq!(s.live_records, 9);
+        assert_eq!(s.segments, 3);
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.records_recovered, 7);
+        assert_eq!(s.torn_tail_truncations, 1);
+        assert_eq!(s.corrupt_records, 2);
+        assert_eq!(s.garbage_segments, 1);
+        let json = m.to_json();
+        assert!(json.contains(
+            "\"store\": {\"enabled\": true, \"hydrated\": 7, \"flushed\": 5, \
+             \"flush_queue_highwater\": 4, \"live_records\": 9, \"stored_records\": 12, \
+             \"segments\": 3, \"compactions\": 1, \"recovery\": {\"records_recovered\": 7, \
+             \"torn_tail_truncations\": 1, \"corrupt_records\": 2, \"garbage_segments\": 1, \
+             \"lost_segments\": 0}}"
+        ));
     }
 
     #[test]

@@ -640,7 +640,14 @@ impl Shard {
                             .inject_working_memory_pressure(fsm.enclave(), d.pressure)?;
                     }
                 }
-                FaultKind::KeyMismatch | FaultKind::WorkerDeath => {}
+                // Key tampering landed at channel establishment above;
+                // worker death never reaches `drive`; store faults
+                // damage bytes at rest, not this session's transport.
+                FaultKind::KeyMismatch
+                | FaultKind::WorkerDeath
+                | FaultKind::StoreTornWrite
+                | FaultKind::StoreBitFlip
+                | FaultKind::StoreLostSegment => {}
             }
         }
         let deliver_start = self.total_cycles();

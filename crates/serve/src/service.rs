@@ -20,14 +20,18 @@
 //! [`ServeMetrics`].
 
 use crate::error::ServeError;
-use crate::faults::{FaultDirective, FaultPlan};
+use crate::faults::{FaultDirective, FaultKind, FaultPlan};
 use crate::metrics::{lock_recover, EventKind, ServeMetrics};
+use crate::persist::{StoreConfig, DEFAULT_STORE_CACHE_CAPACITY};
 use crate::pool::{SessionOutcome, SessionReport, SessionRunConfig, Shard};
 use crate::session::SessionRequest;
 use engarde_core::cache::{lock_cache, shared_cache, SharedVerdictCache};
 use engarde_core::provision::StageCycles;
 use engarde_crypto::sha256::Sha256;
 use engarde_sgx::machine::MachineConfig;
+use engarde_store::{
+    chaos, StoreOptions, VerdictStore, STORE_FLUSH_PER_RECORD, STORE_HYDRATE_PER_RECORD,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
@@ -78,6 +82,15 @@ pub struct ServiceConfig {
     /// build without the fault layer: directives are a pure function of
     /// the plan seed and the arrival index, never of machine state.
     pub faults: Option<FaultPlan>,
+    /// `Some`: persist verdicts to a sealed on-disk store. At start the
+    /// store is recovered and hydrated into the fleet verdict cache
+    /// (enabling a default-capacity cache if `verdict_cache` is `None`),
+    /// with hydration cost charged to virtual time; at runtime dirty
+    /// verdicts flush write-behind in `flush_batch` batches; at drain
+    /// the remainder flushes and the store optionally compacts. A store
+    /// that fails to open degrades the service to memory-only operation
+    /// with a typed event — never a panic.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -92,6 +105,7 @@ impl Default for ServiceConfig {
             run: SessionRunConfig::default(),
             verdict_cache: None,
             faults: None,
+            store: None,
         }
     }
 }
@@ -142,6 +156,42 @@ impl ServiceResult {
         h.update(&self.makespan_cycles.to_be_bytes());
         h.finalize().to_hex()
     }
+
+    /// Hex SHA-256 over verdict *content* only — session name, outcome
+    /// class, and the signed verdict's polarity and detail — with no
+    /// cycle or latency fields. A warm-restarted fleet replaying
+    /// hydrated verdicts must reproduce a cold run's value bit for bit
+    /// even though its timing (probe cost instead of full inspection)
+    /// differs; the warm-start tests and `bench_store_warmstart` assert
+    /// exactly that.
+    pub fn verdict_fingerprint(&self) -> String {
+        let mut h = Sha256::new();
+        for r in &self.reports {
+            h.update(r.name.as_bytes());
+            h.update(&[match &r.outcome {
+                SessionOutcome::Compliant => 0u8,
+                SessionOutcome::NonCompliant => 1,
+                SessionOutcome::Evicted { .. } => 2,
+                SessionOutcome::Failed { .. } => 3,
+                SessionOutcome::Shed => 4,
+            }]);
+            if let Some(v) = &r.verdict {
+                h.update(&[u8::from(v.compliant)]);
+                h.update(v.detail.as_bytes());
+            }
+        }
+        h.finalize().to_hex()
+    }
+}
+
+/// The service's live persistence state.
+struct StoreState {
+    store: VerdictStore,
+    cfg: StoreConfig,
+    /// Store faults scheduled by the fault plan during this run; they
+    /// damage bytes at rest, so they are applied (and their recovery
+    /// proven) at drain, after the final flush.
+    pending_faults: Vec<FaultDirective>,
 }
 
 struct VirtualState {
@@ -202,6 +252,7 @@ pub struct ProvisioningService {
     metrics: Arc<ServeMetrics>,
     backend: Backend,
     verdict_cache: Option<SharedVerdictCache>,
+    store: Option<StoreState>,
     submitted: u64,
     started: std::time::Instant,
     draining: bool,
@@ -214,14 +265,70 @@ impl ProvisioningService {
         let metrics = Arc::new(ServeMetrics::new());
         let shards = cfg.shards.max(1);
         // One cache for the whole fleet: the point is cross-shard (and
-        // cross-tenant) verdict sharing.
-        let verdict_cache = cfg.verdict_cache.map(shared_cache);
+        // cross-tenant) verdict sharing. A persistent store needs a
+        // cache to hydrate into, so it enables a default-capacity one.
+        let cache_capacity = cfg
+            .verdict_cache
+            .or_else(|| cfg.store.as_ref().map(|_| DEFAULT_STORE_CACHE_CAPACITY));
+        let verdict_cache = cache_capacity.map(shared_cache);
+        // Open (and recover) the store before any shard boots; a store
+        // that cannot open degrades the service to memory-only with a
+        // typed event rather than failing the whole fleet.
+        let mut hydrate_cycles = 0u64;
+        let store = cfg.store.as_ref().and_then(|sc| {
+            let options = StoreOptions {
+                segment_max_records: sc.segment_max_records.max(1),
+            };
+            match VerdictStore::open(&sc.dir, &sc.seal_key, options) {
+                Ok((store, recovery)) => {
+                    metrics.mark_store_enabled();
+                    metrics.record(
+                        EventKind::StoreOpened,
+                        "",
+                        None,
+                        &format!(
+                            "recovered {} records ({} live); damage found: {}",
+                            recovery.records_recovered,
+                            store.len(),
+                            recovery.found_damage()
+                        ),
+                    );
+                    Some(StoreState {
+                        store,
+                        cfg: sc.clone(),
+                        pending_faults: Vec::new(),
+                    })
+                }
+                Err(e) => {
+                    metrics.record(
+                        EventKind::StoreDegraded,
+                        "",
+                        None,
+                        &format!("store failed to open, running memory-only: {e}"),
+                    );
+                    None
+                }
+            }
+        });
+        if let (Some(state), Some(cache)) = (&store, &verdict_cache) {
+            let mut cache = lock_cache(cache);
+            // Track dirty inserts from here on so live verdicts can be
+            // flushed write-behind; hydrated entries are already
+            // durable and are not re-logged.
+            cache.track_dirty();
+            let n = state.store.hydrate_into(&mut cache) as u64;
+            metrics.record_store_hydrated(n);
+            // Warm start is not free: every hydrated record pays a
+            // read + authenticate + decode charge on the virtual clock
+            // before the first session can run.
+            hydrate_cycles = n * STORE_HYDRATE_PER_RECORD;
+        }
         let backend = match cfg.mode {
             SchedMode::VirtualTime { arrival_gap } => Backend::Virtual(VirtualState {
                 shards: (0..shards)
                     .map(|i| Shard::new(i, &cfg.machine, verdict_cache.clone()))
                     .collect(),
-                free_at: vec![0; shards],
+                free_at: vec![hydrate_cycles; shards],
                 scheduled: Vec::new(),
                 arrival_gap,
                 reports: Vec::new(),
@@ -255,6 +362,7 @@ impl ProvisioningService {
             metrics,
             backend,
             verdict_cache,
+            store,
             submitted: 0,
             started: std::time::Instant::now(),
             draining: false,
@@ -293,11 +401,22 @@ impl ProvisioningService {
         // The directive is a pure function of (plan seed, arrival
         // index): scheduling, machine state, and host timing cannot
         // perturb the fault schedule, so it replays bit-identically.
-        let directive = self
+        let mut directive = self
             .cfg
             .faults
             .as_ref()
             .and_then(|plan| plan.directive_for(arrival_index));
+        // Store faults damage bytes at rest, not this session's
+        // transport: the session runs unfaulted, and the scheduled
+        // damage is applied (and its recovery proven) at drain, after
+        // the final flush. With no store attached there is nothing to
+        // damage and the directive is a no-op.
+        if let Some(d) = directive.filter(|d| d.kind.is_store()) {
+            directive = None;
+            if let Some(state) = &mut self.store {
+                state.pending_faults.push(d);
+            }
+        }
         match &mut self.backend {
             Backend::Virtual(v) => {
                 let arrival = arrival_index * v.arrival_gap;
@@ -347,6 +466,38 @@ impl ProvisioningService {
                 let duration = v.shards[shard_idx].total_cycles() - before;
                 let end = start + duration;
                 v.free_at[shard_idx] = end;
+                // Write-behind flush: once enough fresh verdicts have
+                // queued up, seal them to the store and charge the
+                // flush to the shard that just ran — deterministic
+                // virtual time, bounded dirty queue.
+                let mut store_died = false;
+                if let (Some(state), Some(cache)) = (&mut self.store, &self.verdict_cache) {
+                    let depth = lock_cache(cache).dirty_len();
+                    self.metrics.observe_flush_queue_depth(depth as u64);
+                    if depth >= state.cfg.flush_batch.max(1) {
+                        let dirty = lock_cache(cache).take_dirty();
+                        let n = dirty.len() as u64;
+                        match state.store.append_batch(&dirty) {
+                            Ok(()) => {
+                                self.metrics.record_store_flushed(n);
+                                v.free_at[shard_idx] += n * STORE_FLUSH_PER_RECORD;
+                            }
+                            Err(e) => {
+                                // Persistence degrades; serving does not.
+                                self.metrics.record(
+                                    EventKind::StoreDegraded,
+                                    &req.name,
+                                    Some(shard_idx),
+                                    &format!("write-behind flush failed: {e}"),
+                                );
+                                store_died = true;
+                            }
+                        }
+                    }
+                }
+                if store_died {
+                    self.store = None;
+                }
                 v.scheduled.push((arrival, start));
                 report.latency_cycles = end - arrival;
                 self.metrics
@@ -400,10 +551,15 @@ impl ProvisioningService {
             .record(EventKind::DrainStarted, "", None, "graceful drain");
         match self.backend {
             Backend::Virtual(v) => {
+                // Final write-behind flush (plus optional compaction and
+                // any scheduled at-rest fault injection + recovery
+                // proof); the flush cost lands on the makespan.
+                let store_cost =
+                    finish_store(self.store.take(), &self.verdict_cache, &self.metrics);
                 if let Some(cache) = &self.verdict_cache {
                     self.metrics.set_cache_stats(&lock_cache(cache).stats());
                 }
-                let makespan = v.free_at.iter().copied().max().unwrap_or(0);
+                let makespan = v.free_at.iter().copied().max().unwrap_or(0) + store_cost;
                 ServiceResult {
                     reports: v.reports,
                     metrics: self.metrics,
@@ -418,7 +574,9 @@ impl ProvisioningService {
                 for handle in t.workers {
                     let _ = handle.join();
                 }
-                // Workers have quiesced; the cache's counters are final.
+                // Workers have quiesced; the cache's counters are final
+                // and every verdict is visible for the final flush.
+                let _ = finish_store(self.store.take(), &self.verdict_cache, &self.metrics);
                 if let Some(cache) = &self.verdict_cache {
                     self.metrics.set_cache_stats(&lock_cache(cache).stats());
                 }
@@ -466,6 +624,132 @@ impl ProvisioningService {
             }
         }
     }
+}
+
+/// Drain-time store finalization: flush the remaining dirty verdicts,
+/// optionally compact, mirror the store counters into the metrics, then
+/// apply any at-rest faults the plan scheduled during the run and prove
+/// they recover (typed counters, longest authenticated prefix, never a
+/// panic). Returns the model cycles the final flush cost, so virtual
+/// mode can charge it to the makespan.
+fn finish_store(
+    state: Option<StoreState>,
+    verdict_cache: &Option<SharedVerdictCache>,
+    metrics: &ServeMetrics,
+) -> u64 {
+    let Some(state) = state else { return 0 };
+    let StoreState {
+        mut store,
+        cfg,
+        pending_faults,
+    } = state;
+    let mut cost = 0u64;
+    if let Some(cache) = verdict_cache {
+        let dirty = lock_cache(cache).take_dirty();
+        if !dirty.is_empty() {
+            let n = dirty.len() as u64;
+            match store.append_batch(&dirty) {
+                Ok(()) => {
+                    metrics.record_store_flushed(n);
+                    cost += n * STORE_FLUSH_PER_RECORD;
+                }
+                Err(e) => metrics.record(
+                    EventKind::StoreDegraded,
+                    "",
+                    None,
+                    &format!("drain flush failed: {e}"),
+                ),
+            }
+        }
+    }
+    if cfg.compact_on_drain {
+        if let Err(e) = store.compact() {
+            metrics.record(
+                EventKind::StoreDegraded,
+                "",
+                None,
+                &format!("compaction failed: {e}"),
+            );
+        }
+    }
+    metrics.set_store_stats(&store.stats());
+    if pending_faults.is_empty() {
+        return cost;
+    }
+    // At-rest damage is injected against the closed files, the way a
+    // crash or media fault lands between runs; a fresh recovery scan
+    // then repairs the store in place and its typed findings are the
+    // detection evidence.
+    let dir = store.dir().to_path_buf();
+    drop(store);
+    let mut applied: Vec<(FaultKind, bool)> = Vec::new();
+    for d in &pending_faults {
+        let outcome = match d.kind {
+            FaultKind::StoreTornWrite => chaos::torn_write(&dir, d.block as u64),
+            FaultKind::StoreBitFlip => chaos::flip_bit(&dir, d.block as u64, d.bit as u8),
+            FaultKind::StoreLostSegment => chaos::lose_segment(&dir, d.block as u64),
+            _ => Ok(None),
+        };
+        match outcome {
+            Ok(Some(o)) => {
+                metrics.record_fault_injected(d.kind);
+                metrics.record(
+                    EventKind::FaultInjected,
+                    "",
+                    None,
+                    &format!("{}: {}", d.kind.name(), o.detail),
+                );
+                applied.push((d.kind, o.detectable));
+            }
+            // Nothing on disk to damage yet (an empty store).
+            Ok(None) => {}
+            Err(e) => metrics.record(
+                EventKind::StoreDegraded,
+                "",
+                None,
+                &format!("chaos injection failed: {e}"),
+            ),
+        }
+    }
+    if applied.is_empty() {
+        return cost;
+    }
+    let options = StoreOptions {
+        segment_max_records: cfg.segment_max_records.max(1),
+    };
+    match VerdictStore::open(&dir, &cfg.seal_key, options) {
+        Ok((reopened, report)) => {
+            for (kind, detectable) in &applied {
+                // An injection its own helper calls observable must
+                // surface in the recovery report; silent ones (a lost
+                // final segment) honestly stay undetected.
+                if *detectable && report.found_damage() {
+                    metrics.record_fault_detected(*kind);
+                }
+                // Recovery completed with typed counters and only
+                // authenticated records — the clean-recovery outcome.
+                metrics.record_fault_recovered(*kind);
+            }
+            metrics.set_store_stats(&reopened.stats());
+            metrics.record(
+                EventKind::StoreOpened,
+                "",
+                None,
+                &format!(
+                    "post-fault recovery: {} live records, damage found: {}",
+                    reopened.len(),
+                    report.found_damage()
+                ),
+            );
+        }
+        Err(e) => metrics.record(
+            EventKind::StoreDegraded,
+            "",
+            None,
+            &format!("post-fault recovery failed: {e}"),
+        ),
+    }
+    cost
 }
 
 /// Threaded-mode worker: builds its shard (providers are not `Send`, so

@@ -138,6 +138,7 @@ fn run_virtual(seed: u64) -> engarde_serve::ServiceResult {
         run: SessionRunConfig::default(),
         verdict_cache: None,
         faults: None,
+        store: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -194,6 +195,7 @@ fn run_cached_fleet(seed: u64) -> engarde_serve::ServiceResult {
         run: SessionRunConfig::default(),
         verdict_cache: Some(16),
         faults: None,
+        store: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -292,6 +294,7 @@ fn admission_control_rejects_when_queue_is_full() {
         run: SessionRunConfig::default(),
         verdict_cache: None,
         faults: None,
+        store: None,
     });
     let mut rejected = 0;
     for item in &traffic {
@@ -331,6 +334,7 @@ fn threaded_mode_completes_all_sessions() {
         run: SessionRunConfig::default(),
         verdict_cache: None,
         faults: None,
+        store: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -415,6 +419,7 @@ fn killed_worker_yields_typed_error_not_hang() {
             seed: 7,
             mix: engarde_serve::FaultMix::only(engarde_serve::FaultKind::WorkerDeath, 1000),
         }),
+        store: None,
     });
     svc.submit(reqs[0].clone())
         .expect("admit the doomed session");

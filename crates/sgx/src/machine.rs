@@ -1150,10 +1150,29 @@ impl SgxMachine {
         let measurement = enclave.measurement.ok_or(SgxError::WrongState {
             what: "EGETKEY requires an initialized enclave",
         })?;
+        Ok(self.derive_measurement_key(&measurement, label))
+    }
+
+    /// The key `EGETKEY` would hand an initialized enclave with this
+    /// `measurement`: `HMAC(machine seal key, measurement ‖ label)`.
+    ///
+    /// This is the MRENCLAVE-policy sealing identity — it lets the
+    /// untrusted runtime pre-derive the key a *future* instance of a
+    /// known build will obtain (e.g. to open a sealed verdict store
+    /// before the inspector enclave is re-launched), without requiring
+    /// a live enclave. It grants nothing an attacker lacks: deriving
+    /// the key still requires this machine's fused seal key, and a
+    /// different build (different measurement) derives a different key.
+    pub fn egetkey_for_measurement(&mut self, measurement: &Digest, label: &[u8]) -> [u8; 32] {
+        self.step(SgxInstr::Egetkey);
+        self.derive_measurement_key(measurement, label)
+    }
+
+    fn derive_measurement_key(&self, measurement: &Digest, label: &[u8]) -> [u8; 32] {
         let mut msg = Vec::new();
         msg.extend_from_slice(measurement.as_bytes());
         msg.extend_from_slice(label);
-        Ok(*hmac_sha256(&self.seal_key, &msg).as_bytes())
+        *hmac_sha256(&self.seal_key, &msg).as_bytes()
     }
 
     /// Number of EPC pages currently in use (all enclaves).
@@ -1387,6 +1406,34 @@ mod tests {
             ka,
             m.egetkey(a, b"seal").expect("key"),
             "derivation is stable"
+        );
+    }
+
+    #[test]
+    fn egetkey_for_measurement_matches_live_enclave() {
+        let mut m = small_machine();
+        let id = build_enclave(&mut m, 1);
+        let measurement = m.ereport(id, [0; 64]).expect("report").measurement;
+        let live = m.egetkey(id, b"store-seal").expect("key");
+        // Pre-deriving from the measurement alone yields the exact key
+        // the initialized enclave obtains from EGETKEY.
+        assert_eq!(live, m.egetkey_for_measurement(&measurement, b"store-seal"));
+        // A different measurement (a different inspector build) derives
+        // a different key — sealed records cannot be replayed across
+        // builds.
+        let other = Digest([0xAB; 32]);
+        assert_ne!(live, m.egetkey_for_measurement(&other, b"store-seal"));
+        // And a different machine (different fused seal key) derives a
+        // different key even for the same measurement.
+        let mut m2 = SgxMachine::new(MachineConfig {
+            epc_pages: 64,
+            version: SgxVersion::V2,
+            device_key_bits: 512,
+            seed: 12345,
+        });
+        assert_ne!(
+            m.egetkey_for_measurement(&measurement, b"store-seal"),
+            m2.egetkey_for_measurement(&measurement, b"store-seal")
         );
     }
 

@@ -1,0 +1,165 @@
+//! Deterministic store-corruption helpers for fault injection.
+//!
+//! The serve layer's fault plan (`engarde_serve::faults`) is a pure
+//! function of a seed and an arrival index; these helpers turn its
+//! numeric picks into filesystem damage the same way every run: the
+//! same picks against the same store bytes always corrupt the same
+//! offsets. Each helper returns what it did (or `None` when the store
+//! has nothing to damage yet), so callers can count real injections.
+//!
+//! The helpers parse record framing (the *unauthenticated* length
+//! fields) only to aim the damage — authenticity decisions remain the
+//! recovery scan's alone.
+
+use crate::format::{MAC_LEN, RECORD_FRAME_LEN, SEGMENT_HEADER_LEN};
+use crate::store::segment_files;
+use crate::StoreError;
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+
+/// What a chaos helper did to the store.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChaosOutcome {
+    /// The damaged segment file.
+    pub path: PathBuf,
+    /// Human-readable description of the damage.
+    pub detail: String,
+    /// Whether a recovery scan is guaranteed to observe the damage.
+    /// (Deleting the final segment, for instance, is silent: the
+    /// remaining segments still form a contiguous authenticated
+    /// prefix.)
+    pub detectable: bool,
+}
+
+/// Byte ranges `[start, end)` of the record frames in a segment file,
+/// walked via the clear length fields. Stops at the first frame whose
+/// claimed extent leaves the file.
+fn record_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut offset = SEGMENT_HEADER_LEN;
+    while offset + RECORD_FRAME_LEN <= bytes.len() {
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&bytes[offset..offset + 4]);
+        let total = RECORD_FRAME_LEN + u32::from_le_bytes(len4) as usize + MAC_LEN;
+        let end = offset.saturating_add(total);
+        if end > bytes.len() {
+            break;
+        }
+        spans.push((offset, end));
+        offset = end;
+    }
+    spans
+}
+
+/// Simulates a torn write: truncates the last record of the
+/// highest-index segment strictly mid-frame, the way a crash between
+/// `write` and the platter leaves a tail. Returns `None` when no
+/// segment holds a record.
+///
+/// # Errors
+///
+/// Only on I/O failure.
+pub fn torn_write(dir: &Path, pick: u64) -> Result<Option<ChaosOutcome>, StoreError> {
+    let segments = segment_files(dir)?;
+    for (_, path) in segments.iter().rev() {
+        let bytes = fs::read(path).map_err(|e| StoreError::io("chaos read", &e))?;
+        let spans = record_spans(&bytes);
+        if let Some(&(start, end)) = spans.last() {
+            // Cut strictly inside the frame: at least one byte kept,
+            // at least one byte removed.
+            let keep = start + 1 + (pick as usize % (end - start - 1));
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| StoreError::io("chaos open", &e))?;
+            file.set_len(keep as u64)
+                .map_err(|e| StoreError::io("chaos truncate", &e))?;
+            return Ok(Some(ChaosOutcome {
+                path: path.clone(),
+                detail: format!("torn write: truncated to {keep} of {} bytes", bytes.len()),
+                detectable: true,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Flips one bit inside a sealed record (frame, ciphertext, or MAC) of
+/// a deterministically-picked segment. Returns `None` when no segment
+/// holds a record.
+///
+/// # Errors
+///
+/// Only on I/O failure.
+pub fn flip_bit(dir: &Path, pick: u64, bit: u8) -> Result<Option<ChaosOutcome>, StoreError> {
+    type LoadedSegment<'a> = (&'a PathBuf, Vec<u8>, Vec<(usize, usize)>);
+    let segments = segment_files(dir)?;
+    let with_records: Vec<LoadedSegment> = segments
+        .iter()
+        .map(|(_, path)| {
+            let bytes = fs::read(path).map_err(|e| StoreError::io("chaos read", &e))?;
+            let spans = record_spans(&bytes);
+            Ok((path, bytes, spans))
+        })
+        .collect::<Result<Vec<_>, StoreError>>()?
+        .into_iter()
+        .filter(|(_, _, spans)| !spans.is_empty())
+        .collect();
+    if with_records.is_empty() {
+        return Ok(None);
+    }
+    let (path, mut bytes, spans) = {
+        let (p, b, s) = &with_records[pick as usize % with_records.len()];
+        ((*p).clone(), b.clone(), s.clone())
+    };
+    let (first, _) = spans[0];
+    let (_, last) = spans[spans.len() - 1];
+    let region = last - first;
+    let offset = first + (pick as usize / 7) % region;
+    bytes[offset] ^= 1 << (bit % 8);
+    fs::write(&path, &bytes).map_err(|e| StoreError::io("chaos write", &e))?;
+    Ok(Some(ChaosOutcome {
+        path,
+        detail: format!("bit flip: offset {offset}, bit {}", bit % 8),
+        detectable: true,
+    }))
+}
+
+/// Deletes one segment file, preferring an *interior* one so the loss
+/// is observable as an index gap (present segments cover `min..=max`
+/// contiguously; a lost first or final segment is indistinguishable
+/// from a smaller store). Returns `None` when the store has no
+/// segments.
+///
+/// # Errors
+///
+/// Only on I/O failure.
+pub fn lose_segment(dir: &Path, pick: u64) -> Result<Option<ChaosOutcome>, StoreError> {
+    let segments = segment_files(dir)?;
+    if segments.is_empty() {
+        return Ok(None);
+    }
+    let (index, path, detectable) = if segments.len() >= 3 {
+        let (index, path) = &segments[1 + pick as usize % (segments.len() - 2)];
+        (*index, path.clone(), true)
+    } else {
+        let (index, path) = &segments[pick as usize % segments.len()];
+        (*index, path.clone(), false)
+    };
+    fs::remove_file(&path).map_err(|e| StoreError::io("chaos remove", &e))?;
+    Ok(Some(ChaosOutcome {
+        path,
+        detail: format!("lost segment {index}"),
+        detectable,
+    }))
+}
+
+/// Sorted segment file paths (exposed for tests asserting on-disk
+/// properties, e.g. that no plaintext verdict bytes ever reach disk).
+///
+/// # Errors
+///
+/// Only on I/O failure.
+pub fn segment_paths(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+    Ok(segment_files(dir)?.into_iter().map(|(_, p)| p).collect())
+}

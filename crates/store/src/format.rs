@@ -1,0 +1,233 @@
+//! On-disk byte format: segment headers and sealed records.
+//!
+//! ```text
+//! segment file  = header ‖ record*
+//! header        = magic "ENGSTOR1" (8) ‖ segment index u64 LE (8) ‖ header MAC (32)
+//! record        = ciphertext len u32 LE (4) ‖ seq u64 LE (8) ‖ ciphertext ‖ record MAC (32)
+//! plaintext     = cache key (32) ‖ CachedVerdict ECV1 bytes
+//! ```
+//!
+//! The ciphertext is AES-256-CTR under a nonce derived from the
+//! record's globally-unique sequence number (the store never reuses a
+//! sequence, including across compactions and torn-tail repairs, so
+//! the keystream never repeats). The record MAC is HMAC-SHA256 over a
+//! domain tag, the segment index, the sequence number, the length, and
+//! the ciphertext — a record cannot be relocated to another segment,
+//! reordered, resized, or modified without failing authentication. The
+//! header MAC binds the magic and the segment index, so a renamed or
+//! foreign segment file fails closed as garbage.
+
+use engarde_core::cache::{CacheKey, CachedVerdict};
+use engarde_crypto::aes::{ctr_xor, AesKey};
+use engarde_crypto::hmac::{constant_time_eq, hmac_sha256};
+
+/// Magic leading every segment file.
+pub(crate) const MAGIC: &[u8; 8] = b"ENGSTOR1";
+
+/// Length of a segment header: magic ‖ index ‖ MAC.
+pub const SEGMENT_HEADER_LEN: usize = 8 + 8 + 32;
+
+/// Length of a record's clear framing: ciphertext len ‖ seq.
+pub(crate) const RECORD_FRAME_LEN: usize = 4 + 8;
+
+/// Length of every MAC on disk.
+pub(crate) const MAC_LEN: usize = 32;
+
+/// Upper bound on a single record's ciphertext. A corrupt length field
+/// must never drive a giant allocation; anything larger fails closed.
+pub const MAX_RECORD_LEN: usize = 1 << 20;
+
+/// Smallest possible plaintext: a 32-byte cache key plus the minimum
+/// `ECV1` encoding. Shorter ciphertexts are structurally impossible.
+pub(crate) const MIN_RECORD_LEN: usize = 32 + 4;
+
+const ENC_LABEL: &[u8] = b"ENGARDE-STORE-ENC-V1";
+const MAC_LABEL: &[u8] = b"ENGARDE-STORE-MAC-V1";
+const HEADER_DOMAIN: &[u8] = b"ENGARDE-STORE-HDR-V1";
+const RECORD_DOMAIN: &[u8] = b"ENGARDE-STORE-REC-V1";
+
+/// The 32-byte sealing secret the store is opened with. In the serve
+/// stack this is `EGETKEY(measurement of the EnGarde inspector,
+/// store label)` — see `engarde_serve::persist::store_seal_key`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SealKey([u8; 32]);
+
+impl SealKey {
+    /// Wraps raw key bytes (e.g. the output of
+    /// `SgxMachine::egetkey_for_measurement`).
+    pub fn new(bytes: [u8; 32]) -> Self {
+        SealKey(bytes)
+    }
+}
+
+impl std::fmt::Debug for SealKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material, even in debug logs.
+        write!(f, "SealKey(<redacted>)")
+    }
+}
+
+/// The derived working keys: independent encryption and MAC subkeys.
+pub(crate) struct StoreKeys {
+    enc: AesKey,
+    mac: [u8; 32],
+}
+
+impl StoreKeys {
+    pub(crate) fn derive(seal: &SealKey) -> Self {
+        let enc = hmac_sha256(&seal.0, ENC_LABEL);
+        let mac = hmac_sha256(&seal.0, MAC_LABEL);
+        StoreKeys {
+            enc: AesKey::new_256(enc.as_bytes()),
+            mac: *mac.as_bytes(),
+        }
+    }
+
+    fn nonce_for(seq: u64) -> [u8; 16] {
+        let mut nonce = [0u8; 16];
+        nonce[..8].copy_from_slice(b"ENGSTORE");
+        nonce[8..].copy_from_slice(&seq.to_le_bytes());
+        nonce
+    }
+
+    fn record_mac(&self, segment_index: u64, seq: u64, ciphertext: &[u8]) -> [u8; 32] {
+        let mut msg = Vec::with_capacity(RECORD_DOMAIN.len() + 8 + 8 + 4 + ciphertext.len());
+        msg.extend_from_slice(RECORD_DOMAIN);
+        msg.extend_from_slice(&segment_index.to_le_bytes());
+        msg.extend_from_slice(&seq.to_le_bytes());
+        msg.extend_from_slice(&(ciphertext.len() as u32).to_le_bytes());
+        msg.extend_from_slice(ciphertext);
+        *hmac_sha256(&self.mac, &msg).as_bytes()
+    }
+
+    fn header_mac(&self, segment_index: u64) -> [u8; 32] {
+        let mut msg = Vec::with_capacity(HEADER_DOMAIN.len() + 8 + 8);
+        msg.extend_from_slice(HEADER_DOMAIN);
+        msg.extend_from_slice(MAGIC);
+        msg.extend_from_slice(&segment_index.to_le_bytes());
+        *hmac_sha256(&self.mac, &msg).as_bytes()
+    }
+
+    /// Builds an authenticated segment header for `segment_index`.
+    pub(crate) fn encode_header(&self, segment_index: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SEGMENT_HEADER_LEN);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&segment_index.to_le_bytes());
+        out.extend_from_slice(&self.header_mac(segment_index));
+        out
+    }
+
+    /// Verifies a segment header against the index the filename
+    /// claims. Any mismatch — short file, bad magic, renamed file,
+    /// foreign key — makes the whole segment garbage.
+    pub(crate) fn verify_header(&self, bytes: &[u8], expected_index: u64) -> bool {
+        if bytes.len() < SEGMENT_HEADER_LEN || &bytes[..8] != MAGIC {
+            return false;
+        }
+        let mut idx = [0u8; 8];
+        idx.copy_from_slice(&bytes[8..16]);
+        if u64::from_le_bytes(idx) != expected_index {
+            return false;
+        }
+        constant_time_eq(
+            &self.header_mac(expected_index),
+            &bytes[16..SEGMENT_HEADER_LEN],
+        )
+    }
+
+    /// Seals one `(key, verdict)` pair into a framed record.
+    pub(crate) fn seal_record(
+        &self,
+        segment_index: u64,
+        seq: u64,
+        key: &CacheKey,
+        verdict: &CachedVerdict,
+    ) -> Vec<u8> {
+        let mut plaintext = Vec::with_capacity(32 + 64);
+        plaintext.extend_from_slice(key.as_bytes());
+        plaintext.extend_from_slice(&verdict.to_bytes());
+        ctr_xor(&self.enc, &Self::nonce_for(seq), 0, &mut plaintext);
+        let ciphertext = plaintext;
+        let mac = self.record_mac(segment_index, seq, &ciphertext);
+        let mut out = Vec::with_capacity(RECORD_FRAME_LEN + ciphertext.len() + MAC_LEN);
+        out.extend_from_slice(&(ciphertext.len() as u32).to_le_bytes());
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&ciphertext);
+        out.extend_from_slice(&mac);
+        out
+    }
+
+    /// Attempts to read the record starting at `bytes[offset..]`.
+    pub(crate) fn open_record(
+        &self,
+        segment_index: u64,
+        bytes: &[u8],
+        offset: usize,
+    ) -> RecordParse {
+        let rest = &bytes[offset.min(bytes.len())..];
+        if rest.is_empty() {
+            return RecordParse::End;
+        }
+        if rest.len() < RECORD_FRAME_LEN {
+            return RecordParse::TornTail { torn_seq: None };
+        }
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&rest[..4]);
+        let len = u32::from_le_bytes(len4) as usize;
+        let mut seq8 = [0u8; 8];
+        seq8.copy_from_slice(&rest[4..12]);
+        let seq = u64::from_le_bytes(seq8);
+        if !(MIN_RECORD_LEN..=MAX_RECORD_LEN).contains(&len) {
+            // An insane length is indistinguishable from framing
+            // corruption: nothing past this point can be trusted.
+            return RecordParse::Corrupt { seq };
+        }
+        let total = RECORD_FRAME_LEN + len + MAC_LEN;
+        if rest.len() < total {
+            return RecordParse::TornTail {
+                torn_seq: Some(seq),
+            };
+        }
+        let ciphertext = &rest[RECORD_FRAME_LEN..RECORD_FRAME_LEN + len];
+        let mac = &rest[RECORD_FRAME_LEN + len..total];
+        if !constant_time_eq(&self.record_mac(segment_index, seq, ciphertext), mac) {
+            return RecordParse::Corrupt { seq };
+        }
+        let mut plaintext = ciphertext.to_vec();
+        ctr_xor(&self.enc, &Self::nonce_for(seq), 0, &mut plaintext);
+        let mut key_bytes = [0u8; 32];
+        key_bytes.copy_from_slice(&plaintext[..32]);
+        match CachedVerdict::from_bytes(&plaintext[32..]) {
+            Ok(verdict) => RecordParse::Valid {
+                seq,
+                consumed: total,
+                key: CacheKey::from_bytes(key_bytes),
+                verdict,
+            },
+            // Authenticated but undecodable: can only happen if a
+            // different (buggy or future-versioned) writer produced the
+            // record. Fail closed, same as corruption.
+            Err(_) => RecordParse::Corrupt { seq },
+        }
+    }
+}
+
+/// Outcome of attempting to read one record during recovery.
+pub(crate) enum RecordParse {
+    /// Clean end of segment.
+    End,
+    /// An authenticated record.
+    Valid {
+        seq: u64,
+        consumed: usize,
+        key: CacheKey,
+        verdict: CachedVerdict,
+    },
+    /// The segment ends mid-record (a torn write). `torn_seq` is the
+    /// partial record's claimed sequence, when enough framing survived
+    /// to read it — used to keep the sequence counter (and with it the
+    /// CTR nonce) from ever being reissued.
+    TornTail { torn_seq: Option<u64> },
+    /// A complete frame that fails authentication or decoding.
+    Corrupt { seq: u64 },
+}

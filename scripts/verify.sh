@@ -112,12 +112,38 @@ jq -e '
     || { echo "FAIL: $taint_out missing required keys/invariants" >&2; exit 1; }
 echo "OK: $taint_out schema + invariants hold"
 
+echo "== smoke: bench_store_warmstart (bounded) =="
+# Bounded warm-start replay: the bench itself asserts a restarted fleet
+# reproduces the cold run's verdicts bit-for-bit from the sealed store,
+# hydrates every record, and clears a 2x speedup floor; the jq gate
+# re-checks the exported schema.
+store_out=target/BENCH_store_smoke.json
+cargo run --release --offline -q -p engarde-bench --bin bench_store_warmstart -- \
+    --sessions 6 --scale 3 --out "$store_out"
+jq -e '
+    .deterministic == true
+    and (.verdicts_bit_identical == true)
+    and (.all_warm_hits == true)
+    and (.warmstart_speedup >= 2)
+    and (.cold.flushed == .sessions)
+    and (.cold.hydrated == 0)
+    and (.warm_restart.hydrated == .sessions)
+    and (.warm_restart.warm_hits == .sessions)
+    and (.warm_restart.flushed == 0)
+    and (.warm_restart.verdict_fingerprint == .cold.verdict_fingerprint)
+    and (.warm_restart.makespan_cycles == .warm_repeat.makespan_cycles)
+    and ([.cold, .warm_restart, .warm_repeat]
+         | all(.sessions_per_model_sec > 0 and .makespan_cycles > 0))
+' "$store_out" > /dev/null \
+    || { echo "FAIL: $store_out missing required keys/invariants" >&2; exit 1; }
+echo "OK: $store_out schema + invariants hold"
+
 echo "== gate: no unwrap/expect in hostile-input/serve non-test code =="
 # The parser faces hostile bytes, the analysis/policy engines chew on
-# attacker-shaped binaries, and the serve path faces injected faults;
-# every read must be fallible and no fault may panic a worker. Strip
-# each file's #[cfg(test)] module, then refuse any unwrap()/expect(
-# left.
+# attacker-shaped binaries, the serve path faces injected faults, and
+# the store recovers arbitrarily damaged segments; every read must be
+# fallible and no fault may panic a worker. Strip each file's
+# #[cfg(test)] module, then refuse any unwrap()/expect( left.
 panic_free_files=(
     crates/elf/src/parse.rs
     crates/core/src/exec.rs
@@ -126,11 +152,13 @@ panic_free_files=(
     crates/serve/src/error.rs
     crates/serve/src/faults.rs
     crates/serve/src/metrics.rs
+    crates/serve/src/persist.rs
     crates/serve/src/pool.rs
     crates/serve/src/regimes.rs
     crates/serve/src/service.rs
     crates/serve/src/session.rs
     crates/serve/src/lib.rs
+    crates/store/src/*.rs
 )
 for f in "${panic_free_files[@]}"; do
     if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \

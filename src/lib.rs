@@ -16,6 +16,7 @@
 //! - [`x86`] — x86-64 decoder/encoder + NaCl validation,
 //! - [`sgx`] — the software SGX machine (OpenSGX stand-in),
 //! - [`workloads`] — synthetic paper benchmarks,
+//! - [`store`] — the sealed, crash-safe persistent verdict store,
 //! - [`serve`] — the concurrent multi-tenant provisioning service,
 //! - the EnGarde core modules ([`provider`], [`client`], [`policy`], …).
 //!
@@ -40,6 +41,7 @@ pub use engarde_elf as elf;
 pub use engarde_rand as rand;
 pub use engarde_serve as serve;
 pub use engarde_sgx as sgx;
+pub use engarde_store as store;
 pub use engarde_workloads as workloads;
 pub use engarde_x86 as x86;
 

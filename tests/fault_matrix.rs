@@ -7,12 +7,17 @@
 //! fault-free run with the layer enabled is bit-identical to a run
 //! without it.
 
+use engarde::loader::LoaderConfig;
+use engarde::provision::BootstrapSpec;
 use engarde::serve::faults::{FaultKind, FaultMix, FaultPlan};
+use engarde::serve::persist::{store_seal_key, StoreConfig};
 use engarde::serve::service::{ProvisioningService, SchedMode, ServiceConfig, ServiceResult};
 use engarde::serve::{regimes, ServeError, SessionOutcome, SessionRunConfig};
 use engarde::sgx::instr::SgxVersion;
 use engarde::sgx::machine::MachineConfig;
 use engarde::workloads::traffic::{adversarial_chaos_fleet, chaos_fleet, TrafficItem};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn machine(seed: u64) -> MachineConfig {
@@ -45,6 +50,63 @@ fn run_with_plan(
         run,
         verdict_cache: None,
         faults: plan,
+        store: None,
+    });
+    let mut refused = Vec::new();
+    for item in traffic {
+        if let Err(e) = svc.submit(regimes::request_for(item, &musl)) {
+            refused.push(e);
+        }
+    }
+    (svc.drain(), refused)
+}
+
+/// A unique, self-cleaning scratch directory per store-fault test.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "engarde-fault-store-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// [`run_with_plan`], with a persistent verdict store attached.
+fn run_with_store(
+    traffic: &[TrafficItem],
+    seed: u64,
+    plan: Option<FaultPlan>,
+    run: SessionRunConfig,
+    store: StoreConfig,
+) -> (ServiceResult, Vec<ServeError>) {
+    let musl = Arc::new(regimes::musl_hashes());
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 2,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: 1_500_000,
+        },
+        machine: machine(seed),
+        queue_capacity: 64,
+        run,
+        verdict_cache: None,
+        faults: plan,
+        store: Some(store),
     });
     let mut refused = Vec::new();
     for item in traffic {
@@ -67,6 +129,14 @@ fn every_fault_kind_yields_typed_outcome_never_a_signed_pass() {
     };
 
     for kind in FaultKind::ALL {
+        if kind.is_store() {
+            // Store faults damage verdicts at rest, never a session's
+            // transport — a legitimately compliant session still earns
+            // its signed PASS. Their invariant (typed recovery, no
+            // unauthenticated verdict admitted) is pinned by the
+            // dedicated store-fault tests below.
+            continue;
+        }
         for (fleet_name, traffic) in [("compliant", &compliant), ("adversarial", &adversarial)] {
             let plan = FaultPlan {
                 seed: 0x5EED ^ kind.index() as u64,
@@ -217,4 +287,179 @@ fn fault_free_run_with_layer_enabled_is_bit_identical() {
         0,
         "a disabled plan must inject nothing"
     );
+}
+
+/// A store config sealed under the fleet machine's inspector identity,
+/// with tiny batches so even small fleets rotate multiple segments.
+fn store_cfg(dir: &std::path::Path, seed: u64) -> StoreConfig {
+    let spec = BootstrapSpec::new("EnGarde-1.0", LoaderConfig::default(), &[], 64, 512);
+    StoreConfig {
+        dir: dir.to_path_buf(),
+        seal_key: store_seal_key(&machine(seed), &spec),
+        flush_batch: 2,
+        segment_max_records: 2,
+        compact_on_drain: false,
+    }
+}
+
+#[test]
+fn store_faults_recover_typed_and_never_touch_session_verdicts() {
+    let traffic = chaos_fleet(3, 3, 0xFA41);
+    let run = SessionRunConfig::default();
+
+    for kind in [
+        FaultKind::StoreTornWrite,
+        FaultKind::StoreBitFlip,
+        FaultKind::StoreLostSegment,
+    ] {
+        let tmp = TempDir::new(kind.name());
+        let cfg = store_cfg(tmp.path(), 0xFA42);
+
+        // Seed the store with a clean run so there is something at rest
+        // to damage, then replay the same fleet under the store fault.
+        let (clean, _) = run_with_store(&traffic, 0xFA42, None, run.clone(), cfg.clone());
+        let plan = FaultPlan {
+            seed: 0x5EED ^ kind.index() as u64,
+            mix: FaultMix::only(kind, 1000),
+        };
+        let (faulted, refused) =
+            run_with_store(&traffic, 0xFA42, Some(plan), run.clone(), cfg.clone());
+
+        // At-rest damage never perturbs the sessions that produced the
+        // verdicts: same signed outcomes as the clean run, no refusals.
+        assert!(refused.is_empty(), "{}: fleet refused traffic", kind.name());
+        assert_eq!(
+            faulted.verdict_fingerprint(),
+            clean.verdict_fingerprint(),
+            "{}: store damage leaked into session verdicts",
+            kind.name()
+        );
+        assert!(
+            faulted.reports.iter().all(|r| r.reached_verdict()),
+            "{}: a session failed to reach a verdict",
+            kind.name()
+        );
+
+        // Typed lifecycle counters: every applied fault recovered via a
+        // clean reopen; detection is claimed only for damage the scan
+        // can actually see (losing the final segment leaves no gap).
+        let stats = faulted.metrics.fault_stats().kind(kind);
+        assert!(stats.injected > 0, "{}: nothing injected", kind.name());
+        assert_eq!(
+            stats.recovered,
+            stats.injected,
+            "{}: store recovery incomplete",
+            kind.name()
+        );
+        assert!(
+            stats.detected <= stats.injected,
+            "{}: detected more than injected",
+            kind.name()
+        );
+        if kind != FaultKind::StoreLostSegment {
+            assert_eq!(
+                stats.detected,
+                stats.injected,
+                "{}: in-segment damage must always be detected",
+                kind.name()
+            );
+        }
+        assert!(
+            clean.metrics.store_stats().flushed > 0,
+            "{}: seeding run flushed nothing",
+            kind.name()
+        );
+        let snap = faulted.metrics.store_stats();
+        assert!(snap.enabled, "{}: store not marked enabled", kind.name());
+        assert!(
+            snap.hydrated > 0,
+            "{}: replay run hydrated nothing from the seeded store",
+            kind.name()
+        );
+        if kind != FaultKind::StoreLostSegment {
+            assert!(
+                snap.torn_tail_truncations + snap.corrupt_records + snap.garbage_segments > 0,
+                "{}: recovery scan reported no damage",
+                kind.name()
+            );
+        }
+
+        // The survivors are exactly the authenticated prefix: a fresh
+        // open with the genuine key is clean, panic-free, and admits
+        // only MAC-verified records.
+        let (recovered, report) = engarde::store::VerdictStore::open(
+            tmp.path(),
+            &cfg.seal_key,
+            engarde::store::StoreOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: post-fault open failed: {e}", kind.name()));
+        assert_eq!(
+            report.records_recovered,
+            recovered.len() as u64,
+            "{}: recovery count drifted from live store",
+            kind.name()
+        );
+
+        // A third fleet restart over the damaged store hydrates without
+        // panicking and only from authenticated records.
+        let (rerun, rerun_refused) = run_with_store(&traffic, 0xFA42, None, run.clone(), cfg);
+        assert!(rerun_refused.is_empty());
+        assert_eq!(
+            rerun.verdict_fingerprint(),
+            clean.verdict_fingerprint(),
+            "{}: warm restart over damaged store changed verdicts",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn store_damage_never_yields_unauthenticated_verdicts_or_plaintext() {
+    let traffic = chaos_fleet(3, 3, 0xFA51);
+    let run = SessionRunConfig::default();
+    let tmp = TempDir::new("foreign");
+    let cfg = store_cfg(tmp.path(), 0xFA52);
+
+    let plan = FaultPlan {
+        seed: 0xB17,
+        mix: FaultMix::only(FaultKind::StoreBitFlip, 1000),
+    };
+    let (result, refused) = run_with_store(&traffic, 0xFA52, Some(plan), run, cfg.clone());
+    assert!(refused.is_empty());
+    assert!(result.reports.iter().all(|r| r.reached_verdict()));
+
+    // No plaintext at rest: the sealed segments never expose session
+    // names or verdict detail strings, damaged or not.
+    let mut raw = Vec::new();
+    for entry in std::fs::read_dir(tmp.path()).expect("store dir readable") {
+        raw.extend(std::fs::read(entry.expect("dir entry").path()).expect("segment readable"));
+    }
+    assert!(!raw.is_empty(), "store wrote no segments");
+    for report in &result.reports {
+        assert!(
+            !raw.windows(report.name.len())
+                .any(|w| w == report.name.as_bytes()),
+            "plaintext session name {:?} found in sealed store",
+            report.name
+        );
+    }
+
+    // A foreign inspector identity (different machine seal key) admits
+    // nothing: every segment fails authentication, typed and panic-free.
+    let foreign = store_cfg(tmp.path(), 0xFA52 ^ 0xFF);
+    match engarde::store::VerdictStore::open(
+        tmp.path(),
+        &foreign.seal_key,
+        engarde::store::StoreOptions::default(),
+    ) {
+        Ok((store, report)) => {
+            assert_eq!(store.len(), 0, "foreign key admitted sealed verdicts");
+            assert_eq!(report.records_recovered, 0);
+            assert!(
+                report.found_damage(),
+                "wholesale authentication failure must read as damage"
+            );
+        }
+        Err(e) => panic!("foreign-key open must degrade typed, not error: {e}"),
+    }
 }

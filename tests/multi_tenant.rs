@@ -49,6 +49,7 @@ fn mixed_tenant_fleet_isolates_sessions_and_rejects_adversaries() {
         run: SessionRunConfig::default(),
         verdict_cache: None,
         faults: None,
+        store: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -175,6 +176,7 @@ fn threaded_tenants_complete_with_isolated_channels() {
         run: SessionRunConfig::default(),
         verdict_cache: None,
         faults: None,
+        store: None,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))

@@ -94,6 +94,8 @@ fn run(
         verdict_cache: None,
         faults: plan,
         store: None,
+        batch: None,
+        steal: true,
     });
     for item in traffic {
         svc.submit(regimes::request_for(item, musl))

@@ -19,11 +19,13 @@
 
 use engarde_serve::regimes;
 use engarde_serve::service::{ProvisioningService, SchedMode, ServiceConfig, ServiceResult};
-use engarde_serve::{ServeError, SessionRunConfig};
+use engarde_serve::{BatchPolicy, ServeError, SessionRunConfig};
 use engarde_sgx::instr::SgxVersion;
 use engarde_sgx::machine::MachineConfig;
 use engarde_sgx::perf::CLOCK_GHZ;
-use engarde_workloads::traffic::{mixed_traffic, TrafficItem, TrafficSpec};
+use engarde_workloads::traffic::{
+    mixed_traffic, repeated_binary_traffic, TrafficItem, TrafficSpec,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -143,6 +145,8 @@ fn run_virtual(
         verdict_cache: None,
         faults: None,
         store: None,
+        batch: None,
+        steal: true,
     });
     let rejected = submit_all(&mut svc, traffic, musl);
     let result = svc.drain();
@@ -164,6 +168,96 @@ fn run_virtual(
         fingerprint: result.fingerprint(),
     };
     (run, result)
+}
+
+/// One skewed-fleet measurement: a hot-shard configuration variant.
+struct SkewedRun {
+    label: &'static str,
+    shards: usize,
+    steal: bool,
+    batch: bool,
+    cache: bool,
+    throughput_per_sec: f64,
+    makespan_cycles: u64,
+    steals: u64,
+    stolen_sessions: u64,
+    batches: u64,
+    batched_sessions: u64,
+    fingerprint: String,
+}
+
+/// One point on the skewed-fleet mechanism ladder.
+#[derive(Clone, Copy)]
+struct SkewPoint {
+    label: &'static str,
+    shards: usize,
+    steal: bool,
+    batch: bool,
+    cache: bool,
+}
+
+/// Replays a same-binary fleet whose shard hints send 8 of every 11
+/// sessions to shard 0 (an 8:1:1:1 hot-shard skew) through one
+/// scheduler configuration. The 1-shard `steal=false, batch=false,
+/// cache=false` point is the pre-stealing design's baseline: every
+/// session pays a full inspection on the only worker.
+fn run_skewed(
+    point: SkewPoint,
+    args: &Args,
+    traffic: &[TrafficItem],
+    musl: &Arc<HashMap<String, engarde_crypto::sha256::Digest>>,
+) -> SkewedRun {
+    let SkewPoint {
+        label,
+        shards,
+        steal,
+        batch,
+        cache,
+    } = point;
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: args.arrival_gap,
+        },
+        machine: machine(args.seed),
+        queue_capacity: args.capacity,
+        run: SessionRunConfig::default(),
+        verdict_cache: cache.then_some(64),
+        faults: None,
+        store: None,
+        batch: batch.then(BatchPolicy::default),
+        steal,
+    });
+    for (i, item) in traffic.iter().enumerate() {
+        let mut req = regimes::request_for(item, musl);
+        req.shard_hint = Some(match i % 11 {
+            n if n < 8 => 0,
+            8 => 1,
+            9 => 2,
+            _ => 3,
+        });
+        svc.submit(req)
+            .unwrap_or_else(|e| panic!("skewed submit {}: {e}", item.name));
+    }
+    let result = svc.drain();
+    let m = result.metrics.counters();
+    let sched = result.metrics.sched_stats();
+    let makespan = result.makespan_cycles.max(1);
+    let model_seconds = makespan as f64 / (CLOCK_GHZ * 1e9);
+    SkewedRun {
+        label,
+        shards,
+        steal,
+        batch,
+        cache,
+        throughput_per_sec: m.completed as f64 / model_seconds,
+        makespan_cycles: result.makespan_cycles,
+        steals: sched.steals,
+        stolen_sessions: sched.stolen_sessions,
+        batches: sched.batches,
+        batched_sessions: sched.batched_sessions,
+        fingerprint: result.fingerprint(),
+    }
 }
 
 fn main() {
@@ -202,6 +296,71 @@ fn main() {
     let deterministic = repeat.fingerprint == reference.fingerprint;
     eprintln!("  deterministic at {largest} shard(s): {deterministic}");
 
+    // Skewed fleet: one hot shard gets 8× its peers' traffic (8:1:1:1
+    // shard hints over a same-binary fleet). The ladder isolates each
+    // mechanism's contribution against the pre-stealing baseline — one
+    // shard, no batching, no cache, every session a full inspection.
+    let skew_traffic =
+        repeated_binary_traffic(args.sessions, args.scale_percent, args.seed ^ 0x5A3D);
+    let ladder = [
+        SkewPoint {
+            label: "baseline-1shard",
+            shards: 1,
+            steal: false,
+            batch: false,
+            cache: false,
+        },
+        SkewPoint {
+            label: "4shard-pinned",
+            shards: 4,
+            steal: false,
+            batch: false,
+            cache: false,
+        },
+        SkewPoint {
+            label: "4shard-steal",
+            shards: 4,
+            steal: true,
+            batch: false,
+            cache: false,
+        },
+        SkewPoint {
+            label: "4shard-steal-batch-cache",
+            shards: 4,
+            steal: true,
+            batch: true,
+            cache: true,
+        },
+    ];
+    let skewed: Vec<SkewedRun> = ladder
+        .iter()
+        .map(|&p| run_skewed(p, &args, &skew_traffic, &musl))
+        .collect();
+    let skew_base = skewed[0].throughput_per_sec;
+    for r in &skewed {
+        eprintln!(
+            "  skewed {}: {:.2}/s ({:.2}x baseline), {} steals, {} batches",
+            r.label,
+            r.throughput_per_sec,
+            r.throughput_per_sec / skew_base,
+            r.steals,
+            r.batches
+        );
+    }
+    let skew_repeat = run_skewed(ladder[3], &args, &skew_traffic, &musl);
+    let skew_deterministic = skew_repeat.fingerprint == skewed[3].fingerprint;
+    eprintln!("  skewed deterministic: {skew_deterministic}");
+    let skew_speedup = skewed[3].throughput_per_sec / skew_base;
+    // The acceptance bound only holds once the fleet is big enough for
+    // batches and cache hits to amortize (smoke runs use 6 sessions).
+    if args.sessions >= 16 {
+        assert!(
+            skew_speedup > 4.0,
+            "skewed steal+batch+cache fleet must beat 4x the single-shard \
+             baseline, got {skew_speedup:.2}x"
+        );
+    }
+
     // Overload: tiny queue in front of one shard with back-to-back
     // arrivals — exercises Busy backpressure for the rejection figure.
     let overload_traffic = mixed_traffic(&TrafficSpec {
@@ -220,6 +379,8 @@ fn main() {
         verdict_cache: None,
         faults: None,
         store: None,
+        batch: None,
+        steal: true,
     });
     let overload_rejected = submit_all(&mut svc, &overload_traffic, &musl);
     let overload = svc.drain();
@@ -242,6 +403,8 @@ fn main() {
             verdict_cache: None,
             faults: None,
             store: None,
+            batch: None,
+            steal: true,
         });
         let rejected = submit_all(&mut svc, &traffic, &musl);
         let result = svc.drain();
@@ -287,6 +450,31 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"deterministic\": {deterministic},\n"));
+    json.push_str("  \"skewed\": {\n    \"hot_shard_ratio\": \"8:1:1:1\",\n    \"runs\": [\n");
+    for (i, r) in skewed.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"label\": \"{}\", \"shards\": {}, \"steal\": {}, \"batch\": {}, \"cache\": {}, \"throughput_per_sec\": {:.4}, \"makespan_cycles\": {}, \"speedup_vs_baseline\": {:.4}, \"steals\": {}, \"stolen_sessions\": {}, \"batches\": {}, \"batched_sessions\": {}, \"fingerprint\": \"{}\"}}{}\n",
+            r.label,
+            r.shards,
+            r.steal,
+            r.batch,
+            r.cache,
+            r.throughput_per_sec,
+            r.makespan_cycles,
+            r.throughput_per_sec / skew_base,
+            r.steals,
+            r.stolen_sessions,
+            r.batches,
+            r.batched_sessions,
+            r.fingerprint,
+            if i + 1 < skewed.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"speedup_pinned\": {:.4},\n    \"speedup_steal\": {:.4},\n    \"speedup_steal_batch_cache\": {skew_speedup:.4},\n    \"deterministic\": {skew_deterministic}\n  }},\n",
+        skewed[1].throughput_per_sec / skew_base,
+        skewed[2].throughput_per_sec / skew_base,
+    ));
     json.push_str(&format!(
         "  \"overload\": {{\"sessions\": {overload_total}, \"rejected\": {overload_rejected}, \"rejection_rate\": {rejection_rate:.4}, \"queue_capacity\": 2, \"completed\": {}}},\n",
         overload.metrics.counters().completed

@@ -125,6 +125,8 @@ fn run_fleet(
         verdict_cache: None,
         faults: None,
         store: Some(store),
+        batch: None,
+        steal: true,
     });
     for item in traffic {
         svc.submit(regimes::request_for(item, musl))

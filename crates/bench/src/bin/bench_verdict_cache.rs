@@ -148,6 +148,8 @@ fn run_fleet(
         verdict_cache: cache,
         faults: None,
         store: None,
+        batch: None,
+        steal: true,
     });
     for item in traffic {
         svc.submit(regimes::request_for(item, musl))

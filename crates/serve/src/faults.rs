@@ -54,6 +54,10 @@ pub enum FaultKind {
     /// exhaustion or in-enclave working-memory exhaustion (retried).
     EpcPressure,
     /// The worker running the session dies (detected, never hung on).
+    /// Steal-aware: the dead worker's deque is *not* lost — peers drain
+    /// it through the work-stealing path ([`steal_victim`] keeps dead
+    /// shards in the victim set), so sessions queued behind the death
+    /// complete elsewhere instead of vanishing.
     WorkerDeath,
     /// A crash tears the persistent verdict store's active segment
     /// mid-record (recovery truncates to the authenticated prefix).
@@ -348,6 +352,23 @@ pub fn stall_point(d: &FaultDirective, blocks: usize) -> Option<usize> {
     Some(1 + d.block % (blocks - 1))
 }
 
+/// Deterministic victim selection for the virtual-time work-stealing
+/// scheduler: which candidate deque an idle worker steals from is a
+/// pure function of `(seed, tick)` — the fleet seed and a monotonic
+/// steal counter — never of machine state or host timing, so a stolen
+/// schedule replays bit-identically. `candidates` is the number of
+/// non-empty victim deques (dead workers' deques included: their queued
+/// sessions must be drained by peers, not lost); the return value is an
+/// index into that candidate list. Zero candidates returns 0 (callers
+/// never steal from an empty set).
+pub fn steal_victim(seed: u64, tick: u64, candidates: usize) -> usize {
+    if candidates == 0 {
+        return 0;
+    }
+    let mut state = seed ^ 0x57EA_15EED_u64.wrapping_mul(tick.wrapping_add(1));
+    (splitmix64(&mut state) % candidates as u64) as usize
+}
+
 /// Deterministic exponential backoff with jitter, in model cycles:
 /// `base · 2^(attempt-1) + jitter`, where the jitter stream derives
 /// from `seed` via SplitMix64 (bit-reproducible, yet decorrelated
@@ -558,6 +579,28 @@ mod tests {
         assert_eq!(b2, backoff_cycles(base, 2, 7));
         assert_ne!(backoff_cycles(base, 2, 7), backoff_cycles(base, 2, 8));
         assert_eq!(backoff_cycles(0, 5, 7), 0, "zero base disables backoff");
+    }
+
+    #[test]
+    fn steal_victim_is_a_pure_function_of_seed_and_tick() {
+        for tick in 0..256u64 {
+            let a = steal_victim(0xA5A5, tick, 7);
+            let b = steal_victim(0xA5A5, tick, 7);
+            assert_eq!(a, b, "tick {tick}");
+            assert!(a < 7);
+        }
+        // Distinct seeds decorrelate the victim sequence.
+        let seq = |seed: u64| {
+            (0..64)
+                .map(|t| steal_victim(seed, t, 5))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(seq(1), seq(2));
+        // Ticks actually vary the pick (not a constant function).
+        let picks: std::collections::BTreeSet<_> = (0..64).map(|t| steal_victim(9, t, 4)).collect();
+        assert!(picks.len() > 1, "steal_victim never varied: {picks:?}");
+        assert_eq!(steal_victim(1, 1, 0), 0, "empty candidate set");
+        assert_eq!(steal_victim(1, 1, 1), 0, "single candidate");
     }
 
     #[test]

@@ -16,10 +16,15 @@
 //!   cycle budgets), retry-with-budget under transient EPC pressure, and
 //!   EPC recycling via enclave teardown.
 //! - [`service`] — admission control (bounded queue, `Busy`
-//!   backpressure) in front of the fleet, with two scheduler backends:
-//!   a deterministic virtual-time mode driven purely by the SGX cost
-//!   model (bit-reproducible; the headline measurement) and a real
-//!   `std::thread` worker pool for wall-clock numbers.
+//!   backpressure, optional same-binary batch admission) in front of
+//!   the fleet, scheduled by per-worker deques with work stealing: each
+//!   worker owns a deque of session items, pops its own front, and
+//!   steals a peer's oldest item when idle — a dead worker's deque is
+//!   drained by peers, never lost. Two backends: a deterministic
+//!   virtual-time mode driven purely by the SGX cost model (steal order
+//!   a pure function of seed and tick; bit-reproducible — the headline
+//!   measurement) and a real `std::thread` worker pool for wall-clock
+//!   numbers.
 //! - [`metrics`] — in-tree atomic counters, latency percentiles, and a
 //!   structured event log, exportable as JSON with zero dependencies.
 //! - [`faults`] — deterministic fault injection: a seeded plan maps
@@ -86,6 +91,6 @@ pub use error::{EvictReason, ServeError};
 pub use faults::{FaultDirective, FaultKind, FaultMix, FaultPlan};
 pub use metrics::ServeMetrics;
 pub use persist::{store_seal_key, StoreConfig};
-pub use pool::{SessionOutcome, SessionReport, SessionRunConfig, Shard};
+pub use pool::{BatchPolicy, SessionOutcome, SessionReport, SessionRunConfig, Shard};
 pub use service::{ProvisioningService, SchedMode, ServiceConfig, ServiceResult};
 pub use session::{PolicyFactory, SessionFsm, SessionPhase, SessionRequest};

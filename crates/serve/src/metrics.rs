@@ -201,6 +201,42 @@ pub struct TaintSnapshot {
     pub cycles_charged: u64,
 }
 
+/// Work-stealing scheduler counters: steals, batch admissions, and
+/// deque-depth pressure, accumulated by both backends (virtual-time
+/// deterministic steals and threaded load-based steals feed the same
+/// counters).
+#[derive(Default)]
+struct SchedCounters {
+    steals: AtomicU64,
+    stolen_sessions: AtomicU64,
+    drained_from_dead: AtomicU64,
+    batches: AtomicU64,
+    batched_sessions: AtomicU64,
+    batch_size_highwater: AtomicU64,
+    deque_depth_highwater: AtomicU64,
+}
+
+/// Snapshot of the scheduler counters, as plain numbers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SchedSnapshot {
+    /// Work items an idle worker stole from a peer's deque.
+    pub steals: u64,
+    /// Sessions that moved in those steals (a batch steals as a unit).
+    pub stolen_sessions: u64,
+    /// ... of which came off a *dead* worker's deque (the steal-aware
+    /// worker-death path: queued work outlives its home worker).
+    pub drained_from_dead: u64,
+    /// Batches formed (an item becomes a batch when its first follower
+    /// joins).
+    pub batches: u64,
+    /// Follower sessions admitted into an existing item.
+    pub batched_sessions: u64,
+    /// Largest batch ever formed.
+    pub batch_size_highwater: u64,
+    /// Deepest any single home deque ever got at admission.
+    pub deque_depth_highwater: u64,
+}
+
 /// Per-fault-kind lifecycle counters: how many faults the layer
 /// injected, how many a typed error detected, how many retries they
 /// cost, how many sessions recovered cleanly, and how many were
@@ -284,6 +320,7 @@ pub struct ServeMetrics {
     shed: AtomicU64,
     workers_died: AtomicU64,
     faults: FaultCounters,
+    sched: SchedCounters,
     queue_depth_highwater: AtomicUsize,
     stage_cycles: StageTotals,
     cache: CacheCounters,
@@ -483,6 +520,54 @@ impl ServeMetrics {
             };
         }
         snap
+    }
+
+    /// Records one steal: a whole work item of `sessions` sessions
+    /// moved from a victim deque to an idle worker. `from_dead` marks
+    /// steals that drained a dead worker's deque.
+    pub fn record_steal(&self, sessions: u64, from_dead: bool) {
+        self.sched.steals.fetch_add(1, Ordering::Relaxed);
+        self.sched
+            .stolen_sessions
+            .fetch_add(sessions, Ordering::Relaxed);
+        if from_dead {
+            self.sched
+                .drained_from_dead
+                .fetch_add(sessions, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a follower joining an already-queued work item, which
+    /// now holds `batch_len` sessions. The first follower (batch_len 2)
+    /// is what turns an item into a batch.
+    pub fn record_batch_join(&self, batch_len: u64) {
+        self.sched.batched_sessions.fetch_add(1, Ordering::Relaxed);
+        if batch_len == 2 {
+            self.sched.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sched
+            .batch_size_highwater
+            .fetch_max(batch_len, Ordering::Relaxed);
+    }
+
+    /// Raises the per-deque depth high-water mark to at least `depth`.
+    pub fn observe_deque_depth(&self, depth: u64) {
+        self.sched
+            .deque_depth_highwater
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the work-stealing scheduler counters.
+    pub fn sched_stats(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            steals: self.sched.steals.load(Ordering::Relaxed),
+            stolen_sessions: self.sched.stolen_sessions.load(Ordering::Relaxed),
+            drained_from_dead: self.sched.drained_from_dead.load(Ordering::Relaxed),
+            batches: self.sched.batches.load(Ordering::Relaxed),
+            batched_sessions: self.sched.batched_sessions.load(Ordering::Relaxed),
+            batch_size_highwater: self.sched.batch_size_highwater.load(Ordering::Relaxed),
+            deque_depth_highwater: self.sched.deque_depth_highwater.load(Ordering::Relaxed),
+        }
     }
 
     /// Raises the queue-depth high-water mark to at least `depth`.
@@ -718,6 +803,17 @@ impl ServeMetrics {
             ));
         }
         out.push_str("},\n");
+        let sc = self.sched_stats();
+        out.push_str(&format!(
+            "  \"scheduler\": {{\"steals\": {}, \"stolen_sessions\": {}, \"drained_from_dead\": {}, \"batches\": {}, \"batched_sessions\": {}, \"batch_size_highwater\": {}, \"deque_depth_highwater\": {}}},\n",
+            sc.steals,
+            sc.stolen_sessions,
+            sc.drained_from_dead,
+            sc.batches,
+            sc.batched_sessions,
+            sc.batch_size_highwater,
+            sc.deque_depth_highwater,
+        ));
         out.push_str(&format!(
             "  \"latency_cycles\": {{\"samples\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
             samples.len(),
@@ -748,14 +844,18 @@ impl ServeMetrics {
     }
 }
 
-/// Nearest-rank percentile over unsorted samples.
+/// Nearest-rank percentile over unsorted samples. `None` on an empty
+/// slice; out-of-range quantiles (`q > 100`) clamp to the maximum
+/// rather than indexing past the end. Rank arithmetic is widened to
+/// `u128` so `q * len` cannot overflow for any input on any platform.
 fn percentile(samples: &[u64], q: u32) -> Option<u64> {
     if samples.is_empty() {
         return None;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
-    let rank = ((q as usize * sorted.len()).div_ceil(100)).clamp(1, sorted.len());
+    let len = sorted.len() as u128;
+    let rank = ((q as u128 * len).div_ceil(100)).clamp(1, len) as usize;
     Some(sorted[rank - 1])
 }
 
@@ -843,6 +943,57 @@ mod tests {
         // second.
         assert_eq!(percentile(&[10, 20], 50), Some(10));
         assert_eq!(percentile(&[10, 20], 51), Some(20));
+    }
+
+    #[test]
+    fn percentile_out_of_range_quantile_clamps_to_the_maximum() {
+        // Callers promise q in 0..=100, but the helper must not index
+        // out of bounds (or overflow the rank product) if they lie.
+        assert_eq!(percentile(&[30, 10, 20], 101), Some(30));
+        assert_eq!(percentile(&[30, 10, 20], u32::MAX), Some(30));
+        assert_eq!(percentile(&[7], u32::MAX), Some(7));
+        assert_eq!(percentile(&[], u32::MAX), None);
+    }
+
+    #[test]
+    fn scheduler_counters_accumulate_and_export() {
+        let m = ServeMetrics::new();
+        // Item becomes a batch at its first follower (len 2); the
+        // highwater tracks the largest batch, not the last join.
+        m.record_batch_join(2);
+        m.record_batch_join(3);
+        m.record_batch_join(2);
+        m.record_steal(3, false);
+        m.record_steal(1, true);
+        m.observe_deque_depth(4);
+        m.observe_deque_depth(2);
+        let s = m.sched_stats();
+        assert_eq!(s.steals, 2);
+        assert_eq!(s.stolen_sessions, 4);
+        assert_eq!(s.drained_from_dead, 1);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batched_sessions, 3);
+        assert_eq!(s.batch_size_highwater, 3);
+        assert_eq!(s.deque_depth_highwater, 4);
+        assert!(m.to_json().contains(
+            "\"scheduler\": {\"steals\": 2, \"stolen_sessions\": 4, \
+             \"drained_from_dead\": 1, \"batches\": 2, \"batched_sessions\": 3, \
+             \"batch_size_highwater\": 3, \"deque_depth_highwater\": 4}"
+        ));
+    }
+
+    #[test]
+    fn scheduler_block_is_present_and_zeroed_without_steals_or_batches() {
+        // A run with stealing never triggered and batching disabled
+        // still exports the block, so jq gates can assert on it
+        // unconditionally.
+        let m = ServeMetrics::new();
+        assert_eq!(m.sched_stats(), SchedSnapshot::default());
+        assert!(m.to_json().contains(
+            "\"scheduler\": {\"steals\": 0, \"stolen_sessions\": 0, \
+             \"drained_from_dead\": 0, \"batches\": 0, \"batched_sessions\": 0, \
+             \"batch_size_highwater\": 0, \"deque_depth_highwater\": 0}"
+        ));
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub struct StoreConfig {
     /// Run a compaction pass (drop superseded records, delete old
     /// segments) during drain.
     pub compact_on_drain: bool,
+    /// Live-fraction auto-compaction threshold in per-mille, checked at
+    /// segment rotation: compact once fewer than this many of every
+    /// 1000 stored records are still live. `0` (the default) disables
+    /// the trigger and keeps drain-time-only compaction.
+    pub compact_live_per_mille: u16,
 }
 
 impl StoreConfig {
@@ -59,6 +64,7 @@ impl StoreConfig {
             flush_batch: 8,
             segment_max_records: 256,
             compact_on_drain: false,
+            compact_live_per_mille: 0,
         }
     }
 }

@@ -153,6 +153,173 @@ impl SessionRunConfig {
     }
 }
 
+/// Admission-time batching policy. Small sessions whose
+/// [`SessionRequest::admission_key`] matches an item already queued
+/// join that item instead of queueing alone; the whole batch then runs
+/// back-to-back on one worker, so the leader's full inspection seeds
+/// the verdict cache and every follower replays it for `CACHE_PROBE` +
+/// receive/decrypt — one inspection amortized across the batch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BatchPolicy {
+    /// Largest number of sessions one batch may hold (≥ 2 to batch at
+    /// all; 1 degenerates to unbatched admission).
+    pub max_sessions: usize,
+    /// Sessions with binaries larger than this never join a batch — a
+    /// huge image holding a queue slot hostage defeats the point of
+    /// amortizing small sessions.
+    pub max_bytes: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_sessions: 8,
+            max_bytes: 1 << 20,
+        }
+    }
+}
+
+/// One admitted session waiting in a deque.
+pub(crate) struct QueuedSession {
+    /// Submission order (reports are re-sorted by it at drain).
+    pub arrival_index: u64,
+    /// Virtual arrival instant (always 0 in threaded mode, where the
+    /// wall clock is authoritative).
+    pub arrival: u64,
+    /// The request itself.
+    pub req: SessionRequest,
+    /// The fault scheduled for this arrival, if any.
+    pub directive: Option<FaultDirective>,
+}
+
+/// The unit of scheduling: one session, or a batch of same-key
+/// sessions that must run back-to-back on whichever worker takes the
+/// item. Stealing moves whole items, so a batch is never split across
+/// machines (splitting would forfeit the shared-cache amortization the
+/// batch exists for).
+pub(crate) struct WorkItem {
+    /// Shard whose deque this item was admitted to.
+    pub home: usize,
+    /// The shared admission key, for joinable batches; `None` for
+    /// sessions excluded from batching (stalls, oversized binaries, or
+    /// batching disabled).
+    pub batch_key: Option<[u8; 32]>,
+    /// The sessions, in join order — the first is the batch leader.
+    pub sessions: Vec<QueuedSession>,
+}
+
+impl WorkItem {
+    /// Whether `key` may join this queued item under `policy`.
+    pub fn can_join(&self, key: &[u8; 32], policy: &BatchPolicy) -> bool {
+        self.batch_key.as_ref() == Some(key) && self.sessions.len() < policy.max_sessions
+    }
+}
+
+/// The per-shard work deques both scheduler backends share: shard `i`
+/// owns `deques[i]`, pushes admitted items to its back, and pops its
+/// own work from the front (FIFO for fairness); an idle worker steals
+/// a whole item from the *front* of a victim's deque (the oldest,
+/// most-overdue work moves first). Dead shards keep their deques —
+/// stealing is how their queued sessions survive a worker death.
+pub(crate) struct WorkDeques {
+    deques: Vec<VecDeque<WorkItem>>,
+    queued_sessions: usize,
+}
+
+impl WorkDeques {
+    pub fn new(shards: usize) -> Self {
+        WorkDeques {
+            deques: (0..shards).map(|_| VecDeque::new()).collect(),
+            queued_sessions: 0,
+        }
+    }
+
+    /// Sessions admitted but not yet started (the admission-control
+    /// queue depth).
+    pub fn queued_sessions(&self) -> usize {
+        self.queued_sessions
+    }
+
+    /// Queued items in shard `i`'s deque.
+    pub fn depth(&self, i: usize) -> usize {
+        self.deques[i].len()
+    }
+
+    /// Pushes a fresh item to the back of its home deque.
+    pub fn push(&mut self, item: WorkItem) {
+        self.queued_sessions += item.sessions.len();
+        self.deques[item.home].push_back(item);
+    }
+
+    /// Requeues an interrupted item at the *front* of shard `i`'s deque
+    /// (it was already dequeued once; its remaining sessions go back to
+    /// the head so peers draining the dead shard see them first).
+    pub fn push_front(&mut self, i: usize, item: WorkItem) {
+        self.queued_sessions += item.sessions.len();
+        self.deques[i].push_front(item);
+    }
+
+    /// Pops shard `i`'s own next item (front: oldest first).
+    pub fn pop_own(&mut self, i: usize) -> Option<WorkItem> {
+        let item = self.deques[i].pop_front()?;
+        self.queued_sessions -= item.sessions.len();
+        Some(item)
+    }
+
+    /// Steals the *oldest* item from the front of shard `victim`'s
+    /// deque. Thieves take the FIFO end: the oldest item has the
+    /// earliest arrival, so a steal never leaves an overdue session
+    /// waiting while the thief idles on an arrival clamp — stealing the
+    /// newest item instead measurably loses throughput to exactly those
+    /// gaps.
+    pub fn steal_from(&mut self, victim: usize) -> Option<WorkItem> {
+        let item = self.deques[victim].pop_front()?;
+        self.queued_sessions -= item.sessions.len();
+        Some(item)
+    }
+
+    /// Shards with work available to steal, ascending. Dead shards are
+    /// deliberately *not* filtered here: their deques must drain.
+    pub fn victims(&self, excluding: usize) -> Vec<usize> {
+        (0..self.deques.len())
+            .filter(|&i| i != excluding && !self.deques[i].is_empty())
+            .collect()
+    }
+
+    /// Finds a queued item `key` may join under `policy`, scanning
+    /// deques in shard order and each deque back-to-front (newest
+    /// first — an older batch is closer to running and joining it
+    /// would race its start in threaded mode). Returns a mutable
+    /// handle so the caller can append the joining session.
+    pub fn find_joinable(&mut self, key: &[u8; 32], policy: &BatchPolicy) -> Option<&mut WorkItem> {
+        // Two passes to appease the borrow checker: locate, then borrow.
+        let mut found = None;
+        'outer: for (d, deque) in self.deques.iter().enumerate() {
+            for (j, item) in deque.iter().enumerate().rev() {
+                if item.can_join(key, policy) {
+                    found = Some((d, j));
+                    break 'outer;
+                }
+            }
+        }
+        let (d, j) = found?;
+        self.queued_sessions += 1;
+        self.deques[d].get_mut(j)
+    }
+
+    /// Drains every remaining session out of every deque (a fully dead
+    /// fleet at drain time): the sessions that will get typed
+    /// `PoolDead` failure reports instead of silently vanishing.
+    pub fn drain_all(&mut self) -> Vec<QueuedSession> {
+        self.queued_sessions = 0;
+        self.deques
+            .iter_mut()
+            .flat_map(|d| d.drain(..))
+            .flat_map(|item| item.sessions)
+            .collect()
+    }
+}
+
 /// One shard: a provider on its own SGX machine plus the enclaves it has
 /// retained for long-running tenants.
 pub struct Shard {

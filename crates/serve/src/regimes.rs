@@ -85,5 +85,6 @@ pub fn request_for(item: &TrafficItem, musl: &Arc<HashMap<String, Digest>>) -> S
         policies: policy_factory(item.regime, musl),
         client_seed: item.client_seed,
         stall_after: item.stall_after,
+        shard_hint: None,
     }
 }

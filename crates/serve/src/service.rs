@@ -1,29 +1,43 @@
 //! The provisioning service: admission control in front of a shard
-//! fleet, with two interchangeable scheduler backends.
+//! fleet, with two interchangeable work-stealing scheduler backends.
 //!
 //! - **Virtual time** ([`SchedMode::VirtualTime`]): sessions "arrive" on
-//!   a fixed model-cycle cadence and are assigned to the
-//!   earliest-available shard. Durations are the shards' actual machine
-//!   cycle deltas, so throughput, latency, queueing, and `Busy`
-//!   rejections are all functions of the cost model alone —
-//!   bit-reproducible for a fixed seed, independent of host load or core
-//!   count. This is the repo's headline measurement mode, consistent
-//!   with every other OpenSGX-style cycle figure.
-//! - **Threaded** ([`SchedMode::Threaded`]): real `std::thread` workers
-//!   pull from a bounded queue behind a mutex+condvar; results come back
-//!   over an `mpsc` channel. Wall-clock numbers from this mode are
-//!   auxiliary (they depend on host cores) but exercise the actual
-//!   concurrency: machines are never shared, one per worker thread.
+//!   a fixed model-cycle cadence; admission queues each one (or batches
+//!   it with same-key peers) on a per-shard deque, and an incremental
+//!   event loop runs the fleet forward: the earliest-free live worker
+//!   pops its own deque, or steals a whole item from a victim chosen as
+//!   a pure function of `(seed, tick)` when its deque is empty.
+//!   Durations are the shards' actual machine cycle deltas, so
+//!   throughput, latency, queueing, and `Busy` rejections are all
+//!   functions of the cost model alone — bit-reproducible for a fixed
+//!   seed, independent of host load or core count. This is the repo's
+//!   headline measurement mode, consistent with every other
+//!   OpenSGX-style cycle figure.
+//! - **Threaded** ([`SchedMode::Threaded`]): real `std::thread` workers,
+//!   one deque per worker behind a shared mutex+condvar; an idle worker
+//!   steals from the deepest peer deque. Results come back over an
+//!   `mpsc` channel. Wall-clock numbers from this mode are auxiliary
+//!   (they depend on host cores) but exercise the actual concurrency:
+//!   machines are never shared, one per worker thread.
+//!
+//! Worker death is steal-aware in both backends: a dead worker's deque
+//! is *not* lost — its queued items stay stealable and peers drain
+//! them, so only the session that carried the death fault fails. Only a
+//! fully dead fleet turns queued sessions into typed `PoolDead`
+//! failures.
 //!
 //! Both backends share [`Shard::run_session`] for the per-session
 //! protocol, eviction, and retry logic, and feed the same
 //! [`ServeMetrics`].
 
 use crate::error::ServeError;
-use crate::faults::{FaultDirective, FaultKind, FaultPlan};
+use crate::faults::{self, FaultDirective, FaultKind, FaultPlan};
 use crate::metrics::{lock_recover, EventKind, ServeMetrics};
 use crate::persist::{StoreConfig, DEFAULT_STORE_CACHE_CAPACITY};
-use crate::pool::{SessionOutcome, SessionReport, SessionRunConfig, Shard};
+use crate::pool::{
+    BatchPolicy, QueuedSession, SessionOutcome, SessionReport, SessionRunConfig, Shard, WorkDeques,
+    WorkItem,
+};
 use crate::session::SessionRequest;
 use engarde_core::cache::{lock_cache, shared_cache, SharedVerdictCache};
 use engarde_core::provision::StageCycles;
@@ -32,7 +46,6 @@ use engarde_sgx::machine::MachineConfig;
 use engarde_store::{
     chaos, StoreOptions, VerdictStore, STORE_FLUSH_PER_RECORD, STORE_HYDRATE_PER_RECORD,
 };
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread;
@@ -43,12 +56,17 @@ use std::time::Duration;
 /// missed wakeup — nothing blocks forever on the queue.
 const WORKER_POLL: Duration = Duration::from_millis(25);
 
+/// Domain separator folded into the machine seed to derive the
+/// virtual-time steal stream (so steal order never aliases any machine
+/// RNG stream).
+const STEAL_SEED_TAG: u64 = 0x57EA_1F1E_E75E_ED00;
+
 /// Which scheduler drives the shard fleet.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SchedMode {
     /// Deterministic cost-model scheduling: session `i` arrives at
-    /// `i * arrival_gap` model cycles and runs on the earliest-available
-    /// shard. Bit-reproducible.
+    /// `i * arrival_gap` model cycles; per-shard deques with
+    /// seed-deterministic work stealing. Bit-reproducible.
     VirtualTime {
         /// Model cycles between successive arrivals (the offered load).
         arrival_gap: u64,
@@ -91,6 +109,17 @@ pub struct ServiceConfig {
     /// that fails to open degrades the service to memory-only operation
     /// with a typed event — never a panic.
     pub store: Option<StoreConfig>,
+    /// `Some`: admission groups small sessions sharing an
+    /// [`SessionRequest::admission_key`] into one batch that runs
+    /// back-to-back on a single worker — the leader's inspection seeds
+    /// the verdict cache and every follower replays it. Pair with
+    /// `verdict_cache` (a batch without a cache still co-schedules but
+    /// amortizes nothing). `None` admits every session individually.
+    pub batch: Option<BatchPolicy>,
+    /// Whether idle workers steal queued items from peers (including
+    /// dead ones). On by default; benches disable it to measure what a
+    /// skewed fleet loses without stealing.
+    pub steal: bool,
 }
 
 impl Default for ServiceConfig {
@@ -106,6 +135,8 @@ impl Default for ServiceConfig {
             verdict_cache: None,
             faults: None,
             store: None,
+            batch: None,
+            steal: true,
         }
     }
 }
@@ -194,31 +225,43 @@ struct StoreState {
     pending_faults: Vec<FaultDirective>,
 }
 
+/// The virtual-time backend: an incremental discrete-event simulation.
+/// `submit` advances the event loop to the new arrival (running every
+/// item the fleet could have started by then) before admission-checking
+/// against what is *actually* still queued; `drain` advances to
+/// completion.
 struct VirtualState {
     shards: Vec<Shard>,
     /// Virtual instant each shard becomes free.
     free_at: Vec<u64>,
-    /// `(arrival, start)` of every admitted session, for queue modeling.
-    scheduled: Vec<(u64, u64)>,
+    /// Per-shard work deques.
+    work: WorkDeques,
     arrival_gap: u64,
-    reports: Vec<SessionReport>,
+    /// Seed of the deterministic steal stream.
+    steal_seed: u64,
+    /// Monotonic steal counter: victim choice is
+    /// [`faults::steal_victim`]`(steal_seed, steal_tick, candidates)`.
+    steal_tick: u64,
+    /// `(arrival_index, report)` — sorted back to submission order at
+    /// drain (stealing completes sessions out of order).
+    reports: Vec<(u64, SessionReport)>,
 }
 
-type Job = (
-    SessionRequest,
-    SessionRunConfig,
-    Arc<ServeMetrics>,
-    Option<FaultDirective>,
-);
-
 struct SharedQueue {
-    queue: Mutex<VecDeque<Job>>,
+    /// Per-worker deques behind one lock: contention is irrelevant at
+    /// fleet sizes of single-digit shards, and a single lock keeps the
+    /// steal scan (find the deepest victim) atomic.
+    work: Mutex<WorkDeques>,
     available: Condvar,
     shutdown: AtomicBool,
     /// Workers still able to take jobs. Decremented by a drop guard on
     /// every exit path — including panics — so `submit` can detect a
     /// dead pool instead of queueing work nobody will run.
     live: AtomicUsize,
+    /// Per-worker death flags, so a stealing peer can tell whether it
+    /// is draining a dead worker's deque (the `drained_from_dead`
+    /// metric) without touching the victim's thread.
+    dead: Box<[AtomicBool]>,
 }
 
 /// Panic-safe liveness accounting for one worker thread.
@@ -278,6 +321,7 @@ impl ProvisioningService {
         let store = cfg.store.as_ref().and_then(|sc| {
             let options = StoreOptions {
                 segment_max_records: sc.segment_max_records.max(1),
+                compact_live_per_mille: sc.compact_live_per_mille,
             };
             match VerdictStore::open(&sc.dir, &sc.seal_key, options) {
                 Ok((store, recovery)) => {
@@ -329,16 +373,19 @@ impl ProvisioningService {
                     .map(|i| Shard::new(i, &cfg.machine, verdict_cache.clone()))
                     .collect(),
                 free_at: vec![hydrate_cycles; shards],
-                scheduled: Vec::new(),
+                work: WorkDeques::new(shards),
                 arrival_gap,
+                steal_seed: cfg.machine.seed ^ STEAL_SEED_TAG,
+                steal_tick: 0,
                 reports: Vec::new(),
             }),
             SchedMode::Threaded => {
                 let shared = Arc::new(SharedQueue {
-                    queue: Mutex::new(VecDeque::new()),
+                    work: Mutex::new(WorkDeques::new(shards)),
                     available: Condvar::new(),
                     shutdown: AtomicBool::new(false),
                     live: AtomicUsize::new(shards),
+                    dead: (0..shards).map(|_| AtomicBool::new(false)).collect(),
                 });
                 let (tx, rx) = mpsc::channel();
                 let workers = (0..shards)
@@ -347,7 +394,12 @@ impl ProvisioningService {
                         let tx = tx.clone();
                         let machine = cfg.machine.clone();
                         let cache = verdict_cache.clone();
-                        thread::spawn(move || worker_loop(i, machine, cache, shared, tx))
+                        let run_cfg = cfg.run.clone();
+                        let metrics = Arc::clone(&metrics);
+                        let steal = cfg.steal;
+                        thread::spawn(move || {
+                            worker_loop(i, machine, cache, shared, tx, run_cfg, metrics, steal)
+                        })
                     })
                     .collect();
                 Backend::Threaded(ThreadedState {
@@ -386,7 +438,8 @@ impl ProvisioningService {
 
     /// Submits one session.
     ///
-    /// Virtual mode runs it synchronously under the cost-model clock;
+    /// Virtual mode advances the event simulation to this arrival, then
+    /// queues the session (or joins it to an open same-key batch);
     /// threaded mode enqueues it for the worker fleet.
     ///
     /// # Errors
@@ -420,13 +473,18 @@ impl ProvisioningService {
         match &mut self.backend {
             Backend::Virtual(v) => {
                 let arrival = arrival_index * v.arrival_gap;
-                // Sessions admitted earlier that are still waiting (their
-                // start lies after this arrival) occupy queue slots now.
-                let waiting = v
-                    .scheduled
-                    .iter()
-                    .filter(|(_, start)| *start > arrival)
-                    .count();
+                // Catch the simulation up to this instant first:
+                // admission must see what is *actually* still queued at
+                // the arrival, not what was queued at the last submit.
+                advance_fleet(
+                    v,
+                    arrival,
+                    &self.cfg,
+                    &self.metrics,
+                    &mut self.store,
+                    &self.verdict_cache,
+                );
+                let waiting = v.work.queued_sessions();
                 if waiting >= self.cfg.queue_capacity {
                     self.metrics.record(
                         EventKind::RejectedBusy,
@@ -438,71 +496,65 @@ impl ProvisioningService {
                         queue_depth: waiting,
                     });
                 }
-                // Earliest-available *live* shard; ties go to the
-                // lowest index. Dead shards (injected worker deaths)
-                // are routed around; a fully dead fleet is a typed
-                // error, never a hang or a panic.
-                let Some(shard_idx) = (0..v.shards.len())
-                    .filter(|&i| !v.shards[i].is_dead())
-                    .min_by_key(|&i| (v.free_at[i], i))
-                else {
+                // A fully dead fleet is a typed error, never a hang or
+                // a panic. (A *partially* dead fleet still admits: live
+                // peers steal from dead shards' deques.)
+                if v.shards.iter().all(|s| s.is_dead()) {
                     self.metrics
                         .record(EventKind::Shed, &req.name, None, "no live shards");
                     return Err(ServeError::PoolDead);
-                };
+                }
                 self.metrics.observe_queue_depth(waiting + 1);
                 self.metrics
                     .record(EventKind::Admitted, &req.name, None, "");
                 self.submitted += 1;
 
-                let start = v.free_at[shard_idx].max(arrival);
-                let before = v.shards[shard_idx].total_cycles();
-                let mut report = v.shards[shard_idx].run_session_with_fault(
-                    &req,
-                    &self.cfg.run,
-                    &self.metrics,
-                    directive.as_ref(),
-                );
-                let duration = v.shards[shard_idx].total_cycles() - before;
-                let end = start + duration;
-                v.free_at[shard_idx] = end;
-                // Write-behind flush: once enough fresh verdicts have
-                // queued up, seal them to the store and charge the
-                // flush to the shard that just ran — deterministic
-                // virtual time, bounded dirty queue.
-                let mut store_died = false;
-                if let (Some(state), Some(cache)) = (&mut self.store, &self.verdict_cache) {
-                    let depth = lock_cache(cache).dirty_len();
-                    self.metrics.observe_flush_queue_depth(depth as u64);
-                    if depth >= state.cfg.flush_batch.max(1) {
-                        let dirty = lock_cache(cache).take_dirty();
-                        let n = dirty.len() as u64;
-                        match state.store.append_batch(&dirty) {
-                            Ok(()) => {
-                                self.metrics.record_store_flushed(n);
-                                v.free_at[shard_idx] += n * STORE_FLUSH_PER_RECORD;
-                            }
-                            Err(e) => {
-                                // Persistence degrades; serving does not.
-                                self.metrics.record(
-                                    EventKind::StoreDegraded,
-                                    &req.name,
-                                    Some(shard_idx),
-                                    &format!("write-behind flush failed: {e}"),
-                                );
-                                store_died = true;
-                            }
+                let batch_key = batchable_key(&req, self.cfg.batch.as_ref());
+                let mut pending = Some(QueuedSession {
+                    arrival_index,
+                    arrival,
+                    req,
+                    directive,
+                });
+                if let (Some(key), Some(policy)) = (&batch_key, self.cfg.batch.as_ref()) {
+                    if let Some(item) = v.work.find_joinable(key, policy) {
+                        if let Some(qs) = pending.take() {
+                            item.sessions.push(qs);
+                            self.metrics.record_batch_join(item.sessions.len() as u64);
                         }
                     }
                 }
-                if store_died {
-                    self.store = None;
+                if let Some(qs) = pending {
+                    // Home shard: the tenant's explicit hint, else the
+                    // shard that could start it soonest (greedy — the
+                    // pre-stealing scheduler's assignment rule).
+                    let home = qs
+                        .req
+                        .shard_hint
+                        .map(|h| h % v.shards.len())
+                        .or_else(|| {
+                            (0..v.shards.len())
+                                .filter(|&i| !v.shards[i].is_dead())
+                                .min_by_key(|&i| (v.free_at[i].max(arrival), i))
+                        })
+                        .unwrap_or(0);
+                    v.work.push(WorkItem {
+                        home,
+                        batch_key,
+                        sessions: vec![qs],
+                    });
+                    self.metrics.observe_deque_depth(v.work.depth(home) as u64);
                 }
-                v.scheduled.push((arrival, start));
-                report.latency_cycles = end - arrival;
-                self.metrics
-                    .record_timing(&report.stages, report.cycles, report.latency_cycles, 0);
-                v.reports.push(report);
+                // Let an idle worker start the new work at its arrival
+                // instant (batched joins ride an already-queued item).
+                advance_fleet(
+                    v,
+                    arrival,
+                    &self.cfg,
+                    &self.metrics,
+                    &mut self.store,
+                    &self.verdict_cache,
+                );
                 Ok(())
             }
             Backend::Threaded(t) => {
@@ -511,33 +563,59 @@ impl ProvisioningService {
                         .record(EventKind::Shed, &req.name, None, "no live workers");
                     return Err(ServeError::PoolDead);
                 }
-                let mut queue = lock_recover(&t.shared.queue);
+                let mut work = lock_recover(&t.shared.work);
                 if t.shared.shutdown.load(Ordering::SeqCst) {
                     return Err(ServeError::ShuttingDown);
                 }
-                if queue.len() >= self.cfg.queue_capacity {
-                    let depth = queue.len();
-                    drop(queue);
+                let waiting = work.queued_sessions();
+                if waiting >= self.cfg.queue_capacity {
+                    drop(work);
                     self.metrics.record(
                         EventKind::RejectedBusy,
                         &req.name,
                         None,
-                        &format!("queue depth {depth}"),
+                        &format!("queue depth {waiting}"),
                     );
-                    return Err(ServeError::Busy { queue_depth: depth });
+                    return Err(ServeError::Busy {
+                        queue_depth: waiting,
+                    });
                 }
                 self.metrics
                     .record(EventKind::Admitted, &req.name, None, "");
-                queue.push_back((
+                let batch_key = batchable_key(&req, self.cfg.batch.as_ref());
+                let mut pending = Some(QueuedSession {
+                    arrival_index,
+                    arrival: 0,
                     req,
-                    self.cfg.run.clone(),
-                    Arc::clone(&self.metrics),
                     directive,
-                ));
-                self.metrics.observe_queue_depth(queue.len());
+                });
+                if let (Some(key), Some(policy)) = (&batch_key, self.cfg.batch.as_ref()) {
+                    if let Some(item) = work.find_joinable(key, policy) {
+                        if let Some(qs) = pending.take() {
+                            item.sessions.push(qs);
+                            self.metrics.record_batch_join(item.sessions.len() as u64);
+                        }
+                    }
+                }
+                if let Some(qs) = pending {
+                    let shards = self.cfg.shards.max(1);
+                    let home = qs
+                        .req
+                        .shard_hint
+                        .map_or(arrival_index as usize % shards, |h| h % shards);
+                    work.push(WorkItem {
+                        home,
+                        batch_key,
+                        sessions: vec![qs],
+                    });
+                    self.metrics.observe_deque_depth(work.depth(home) as u64);
+                }
+                self.metrics.observe_queue_depth(work.queued_sessions());
                 self.submitted += 1;
-                drop(queue);
-                t.shared.available.notify_one();
+                drop(work);
+                // Wake the whole fleet: the home worker may be busy
+                // while an idle peer could steal the new item.
+                t.shared.available.notify_all();
                 Ok(())
             }
         }
@@ -550,7 +628,27 @@ impl ProvisioningService {
         self.metrics
             .record(EventKind::DrainStarted, "", None, "graceful drain");
         match self.backend {
-            Backend::Virtual(v) => {
+            Backend::Virtual(mut v) => {
+                // Run the simulation to completion: every queued item a
+                // live worker can reach (own deque or steal) finishes.
+                advance_fleet(
+                    &mut v,
+                    u64::MAX,
+                    &self.cfg,
+                    &self.metrics,
+                    &mut self.store,
+                    &self.verdict_cache,
+                );
+                // Whatever is still queued is unreachable — a fully
+                // dead fleet, or dead-shard deques with stealing
+                // disabled. Typed failure reports, not silence.
+                for qs in v.work.drain_all() {
+                    let error = ServeError::PoolDead.to_string();
+                    self.metrics
+                        .record(EventKind::Failed, &qs.req.name, None, &error);
+                    v.reports
+                        .push((qs.arrival_index, pool_dead_report(qs.req.name, error)));
+                }
                 // Final write-behind flush (plus optional compaction and
                 // any scheduled at-rest fault injection + recovery
                 // proof); the flush cost lands on the makespan.
@@ -560,8 +658,11 @@ impl ProvisioningService {
                     self.metrics.set_cache_stats(&lock_cache(cache).stats());
                 }
                 let makespan = v.free_at.iter().copied().max().unwrap_or(0) + store_cost;
+                // Stealing finishes sessions out of submission order;
+                // reports are handed back in it.
+                v.reports.sort_by_key(|(i, _)| *i);
                 ServiceResult {
-                    reports: v.reports,
+                    reports: v.reports.into_iter().map(|(_, r)| r).collect(),
                     metrics: self.metrics,
                     shards: v.shards,
                     makespan_cycles: makespan,
@@ -588,30 +689,14 @@ impl ProvisioningService {
                         WorkerMsg::Done { cycles, .. } => makespan = makespan.max(cycles),
                     }
                 }
-                // Jobs still queued after every worker exited were
+                // Sessions still queued after every worker exited were
                 // admitted but never ran (the pool died under them).
                 // They get typed failure reports, not silence.
-                for (req, _, _, _) in lock_recover(&t.shared.queue).drain(..) {
+                for qs in lock_recover(&t.shared.work).drain_all() {
                     let error = ServeError::PoolDead.to_string();
                     self.metrics
-                        .record(EventKind::Failed, &req.name, None, &error);
-                    reports.push(SessionReport {
-                        name: req.name,
-                        shard: usize::MAX,
-                        outcome: SessionOutcome::Failed { error },
-                        stages: StageCycles::default(),
-                        cycles: 0,
-                        latency_cycles: 0,
-                        wall_nanos: 0,
-                        retries: 0,
-                        blocks_delivered: 0,
-                        enclave_key_fp: None,
-                        measurement: None,
-                        verdict: None,
-                        client_verified: false,
-                        instructions: 0,
-                        cache_hit: false,
-                    });
+                        .record(EventKind::Failed, &qs.req.name, None, &error);
+                    reports.push(pool_dead_report(qs.req.name, error));
                 }
                 reports.sort_by(|a, b| a.name.cmp(&b.name));
                 ServiceResult {
@@ -623,6 +708,168 @@ impl ProvisioningService {
                 }
             }
         }
+    }
+}
+
+/// The batch key for `req` under `policy` — `None` when batching is
+/// off, the policy cannot hold two sessions, the binary is too large,
+/// or the session stalls (a stalling client inside a batch would hold
+/// its followers hostage on one worker).
+fn batchable_key(req: &SessionRequest, policy: Option<&BatchPolicy>) -> Option<[u8; 32]> {
+    let policy = policy?;
+    if policy.max_sessions < 2 || req.stall_after.is_some() || req.binary.len() > policy.max_bytes {
+        return None;
+    }
+    Some(req.admission_key())
+}
+
+/// A typed failure report for a session the pool died under.
+fn pool_dead_report(name: String, error: String) -> SessionReport {
+    SessionReport {
+        name,
+        shard: usize::MAX,
+        outcome: SessionOutcome::Failed { error },
+        stages: StageCycles::default(),
+        cycles: 0,
+        latency_cycles: 0,
+        wall_nanos: 0,
+        retries: 0,
+        blocks_delivered: 0,
+        enclave_key_fp: None,
+        measurement: None,
+        verdict: None,
+        client_verified: false,
+        instructions: 0,
+        cache_hit: false,
+    }
+}
+
+/// The virtual-time event loop: repeatedly give the earliest-free live
+/// worker that can reach work (own deque, or any deque when stealing)
+/// its next item, until the fleet's next start would pass `until` or no
+/// reachable work remains.
+///
+/// Determinism: worker choice is a pure function of the (deterministic)
+/// `free_at` vector; steal-victim choice is
+/// [`faults::steal_victim`]`(seed, tick, candidates)` — a pure function
+/// of the fleet seed and a monotonic counter. Nothing here reads host
+/// state.
+fn advance_fleet(
+    v: &mut VirtualState,
+    until: u64,
+    cfg: &ServiceConfig,
+    metrics: &Arc<ServeMetrics>,
+    store: &mut Option<StoreState>,
+    verdict_cache: &Option<SharedVerdictCache>,
+) {
+    loop {
+        let n = v.shards.len();
+        let worker = (0..n)
+            .filter(|&i| !v.shards[i].is_dead())
+            .filter(|&i| v.work.depth(i) > 0 || (cfg.steal && !v.work.victims(i).is_empty()))
+            .min_by_key(|&i| (v.free_at[i], i));
+        let Some(w) = worker else { break };
+        if v.free_at[w] > until {
+            break;
+        }
+        let item = match v.work.pop_own(w) {
+            Some(item) => item,
+            None => {
+                let victims = v.work.victims(w);
+                let pick = faults::steal_victim(v.steal_seed, v.steal_tick, victims.len());
+                v.steal_tick += 1;
+                let Some(&victim) = victims.get(pick) else {
+                    break;
+                };
+                let Some(item) = v.work.steal_from(victim) else {
+                    break;
+                };
+                metrics.record_steal(item.sessions.len() as u64, v.shards[victim].is_dead());
+                item
+            }
+        };
+        run_item(v, w, item, cfg, metrics, store, verdict_cache);
+    }
+}
+
+/// Runs one work item (a session or a whole batch) on worker `w`,
+/// advancing its virtual clock. If the worker dies mid-item, the
+/// unstarted remainder is requeued at the front of its deque so live
+/// peers steal and finish it.
+fn run_item(
+    v: &mut VirtualState,
+    w: usize,
+    item: WorkItem,
+    cfg: &ServiceConfig,
+    metrics: &Arc<ServeMetrics>,
+    store: &mut Option<StoreState>,
+    verdict_cache: &Option<SharedVerdictCache>,
+) {
+    let batch_key = item.batch_key;
+    let mut pos = v.free_at[w];
+    let mut remaining = item.sessions.into_iter();
+    let mut requeue: Option<WorkItem> = None;
+    while let Some(qs) = remaining.next() {
+        if v.shards[w].is_dead() {
+            // Steal-aware worker death: only the session that carried
+            // the fault failed; the rest of the batch goes back to the
+            // head of the dead shard's deque for peers to drain.
+            requeue = Some(WorkItem {
+                home: w,
+                batch_key,
+                sessions: std::iter::once(qs).chain(remaining).collect(),
+            });
+            break;
+        }
+        // A batch follower cannot start before it arrives: the leader
+        // may still be running (overlap is fine — the follower joined
+        // an in-flight batch), but its own start clamps to its arrival.
+        let start = pos.max(qs.arrival);
+        let before = v.shards[w].total_cycles();
+        let mut report =
+            v.shards[w].run_session_with_fault(&qs.req, &cfg.run, metrics, qs.directive.as_ref());
+        let duration = v.shards[w].total_cycles() - before;
+        let end = start + duration;
+        pos = end;
+        // Write-behind flush: once enough fresh verdicts have queued
+        // up, seal them to the store and charge the flush to the shard
+        // that just ran — deterministic virtual time, bounded dirty
+        // queue.
+        let mut store_died = false;
+        if let (Some(state), Some(cache)) = (store.as_mut(), verdict_cache) {
+            let depth = lock_cache(cache).dirty_len();
+            metrics.observe_flush_queue_depth(depth as u64);
+            if depth >= state.cfg.flush_batch.max(1) {
+                let dirty = lock_cache(cache).take_dirty();
+                let flushed = dirty.len() as u64;
+                match state.store.append_batch(&dirty) {
+                    Ok(()) => {
+                        metrics.record_store_flushed(flushed);
+                        pos += flushed * STORE_FLUSH_PER_RECORD;
+                    }
+                    Err(e) => {
+                        // Persistence degrades; serving does not.
+                        metrics.record(
+                            EventKind::StoreDegraded,
+                            &qs.req.name,
+                            Some(w),
+                            &format!("write-behind flush failed: {e}"),
+                        );
+                        store_died = true;
+                    }
+                }
+            }
+        }
+        if store_died {
+            *store = None;
+        }
+        report.latency_cycles = end - qs.arrival;
+        metrics.record_timing(&report.stages, report.cycles, report.latency_cycles, 0);
+        v.reports.push((qs.arrival_index, report));
+    }
+    v.free_at[w] = pos;
+    if let Some(rest) = requeue {
+        v.work.push_front(w, rest);
     }
 }
 
@@ -716,6 +963,7 @@ fn finish_store(
     }
     let options = StoreOptions {
         segment_max_records: cfg.segment_max_records.max(1),
+        compact_live_per_mille: cfg.compact_live_per_mille,
     };
     match VerdictStore::open(&dir, &cfg.seal_key, options) {
         Ok((reopened, report)) => {
@@ -753,23 +1001,46 @@ fn finish_store(
 }
 
 /// Threaded-mode worker: builds its shard (providers are not `Send`, so
-/// each machine is born and dies on its own thread), then pulls jobs
-/// until shutdown with an empty queue.
+/// each machine is born and dies on its own thread), then pulls items —
+/// its own deque first, stealing from the deepest peer deque when idle —
+/// until shutdown with no reachable work.
+///
+/// Wall-clock steal order is inherently racy, so the threaded victim
+/// rule is load-based (deepest deque, ties to the lowest index) rather
+/// than seeded; determinism claims live entirely in the virtual-time
+/// backend.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     index: usize,
     machine: MachineConfig,
     verdict_cache: Option<SharedVerdictCache>,
     shared: Arc<SharedQueue>,
     tx: mpsc::Sender<WorkerMsg>,
+    run_cfg: SessionRunConfig,
+    metrics: Arc<ServeMetrics>,
+    steal: bool,
 ) {
     let _guard = WorkerGuard(Arc::clone(&shared));
     let mut shard = Shard::new(index, &machine, verdict_cache);
-    loop {
-        let job = {
-            let mut queue = lock_recover(&shared.queue);
+    'outer: loop {
+        let item = {
+            let mut work = lock_recover(&shared.work);
             loop {
-                if let Some(job) = queue.pop_front() {
-                    break Some(job);
+                if let Some(item) = work.pop_own(index) {
+                    break Some(item);
+                }
+                if steal {
+                    let victim = work
+                        .victims(index)
+                        .into_iter()
+                        .max_by_key(|&i| (work.depth(i), std::cmp::Reverse(i)));
+                    if let Some(victim) = victim {
+                        if let Some(item) = work.steal_from(victim) {
+                            let from_dead = shared.dead[victim].load(Ordering::SeqCst);
+                            metrics.record_steal(item.sessions.len() as u64, from_dead);
+                            break Some(item);
+                        }
+                    }
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
@@ -779,30 +1050,51 @@ fn worker_loop(
                 // interval, never a hung worker.
                 let (guard, _) = shared
                     .available
-                    .wait_timeout(queue, WORKER_POLL)
+                    .wait_timeout(work, WORKER_POLL)
                     .unwrap_or_else(PoisonError::into_inner);
-                queue = guard;
+                work = guard;
             }
         };
-        let Some((req, run_cfg, metrics, directive)) = job else {
+        let Some(item) = item else {
             break;
         };
-        let report = shard.run_session_with_fault(&req, &run_cfg, &metrics, directive.as_ref());
-        metrics.record_timing(
-            &report.stages,
-            report.cycles,
-            report.latency_cycles,
-            report.wall_nanos,
-        );
-        let died = shard.is_dead();
-        if tx.send(WorkerMsg::Report(Box::new(report))).is_err() {
-            break;
-        }
-        if died {
-            // The injected death takes effect after the report ships:
-            // the session's typed failure is visible, then the worker
-            // is gone and the liveness guard announces it.
-            break;
+        let batch_key = item.batch_key;
+        let mut remaining = item.sessions.into_iter();
+        while let Some(qs) = remaining.next() {
+            let report =
+                shard.run_session_with_fault(&qs.req, &run_cfg, &metrics, qs.directive.as_ref());
+            metrics.record_timing(
+                &report.stages,
+                report.cycles,
+                report.latency_cycles,
+                report.wall_nanos,
+            );
+            let died = shard.is_dead();
+            if tx.send(WorkerMsg::Report(Box::new(report))).is_err() {
+                break 'outer;
+            }
+            if died {
+                // The injected death takes effect after the report
+                // ships: the session's typed failure is visible, then
+                // the rest of the batch goes back to this worker's
+                // deque — peers steal from dead deques, so nothing
+                // queued is lost — and the liveness guard announces
+                // the death.
+                shared.dead[index].store(true, Ordering::SeqCst);
+                let rest: Vec<QueuedSession> = remaining.collect();
+                if !rest.is_empty() {
+                    lock_recover(&shared.work).push_front(
+                        index,
+                        WorkItem {
+                            home: index,
+                            batch_key,
+                            sessions: rest,
+                        },
+                    );
+                }
+                shared.available.notify_all();
+                break 'outer;
+            }
         }
     }
     let _ = tx.send(WorkerMsg::Done {

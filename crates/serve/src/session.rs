@@ -49,6 +49,33 @@ pub struct SessionRequest {
     pub client_seed: u64,
     /// `Some(n)`: simulate a client that dies after `n` sealed blocks.
     pub stall_after: Option<usize>,
+    /// `Some(i)`: pin this session's *home* deque to shard `i mod
+    /// shards` instead of letting the scheduler pick the
+    /// earliest-available shard. Work stealing may still run it
+    /// elsewhere; the hint only shapes where it queues (benches use it
+    /// to construct skewed fleets).
+    pub shard_hint: Option<usize>,
+}
+
+impl SessionRequest {
+    /// The admission-time batch key: SHA-256 over a domain tag, the
+    /// length-prefixed bootstrap bytes, and the client binary. Two
+    /// requests with the same key provision identical enclave content
+    /// under the same spec, so one inspection's verdict serves both via
+    /// the content-addressed cache — which is exactly what batch
+    /// admission exploits. (The verdict cache's own key hashes the
+    /// *reassembled* content; this one is computable before any
+    /// delivery happens, from the request alone.)
+    pub fn admission_key(&self) -> [u8; 32] {
+        let bootstrap = self.spec.to_bootstrap_bytes();
+        let mut h = Sha256::new();
+        h.update(b"ENGARDE-BATCH-ADMISSION-V1");
+        h.update(&(bootstrap.len() as u64).to_be_bytes());
+        h.update(&bootstrap);
+        h.update(&(self.binary.len() as u64).to_be_bytes());
+        h.update(&self.binary);
+        h.finalize().0
+    }
 }
 
 impl std::fmt::Debug for SessionRequest {

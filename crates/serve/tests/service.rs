@@ -139,6 +139,8 @@ fn run_virtual(seed: u64) -> engarde_serve::ServiceResult {
         verdict_cache: None,
         faults: None,
         store: None,
+        batch: None,
+        steal: true,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -196,6 +198,8 @@ fn run_cached_fleet(seed: u64) -> engarde_serve::ServiceResult {
         verdict_cache: Some(16),
         faults: None,
         store: None,
+        batch: None,
+        steal: true,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -295,6 +299,8 @@ fn admission_control_rejects_when_queue_is_full() {
         verdict_cache: None,
         faults: None,
         store: None,
+        batch: None,
+        steal: true,
     });
     let mut rejected = 0;
     for item in &traffic {
@@ -335,6 +341,8 @@ fn threaded_mode_completes_all_sessions() {
         verdict_cache: None,
         faults: None,
         store: None,
+        batch: None,
+        steal: true,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -420,6 +428,8 @@ fn killed_worker_yields_typed_error_not_hang() {
             mix: engarde_serve::FaultMix::only(engarde_serve::FaultKind::WorkerDeath, 1000),
         }),
         store: None,
+        batch: None,
+        steal: true,
     });
     svc.submit(reqs[0].clone())
         .expect("admit the doomed session");
@@ -478,4 +488,137 @@ fn virtual_fleet_with_all_shards_dead_refuses_typed() {
         result.reports[0].outcome,
         SessionOutcome::Failed { .. }
     ));
+}
+
+fn run_same_binary_fleet(
+    seed: u64,
+    batch: Option<engarde_serve::BatchPolicy>,
+    verdict_cache: Option<usize>,
+) -> engarde_serve::ServiceResult {
+    let musl = musl();
+    let traffic = repeated_binary_traffic(8, 3, seed);
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 1,
+        mode: SchedMode::VirtualTime { arrival_gap: 1_000 },
+        machine: machine(seed),
+        queue_capacity: 16,
+        run: SessionRunConfig::default(),
+        verdict_cache,
+        faults: None,
+        store: None,
+        batch,
+        steal: true,
+    });
+    for item in &traffic {
+        svc.submit(regimes::request_for(item, &musl))
+            .expect("admit");
+    }
+    svc.drain()
+}
+
+#[test]
+fn batch_admission_amortizes_one_inspection_across_same_key_followers() {
+    let policy = engarde_serve::BatchPolicy::default();
+    let batched = run_same_binary_fleet(0xBA7C4, Some(policy), Some(16));
+
+    // Arrivals land every 1k cycles while a session costs millions:
+    // session 0 is already running when session 1 arrives, so sessions
+    // 1..=7 coalesce into a single same-admission-key batch item.
+    let sched = batched.metrics.sched_stats();
+    assert_eq!(sched.batches, 1, "one open item must absorb the tail");
+    assert_eq!(sched.batched_sessions, 6, "six followers joined it");
+    assert_eq!(sched.batch_size_highwater, 7);
+
+    // The leader pays the one real inspection; every follower replays
+    // the shared verdict for probe cost.
+    let m = batched.metrics.counters();
+    assert_eq!(m.cache_misses, 1);
+    assert_eq!(m.cache_hits, 7);
+    assert!(batched
+        .reports
+        .iter()
+        .all(|r| r.outcome == SessionOutcome::Compliant && r.client_verified));
+
+    // Batching changes scheduling, never verdict content: the
+    // verdict-only fingerprint matches a run with batching off.
+    let unbatched = run_same_binary_fleet(0xBA7C4, None, Some(16));
+    assert_eq!(
+        batched.verdict_fingerprint(),
+        unbatched.verdict_fingerprint()
+    );
+
+    // And the amortization is real: against a fleet that inspects every
+    // session from scratch (no cache to share), the batched run's
+    // makespan collapses.
+    let from_scratch = run_same_binary_fleet(0xBA7C4, None, None);
+    assert!(
+        batched.makespan_cycles * 2 < from_scratch.makespan_cycles,
+        "batched {} vs from-scratch {}: followers must not pay full inspection",
+        batched.makespan_cycles,
+        from_scratch.makespan_cycles
+    );
+
+    // Bit-reproducible, like every virtual-time schedule.
+    let replay = run_same_binary_fleet(0xBA7C4, Some(policy), Some(16));
+    assert_eq!(batched.fingerprint(), replay.fingerprint());
+}
+
+fn run_skewed_fleet(seed: u64, steal: bool) -> engarde_serve::ServiceResult {
+    let reqs = compliant_requests(12, seed);
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 4,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: 500_000,
+        },
+        machine: machine(seed),
+        queue_capacity: 32,
+        run: SessionRunConfig::default(),
+        verdict_cache: None,
+        faults: None,
+        store: None,
+        batch: None,
+        steal,
+    });
+    for mut req in reqs {
+        // Every tenant hints the same home shard: the hot-shard skew
+        // the work-stealing scheduler exists to absorb.
+        req.shard_hint = Some(0);
+        svc.submit(req).expect("admit");
+    }
+    svc.drain()
+}
+
+#[test]
+fn skewed_fleet_spreads_hot_shard_load_by_stealing() {
+    let stealing = run_skewed_fleet(0x5E3A, true);
+    let sched = stealing.metrics.sched_stats();
+    assert!(sched.steals > 0, "idle peers must steal from the hot deque");
+    let shards_used: std::collections::BTreeSet<usize> =
+        stealing.reports.iter().map(|r| r.shard).collect();
+    assert!(
+        shards_used.len() > 1,
+        "hinted-home sessions must spill to idle peers, got {shards_used:?}"
+    );
+    assert!(stealing
+        .reports
+        .iter()
+        .all(|r| r.outcome == SessionOutcome::Compliant && r.client_verified));
+
+    // The steal schedule is a pure function of the seeds.
+    let replay = run_skewed_fleet(0x5E3A, true);
+    assert_eq!(stealing.fingerprint(), replay.fingerprint());
+
+    // Stealing off: the hint pins everything to shard 0 and the other
+    // three workers idle — same verdicts, but the makespan balloons.
+    let pinned = run_skewed_fleet(0x5E3A, false);
+    assert_eq!(pinned.metrics.sched_stats().steals, 0);
+    assert!(pinned.reports.iter().all(|r| r.shard == 0));
+    assert_eq!(stealing.verdict_fingerprint(), pinned.verdict_fingerprint());
+    assert!(
+        pinned.makespan_cycles >= 2 * stealing.makespan_cycles,
+        "pinned {} vs stealing {}: a hot shard without stealing must \
+         serialize the fleet",
+        pinned.makespan_cycles,
+        stealing.makespan_cycles
+    );
 }

@@ -14,12 +14,21 @@ use std::path::{Path, PathBuf};
 pub struct StoreOptions {
     /// Records per segment before the store rotates to a fresh file.
     pub segment_max_records: usize,
+    /// Live-fraction compaction threshold in per-mille: when fewer than
+    /// `compact_live_per_mille` of every 1000 stored records are still
+    /// live (the rest superseded by rewrites of the same key), the
+    /// store compacts itself at the next segment rotation instead of
+    /// waiting for an explicit [`VerdictStore::compact`] call. `0`
+    /// disables the trigger (the default): drain-time-only compaction,
+    /// the pre-existing behavior.
+    pub compact_live_per_mille: u16,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
         StoreOptions {
             segment_max_records: 256,
+            compact_live_per_mille: 0,
         }
     }
 }
@@ -300,6 +309,7 @@ impl VerdictStore {
     pub fn append(&mut self, key: &CacheKey, verdict: &CachedVerdict) -> Result<(), StoreError> {
         if self.active_records >= self.options.segment_max_records.max(1) {
             self.rotate()?;
+            self.maybe_auto_compact()?;
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -326,6 +336,23 @@ impl VerdictStore {
     pub fn append_batch(&mut self, items: &[(CacheKey, CachedVerdict)]) -> Result<(), StoreError> {
         for (key, verdict) in items {
             self.append(key, verdict)?;
+        }
+        Ok(())
+    }
+
+    /// The live-fraction trigger, checked at segment rotation (so its
+    /// cost amortizes over `segment_max_records` appends): compacts
+    /// when live records have fallen below `compact_live_per_mille` of
+    /// every 1000 stored. A compaction pass leaves `stored == live`, so
+    /// the trigger cannot re-fire until supersessions accumulate again.
+    fn maybe_auto_compact(&mut self) -> Result<(), StoreError> {
+        let threshold = u64::from(self.options.compact_live_per_mille);
+        if threshold == 0 {
+            return Ok(());
+        }
+        let live = self.live.len() as u64;
+        if self.stored_records > live && live * 1000 < self.stored_records * threshold {
+            self.compact()?;
         }
         Ok(())
     }

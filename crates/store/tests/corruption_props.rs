@@ -73,6 +73,7 @@ fn seed_store(dir: &Path, records: u8) -> HashMap<[u8; 32], CachedVerdict> {
         &seal_key(),
         StoreOptions {
             segment_max_records: 4,
+            ..StoreOptions::default()
         },
     )
     .expect("open");

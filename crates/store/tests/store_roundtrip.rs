@@ -60,6 +60,7 @@ fn verdict(tag: &str) -> CachedVerdict {
 fn small_segments() -> StoreOptions {
     StoreOptions {
         segment_max_records: 4,
+        ..StoreOptions::default()
     }
 }
 
@@ -277,4 +278,83 @@ fn sequence_numbers_are_never_reissued_after_a_torn_tail() {
         VerdictStore::open(dir.path(), &seal_key(), StoreOptions::default()).expect("third open");
     assert!(!report.found_damage());
     assert_eq!(store.get(&key(3)).expect("live"), &verdict("after-tear"));
+}
+
+#[test]
+fn live_fraction_threshold_auto_compacts_a_superseding_workload() {
+    // A re-verdicting fleet rewrites the same few keys forever. With
+    // only drain-gated compaction the log grows without bound; the
+    // live-fraction threshold must bound it. Run the identical
+    // supersession workload twice — threshold off, then on — and pin
+    // that the trigger actually fires and shrinks the segment count.
+    let run = |dir: &std::path::Path, compact_live_per_mille: u16| {
+        let (mut store, _) = VerdictStore::open(
+            dir,
+            &seal_key(),
+            StoreOptions {
+                segment_max_records: 4,
+                compact_live_per_mille,
+            },
+        )
+        .expect("open");
+        // 40 appends over 4 keys: 4 live, 36 superseded by the end.
+        for round in 0..10u8 {
+            for n in 0..4u8 {
+                store
+                    .append(&key(n), &verdict(&format!("round-{round}")))
+                    .expect("append");
+            }
+        }
+        store
+    };
+
+    let plain_dir = TempDir::new("autocompact-off");
+    let plain = run(plain_dir.path(), 0);
+    assert_eq!(plain.stats().compactions, 0, "0 per mille must not fire");
+    assert!(
+        plain.stats().segments >= 8,
+        "without the trigger the log must keep growing, got {} segments",
+        plain.stats().segments
+    );
+
+    // 500 per mille: compact whenever fewer than half the stored
+    // records are live — i.e. as soon as supersessions outnumber live
+    // keys at a rotation point.
+    let auto_dir = TempDir::new("autocompact-on");
+    let auto = run(auto_dir.path(), 500);
+    let stats = auto.stats();
+    assert!(
+        stats.compactions >= 2,
+        "live-fraction trigger never fired: {stats:?}"
+    );
+    assert!(
+        stats.segments < plain.stats().segments / 2,
+        "auto-compaction must bound segment growth: {} vs {} without",
+        stats.segments,
+        plain.stats().segments
+    );
+    assert!(stats.compaction_dropped > 0);
+    assert_eq!(stats.live_records, 4, "compaction must not lose live keys");
+
+    // The bounded store still serves the latest write of every key and
+    // recovers clean: compaction under the trigger is just compaction.
+    drop(auto);
+    let (reopened, report) = VerdictStore::open(
+        auto_dir.path(),
+        &seal_key(),
+        StoreOptions {
+            segment_max_records: 4,
+            compact_live_per_mille: 500,
+        },
+    )
+    .expect("reopen");
+    assert!(!report.found_damage());
+    assert_eq!(reopened.len(), 4);
+    for n in 0..4u8 {
+        assert_eq!(
+            reopened.get(&key(n)).expect("live key"),
+            &verdict("round-9"),
+            "key {n} must resolve to its final supersession"
+        );
+    }
 }

@@ -39,6 +39,16 @@ jq -e '
         and (.fingerprint | type == "string")))
     and (.runs[1].speedup_vs_min_fleet > 1)
     and (.overload.rejection_rate > 0)
+    and (.skewed.deterministic == true)
+    and (.skewed.runs | length == 4)
+    and (.skewed.runs | all(
+        (.throughput_per_sec > 0)
+        and (.makespan_cycles > 0)
+        and (.fingerprint | type == "string")))
+    and (.skewed.speedup_steal > .skewed.speedup_pinned)
+    and (.skewed.speedup_steal_batch_cache >= .skewed.speedup_steal)
+    and ([.skewed.runs[] | select(.steal) | .steals] | add > 0)
+    and ([.skewed.runs[] | select(.batch) | .batches] | add > 0)
 ' "$smoke_out" > /dev/null \
     || { echo "FAIL: $smoke_out missing required keys/invariants" >&2; exit 1; }
 echo "OK: $smoke_out schema + invariants hold"

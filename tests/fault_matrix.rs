@@ -51,6 +51,8 @@ fn run_with_plan(
         verdict_cache: None,
         faults: plan,
         store: None,
+        batch: None,
+        steal: true,
     });
     let mut refused = Vec::new();
     for item in traffic {
@@ -107,6 +109,8 @@ fn run_with_store(
         verdict_cache: None,
         faults: plan,
         store: Some(store),
+        batch: None,
+        steal: true,
     });
     let mut refused = Vec::new();
     for item in traffic {
@@ -299,6 +303,7 @@ fn store_cfg(dir: &std::path::Path, seed: u64) -> StoreConfig {
         flush_batch: 2,
         segment_max_records: 2,
         compact_on_drain: false,
+        compact_live_per_mille: 0,
     }
 }
 
@@ -462,4 +467,166 @@ fn store_damage_never_yields_unauthenticated_verdicts_or_plaintext() {
         }
         Err(e) => panic!("foreign-key open must degrade typed, not error: {e}"),
     }
+}
+
+/// A plan whose only injection is a `WorkerDeath` on the very first
+/// arrival — found by scanning seeds, so the schedule stays a pure
+/// function of the plan and the test needs no targeting backdoor.
+fn death_on_first_arrival_only(sessions: u64) -> FaultPlan {
+    let mix = FaultMix::only(FaultKind::WorkerDeath, 120);
+    for seed in 0..u64::MAX {
+        let plan = FaultPlan { seed, mix };
+        let first = plan
+            .directive_for(0)
+            .is_some_and(|d| d.kind == FaultKind::WorkerDeath);
+        if first && (1..sessions).all(|i| plan.directive_for(i).is_none()) {
+            return plan;
+        }
+    }
+    unreachable!("some seed kills only arrival 0");
+}
+
+/// Runs a compliant fleet whose every session is *home-pinned* to
+/// shard 0 through a four-shard virtual-time fleet: the worker-death ×
+/// work-stealing worst case, where the victim's deque holds everything.
+fn run_pinned_to_shard_zero(
+    traffic: &[TrafficItem],
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> (ServiceResult, Vec<ServeError>) {
+    let musl = Arc::new(regimes::musl_hashes());
+    let mut svc = ProvisioningService::start(ServiceConfig {
+        shards: 4,
+        mode: SchedMode::VirtualTime {
+            arrival_gap: 1_500_000,
+        },
+        machine: machine(seed),
+        queue_capacity: 64,
+        run: SessionRunConfig::default(),
+        verdict_cache: None,
+        faults: plan,
+        store: None,
+        batch: None,
+        steal: true,
+    });
+    let mut refused = Vec::new();
+    for item in traffic {
+        let mut req = regimes::request_for(item, &musl);
+        req.shard_hint = Some(0);
+        if let Err(e) = svc.submit(req) {
+            refused.push(e);
+        }
+    }
+    (svc.drain(), refused)
+}
+
+#[test]
+fn worker_death_deque_is_drained_by_stealing_peers() {
+    let traffic = chaos_fleet(6, 3, 0xFA61);
+    let plan = death_on_first_arrival_only(traffic.len() as u64);
+
+    let (result, refused) = run_pinned_to_shard_zero(&traffic, 0xFA62, Some(plan));
+    assert!(refused.is_empty(), "live peers must keep admitting");
+
+    // The session that carried the death fails typed; every session
+    // queued behind it on the dead shard's deque completes on a peer.
+    assert!(
+        matches!(&result.reports[0].outcome, SessionOutcome::Failed { error } if error.contains("worker")),
+        "arrival 0 must surface the typed worker loss: {:?}",
+        result.reports[0].outcome
+    );
+    for report in &result.reports[1..] {
+        assert_eq!(
+            report.outcome,
+            SessionOutcome::Compliant,
+            "{} was queued on the dead shard and must still reach its verdict",
+            report.name
+        );
+        assert!(report.client_verified, "{}", report.name);
+        assert_ne!(
+            report.shard, 0,
+            "{} cannot have run on the dead shard",
+            report.name
+        );
+    }
+
+    // Every survivor moved through the steal path, and the counters
+    // attribute the drain to the dead victim.
+    let sched = result.metrics.sched_stats();
+    assert_eq!(sched.steals, traffic.len() as u64 - 1);
+    assert_eq!(sched.drained_from_dead, traffic.len() as u64 - 1);
+    assert_eq!(result.metrics.counters().workers_died, 1);
+
+    // Zero EPC residue fleet-wide — dead shard included.
+    for shard in &result.shards {
+        assert_eq!(shard.provider().session_count(), 0);
+        assert_eq!(shard.provider().host().machine().epc_used_pages(), 0);
+    }
+
+    // The drained schedule is still a pure function of the seeds:
+    // replaying the death produces bit-identical verdict fingerprints.
+    let (replay, _) = run_pinned_to_shard_zero(&traffic, 0xFA62, Some(plan));
+    assert_eq!(
+        result.fingerprint(),
+        replay.fingerprint(),
+        "steal-drained worker death must replay bit-identically"
+    );
+}
+
+#[test]
+fn retry_backoff_is_charged_to_the_session_cycle_budget() {
+    // One compliant session, corrupted on its first attempt so it must
+    // retry. The backoff base dwarfs the session budget: if backoff
+    // cycles (base + jitter) were charged to the shard clock alone, the
+    // retry would proceed and the session would complete; because they
+    // land on the session's own budget, the service must evict it with
+    // a typed `SessionBudgetExceeded` right after the backoff charge.
+    let traffic = chaos_fleet(1, 3, 0xFA71);
+    let plan = FaultPlan {
+        seed: 21,
+        mix: FaultMix::only(FaultKind::CorruptBlock, 1000),
+    };
+    let budget = 200_000_000u64;
+    let budgeted = SessionRunConfig {
+        retry_budget: 3,
+        backoff_base_cycles: 1_000_000_000,
+        session_cycle_budget: Some(budget),
+        ..SessionRunConfig::default()
+    };
+    let (result, refused) = run_with_plan(&traffic, 0xFA72, Some(plan), budgeted);
+    assert!(refused.is_empty());
+    let report = &result.reports[0];
+    assert_eq!(
+        report.outcome,
+        SessionOutcome::Evicted {
+            reason: engarde::serve::EvictReason::SessionBudgetExceeded
+        },
+        "a backoff larger than the budget must evict, got {:?}",
+        report.outcome
+    );
+    assert_eq!(report.retries, 1, "evicted on the first backoff");
+    assert!(
+        report.cycles > budget,
+        "the backoff charge must be visible in the session's own cycle \
+         account ({} cycles <= {budget} budget)",
+        report.cycles
+    );
+
+    // Control: the identical fault and budget with backoff disabled
+    // retries straight to a verdict — the eviction above is therefore
+    // attributable to the backoff-and-jitter charge alone.
+    let control = SessionRunConfig {
+        retry_budget: 3,
+        backoff_base_cycles: 0,
+        session_cycle_budget: Some(budget),
+        ..SessionRunConfig::default()
+    };
+    let (result, refused) = run_with_plan(&traffic, 0xFA72, Some(plan), control);
+    assert!(refused.is_empty());
+    assert!(
+        result.reports[0].reached_verdict(),
+        "without backoff the same fault fits the budget: {:?}",
+        result.reports[0].outcome
+    );
+    assert!(result.reports[0].retries >= 1);
 }

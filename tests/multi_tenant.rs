@@ -50,6 +50,8 @@ fn mixed_tenant_fleet_isolates_sessions_and_rejects_adversaries() {
         verdict_cache: None,
         faults: None,
         store: None,
+        batch: None,
+        steal: true,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))
@@ -177,6 +179,8 @@ fn threaded_tenants_complete_with_isolated_channels() {
         verdict_cache: None,
         faults: None,
         store: None,
+        batch: None,
+        steal: true,
     });
     for item in &traffic {
         svc.submit(regimes::request_for(item, &musl))

@@ -73,6 +73,8 @@ fn run_fleet(traffic: &[TrafficItem], seed: u64, store: StoreConfig) -> ServiceR
         verdict_cache: None,
         faults: None,
         store: Some(store),
+        batch: None,
+        steal: true,
     });
     for item in traffic {
         svc.submit(regimes::request_for(item, &musl))

@@ -482,10 +482,16 @@ fn main() {
     match &threaded {
         Some((result, rejected, wall_secs)) => {
             let m = result.metrics.counters();
+            let th = result.metrics.threaded_stats();
             json.push_str(&format!(
-                "  \"threaded\": {{\"shards\": {largest}, \"completed\": {}, \"rejected\": {rejected}, \"wall_seconds\": {wall_secs:.4}, \"wall_throughput_per_sec\": {:.4}}}\n",
+                "  \"threaded\": {{\"shards\": {largest}, \"completed\": {}, \"rejected\": {rejected}, \"wall_seconds\": {wall_secs:.4}, \"wall_throughput_per_sec\": {:.4}, \"steals\": {}, \"stolen_sessions\": {}, \"drained_from_dead\": {}, \"batches\": {}, \"batched_sessions\": {}}}\n",
                 m.completed,
-                m.completed as f64 / wall_secs.max(1e-9)
+                m.completed as f64 / wall_secs.max(1e-9),
+                th.steals,
+                th.stolen_sessions,
+                th.drained_from_dead,
+                th.batches,
+                th.batched_sessions
             ));
         }
         None => json.push_str("  \"threaded\": null\n"),

@@ -135,6 +135,63 @@ fn chain_image(n: usize, filler: usize) -> Vec<u8> {
     builder.build()
 }
 
+/// The spill-laundering twin of [`chain_image`]: identical chain shape
+/// and per-frame instruction count, but every filler move is a
+/// spill/reload through a rotating `%rsp` frame slot — each frame
+/// touches up to four tracked cells, so the memory-domain overhead is
+/// directly comparable against the register-only chain.
+fn spill_chain_image(n: usize, filler: usize) -> Vec<u8> {
+    assert!(n >= 2, "a chain needs _start plus at least one callee");
+    let mut asm = Assembler::new();
+    let labels: Vec<_> = (0..n).map(|_| asm.label()).collect();
+    let mut offsets = Vec::with_capacity(n);
+    for (i, label) in labels.iter().enumerate() {
+        asm.align_to(BUNDLE_SIZE);
+        offsets.push(asm.offset());
+        asm.bind(*label);
+        if i == 0 {
+            asm.movabs(Reg::Rbx, SECRET);
+            asm.mov_mem_to_reg64(Reg::Rax, Reg::Rbx);
+            asm.mov_rr64(Reg::Rdi, Reg::Rax);
+            asm.call_label(labels[1]);
+        } else {
+            for k in 0..filler {
+                let slot = 8 * (1 + (k as i8 / 2) % 4);
+                if k % 2 == 0 {
+                    asm.mov_reg_to_rsp_disp8(Reg::Rdi, slot);
+                } else {
+                    asm.mov_rsp_disp8_to_reg(Reg::Rdi, slot);
+                }
+            }
+            if i + 1 < n {
+                asm.call_label(labels[i + 1]);
+            } else {
+                asm.movabs(Reg::Rdx, SINK_IN);
+                asm.mov_reg_to_mem64(Reg::Rdi, Reg::Rdx);
+            }
+        }
+        asm.ret();
+    }
+    let text = asm.finish();
+    let len = text.len() as u64;
+    let mut builder = ElfBuilder::new();
+    builder.text(text).entry(0);
+    let names: Vec<String> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                "_start".into()
+            } else {
+                format!("f{i}")
+            }
+        })
+        .collect();
+    for (i, &off) in offsets.iter().enumerate() {
+        let end = offsets.get(i + 1).copied().unwrap_or(len);
+        builder.function(&names[i], off, end - off);
+    }
+    builder.build()
+}
+
 fn load_image(image: &[u8], seed: u64) -> (SgxMachine, EnclaveId, LoadedBinary) {
     let mut m = SgxMachine::new(MachineConfig {
         epc_pages: 64,
@@ -254,9 +311,44 @@ fn main() {
         "the shared memo must beat two fresh passes"
     );
 
+    // Memory-domain overhead: the same chain depth and per-frame
+    // instruction count, with every filler move replaced by a
+    // spill/reload through a rotating frame slot — the cycle delta is
+    // what the abstract memory environment costs.
+    let max_depth = *args.depths.iter().max().expect("depths");
+    let plain = measure_depth(max_depth, args.filler, args.seed);
+    let spill_img = spill_chain_image(max_depth, args.filler);
+    let (_m, _id, spill_loaded) = load_image(&spill_img, args.seed);
+    let (spill_analysis, _) = ProgramAnalysis::compute(&spill_loaded);
+    let (spill_taint, spill_cycles) =
+        TaintAnalysis::compute(&spill_loaded, &spill_analysis, &spill_loaded.secret_ranges);
+    let spill_stats = spill_taint.stats(spill_cycles);
+    assert_eq!(
+        spill_stats.leaks_found, 0,
+        "the spill chain stores in-enclave only"
+    );
+    assert!(
+        spill_stats.spill_cells >= 1,
+        "the spill chain must exercise tracked cells"
+    );
+    let overhead_pct =
+        100.0 * (spill_cycles as f64 - plain.taint_cycles as f64) / plain.taint_cycles as f64;
+    eprintln!(
+        "  memory domain: {} plain vs {} spill cycles ({:+.1}%), {} cells, {} cell steps, {} weak updates",
+        plain.taint_cycles,
+        spill_cycles,
+        overhead_pct,
+        spill_stats.spill_cells,
+        spill_taint.cell_steps,
+        spill_stats.weak_updates,
+    );
+
     // Adversarial fixtures: leaking variants rejected, twins pass.
     let leakage = || vec![Box::new(SecretLeakage::new()) as Box<dyn PolicyModule>];
+    let lenient = || vec![Box::new(SecretLeakage::lenient()) as Box<dyn PolicyModule>];
     let branch = || vec![Box::new(SecretDependentBranch::new()) as Box<dyn PolicyModule>];
+    const SCRATCH: u64 = 0x10900;
+    const PTR: u64 = 0x10a00;
     let fixtures = [
         (
             "register_leak_rejected",
@@ -298,6 +390,70 @@ fn main() {
                 args.seed,
             ),
         ),
+        (
+            "spill_leak_rejected",
+            !fixture_verdict(
+                &adversarial::stack_spill_leak(SECRET, SINK_OUT),
+                leakage(),
+                args.seed,
+            ),
+        ),
+        (
+            "spill_twin_passes",
+            fixture_verdict(
+                &adversarial::stack_spill_leak(SECRET, SINK_IN),
+                leakage(),
+                args.seed,
+            ),
+        ),
+        (
+            "spill_branch_rejected",
+            !fixture_verdict(&adversarial::spill_branch(SECRET), branch(), args.seed),
+        ),
+        (
+            "constant_spill_branch_twin_passes",
+            fixture_verdict(&adversarial::constant_spill_branch(), branch(), args.seed),
+        ),
+        (
+            "spill_escape_rejected",
+            !fixture_verdict(
+                &adversarial::interprocedural_spill_escape(SECRET, SCRATCH, SINK_OUT),
+                leakage(),
+                args.seed,
+            ),
+        ),
+        (
+            "spill_escape_twin_passes",
+            fixture_verdict(
+                &adversarial::interprocedural_spill_escape(SECRET, SCRATCH, SINK_IN),
+                leakage(),
+                args.seed,
+            ),
+        ),
+        (
+            "unresolved_store_rejected_strict",
+            !fixture_verdict(
+                &adversarial::unresolved_pointer_store(SECRET, PTR),
+                leakage(),
+                args.seed,
+            ),
+        ),
+        (
+            "unresolved_clean_twin_passes",
+            fixture_verdict(
+                &adversarial::unresolved_pointer_store_clean(PTR),
+                leakage(),
+                args.seed,
+            ),
+        ),
+        (
+            "unresolved_store_lenient_passes",
+            fixture_verdict(
+                &adversarial::unresolved_pointer_store(SECRET, PTR),
+                lenient(),
+                args.seed,
+            ),
+        ),
     ];
     let all_correct = fixtures.iter().all(|&(_, ok)| ok);
     for (name, ok) in &fixtures {
@@ -327,6 +483,16 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"memo\": {{\"single_leakage_cycles\": {leakage_only}, \"single_branch_cycles\": {branch_only}, \"shared_two_policy_cycles\": {shared_both}, \"memo_speedup\": {memo_speedup:.4}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"memory_domain\": {{\"plain_chain_cycles\": {}, \"spill_chain_cycles\": {}, \"overhead_pct\": {:.2}, \"cell_steps\": {}, \"spill_cells\": {}, \"weak_updates\": {}, \"unresolved_store_sinks\": {}}},\n",
+        plain.taint_cycles,
+        spill_cycles,
+        overhead_pct,
+        spill_taint.cell_steps,
+        spill_stats.spill_cells,
+        spill_stats.weak_updates,
+        spill_stats.unresolved_store_sinks,
     ));
     json.push_str("  \"fixtures\": {");
     for (i, (name, ok)) in fixtures.iter().enumerate() {

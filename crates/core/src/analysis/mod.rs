@@ -26,7 +26,8 @@ pub mod taint;
 pub use cfg::{BasicBlock, BlockId, CallGraph, Cfg, Edge, EdgeKind};
 pub use dataflow::{ConstProp, RegState};
 pub use taint::{
-    AbsTaint, SecretClass, SecretRange, SinkKind, TaintAnalysis, TaintFinding, TaintSet, TaintStats,
+    AbsTaint, CellKey, MemEnv, SecretClass, SecretRange, SinkKind, TaintAnalysis, TaintFinding,
+    TaintSet, TaintStats, SINK_KINDS,
 };
 
 use crate::loader::LoadedBinary;

@@ -13,10 +13,16 @@
 //! ([`TaintSet`], join = union) plus a bitmask over the enclosing
 //! function's *input registers* — the symbolic half that makes the
 //! analysis interprocedural. Per program point the state tracks all 16
-//! registers, the flags (for secret-dependent branches), and
-//! `%rbp`-relative stack slots, alongside the constant-propagation
-//! lattice (shared with [`super::dataflow`]) used to resolve
-//! load/store effective addresses.
+//! registers, the flags (for secret-dependent branches), and an
+//! abstract memory environment ([`MemEnv`]) of tracked cells
+//! ([`CellKey`]): `%rbp`-relative slots, entry-`%rsp`-relative frame
+//! slots (the stack-pointer offset is tracked through `push`/`pop` and
+//! `add`/`sub $imm, %rsp`, widening to unknown when any other write
+//! touches `%rsp`), and constant-resolved absolute in-enclave
+//! addresses — alongside the constant-propagation lattice (shared with
+//! [`super::dataflow`]) used to resolve load/store effective
+//! addresses. A tainted store followed by a load from the same cell
+//! restores the label, so register spills no longer launder secrets.
 //!
 //! **Summaries**: functions are grouped into call-graph SCCs (iterative
 //! Tarjan) and processed callee-first; each function gets a
@@ -30,19 +36,30 @@
 //!
 //! **Sinks** ([`SinkKind`]): stores whose resolved target lies outside
 //! the enclave's mapped range, tainted operands feeding indirect
-//! jumps/calls (exit and trampoline sites), and conditional branches
-//! whose flags are tainted (the side-channel shape).
+//! jumps/calls (exit and trampoline sites), conditional branches whose
+//! flags are tainted (the side-channel shape), and — new with the
+//! memory domain — tainted stores through addresses the constant
+//! lattice cannot resolve ([`SinkKind::UnresolvedStore`]). The last
+//! kind is the conservative no-silent-drop rule: when we cannot tell
+//! *where* a secret was written, the write is flagged as a sink
+//! candidate *and* the value escapes into the environment's ambient
+//! component, which every subsequent load joins in.
 //!
-//! Model limits (documented, deliberate): values pushed through
-//! `push`/`pop` or stored to unresolved non-`%rbp` addresses lose
-//! taint, and a load through a *tainted pointer* is not itself a sink.
-//! Every limit errs toward fewer reports, which is what keeps the
+//! Model limits (documented, deliberate): a load through a *tainted
+//! pointer* is not itself a sink, `%rbp` is assumed to be a stable
+//! frame base within a function, a callee's loads do not observe the
+//! caller's escaped memory (escape flows upward through summaries
+//! only), and callee frame slots are assumed dead after return. Every
+//! remaining limit errs toward fewer reports, which is what keeps the
 //! "removing a source never adds a finding" monotonicity property true.
 //!
 //! Cost model: every instruction visit charges
-//! [`costs::TAINT_PER_STEP`] and every function-summary computation
-//! [`costs::TAINT_PER_SUMMARY`]; [`TaintAnalysis::compute`] returns
-//! the total for the caller to charge (memoized once per binary by
+//! [`costs::TAINT_PER_STEP`], every memory *cell touched* (strong
+//! read/write, or the full-environment scan a weak update performs)
+//! charges another [`costs::TAINT_PER_STEP`], and every
+//! function-summary computation [`costs::TAINT_PER_SUMMARY`];
+//! [`TaintAnalysis::compute`] returns the total for the caller to
+//! charge (memoized once per binary by
 //! [`crate::policy::AnalysisCache`]).
 
 use super::cfg::{BlockId, Cfg, EdgeKind};
@@ -197,7 +214,14 @@ pub enum SinkKind {
     /// A conditional branch whose condition is tainted (side-channel
     /// shape).
     TaintedBranch = 2,
+    /// A tainted value stored through an address the constant lattice
+    /// could not resolve: the write may land anywhere, so it is a sink
+    /// *candidate* rather than a silent taint drop.
+    UnresolvedStore = 3,
 }
+
+/// Number of sink kinds (the length of per-kind summary arrays).
+pub const SINK_KINDS: usize = 4;
 
 impl SinkKind {
     /// Human-readable sink name used in violation reasons.
@@ -206,6 +230,7 @@ impl SinkKind {
             SinkKind::OutOfEnclaveWrite => "out-of-enclave write",
             SinkKind::ExitOperand => "exit/trampoline operand",
             SinkKind::TaintedBranch => "secret-dependent branch",
+            SinkKind::UnresolvedStore => "unresolved-address store",
         }
     }
 
@@ -213,7 +238,8 @@ impl SinkKind {
         match i {
             0 => SinkKind::OutOfEnclaveWrite,
             1 => SinkKind::ExitOperand,
-            _ => SinkKind::TaintedBranch,
+            2 => SinkKind::TaintedBranch,
+            _ => SinkKind::UnresolvedStore,
         }
     }
 }
@@ -244,26 +270,162 @@ pub struct TaintStats {
     /// Total worklist block visits across all function analyses (the
     /// fixpoint's revisit count).
     pub fixpoint_iterations: u64,
+    /// Distinct memory cells the abstract environment ever tracked a
+    /// strong update for (stack spills + constant-address stores).
+    pub spill_cells: u64,
+    /// Weak-update events: tainted stores whose target cell could not
+    /// be pinned down, folded into the ambient escaped component
+    /// (counted per propagation visit, so fixpoint revisits count).
+    pub weak_updates: u64,
+    /// Distinct [`SinkKind::UnresolvedStore`] findings — tainted
+    /// stores through fully unresolved addresses, flagged rather than
+    /// silently dropped.
+    pub unresolved_store_sinks: u64,
     /// Native cycles charged for the analysis.
     pub cycles_charged: u64,
 }
 
+/// A tracked memory cell in the abstract environment.
+///
+/// The three families cover the spill shapes the constant lattice can
+/// pin down; everything else degrades to the ambient escaped component
+/// (a weak update — sound, merely imprecise).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum CellKey {
+    /// A `%rbp`-relative frame slot, keyed by displacement (the frame
+    /// pointer is assumed stable within a function).
+    Rbp(i32),
+    /// An entry-`%rsp`-relative frame slot: the offset of the cell
+    /// from the stack pointer *at function entry* (negative = below
+    /// the return address), resolved through tracked `push`/`pop` and
+    /// `add`/`sub $imm, %rsp` adjustments.
+    Frame(i64),
+    /// A constant-resolved absolute in-enclave address.
+    Abs(u64),
+}
+
+impl CellKey {
+    /// True for the two stack-slot families (dead once the function
+    /// returns, so never part of a summary's spill escape).
+    pub fn is_stack(self) -> bool {
+        matches!(self, CellKey::Rbp(_) | CellKey::Frame(_))
+    }
+}
+
+/// The abstract memory environment: a finite map of tracked cells plus
+/// an *ambient escaped* component — the join of every tainted value
+/// stored somewhere we could not name. Every load joins the ambient
+/// component in, so an unresolved store weakly updates all cells at
+/// once without enumerating them.
+///
+/// Absent cells are untainted (bottom); the join is pointwise union,
+/// which keeps the whole environment a join-semilattice (the property
+/// tests pin the laws).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MemEnv {
+    cells: BTreeMap<CellKey, AbsTaint>,
+    escaped: AbsTaint,
+}
+
+impl MemEnv {
+    /// The empty (bottom) environment.
+    pub fn new() -> MemEnv {
+        MemEnv::default()
+    }
+
+    /// The taint a load from `key` observes: the cell's own label
+    /// joined with the ambient escaped component.
+    pub fn read(&self, key: CellKey) -> AbsTaint {
+        self.cells
+            .get(&key)
+            .copied()
+            .unwrap_or(AbsTaint::EMPTY)
+            .join(self.escaped)
+    }
+
+    /// Strong update: the cell now holds exactly `t` (empty removes
+    /// the cell — absent is bottom).
+    pub fn write_strong(&mut self, key: CellKey, t: AbsTaint) {
+        if t.is_empty() {
+            self.cells.remove(&key);
+        } else {
+            self.cells.insert(key, t);
+        }
+    }
+
+    /// Weak update: `t` may have landed in any cell. Folds into the
+    /// ambient component, which every read joins in.
+    pub fn escape(&mut self, t: AbsTaint) {
+        self.escaped = self.escaped.join(t);
+    }
+
+    /// The ambient escaped component.
+    pub fn escaped(&self) -> AbsTaint {
+        self.escaped
+    }
+
+    /// Join of every tracked stack cell plus the ambient component —
+    /// what a stack load with an unresolvable offset observes.
+    pub fn frame_read(&self) -> AbsTaint {
+        self.cells
+            .iter()
+            .filter(|(k, _)| k.is_stack())
+            .fold(self.escaped, |acc, (_, v)| acc.join(*v))
+    }
+
+    /// Join of every absolute-address cell plus the ambient component
+    /// — the caller-visible spill escape a summary carries.
+    pub fn abs_escape(&self) -> AbsTaint {
+        self.cells
+            .iter()
+            .filter(|(k, _)| !k.is_stack())
+            .fold(self.escaped, |acc, (_, v)| acc.join(*v))
+    }
+
+    /// Number of tracked cells (the weak-update scan width, metered).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Least upper bound; returns true when `self` grew.
+    pub fn join(&mut self, other: &MemEnv) -> bool {
+        let mut changed = false;
+        for (k, v) in &other.cells {
+            if v.is_empty() {
+                continue;
+            }
+            changed |= self.cells.entry(*k).or_insert(AbsTaint::EMPTY).join_in(*v);
+        }
+        changed |= self.escaped.join_in(other.escaped);
+        changed
+    }
+}
+
 /// A function summary: register taint at return as a function of the
-/// inputs, plus the input registers that reach each sink kind.
+/// inputs, plus the input registers that reach each sink kind, plus
+/// the caller-visible spill escape.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct FnSummary {
     /// Taint of each register at every `ret`, joined.
     pub ret: [AbsTaint; 16],
     /// Per [`SinkKind`] (by discriminant), the input registers whose
     /// taint reaches that sink inside the function or its callees.
-    pub sink_inputs: [u16; 3],
+    pub sink_inputs: [u16; SINK_KINDS],
+    /// The spill escape: taint the function left behind in memory the
+    /// caller can still observe (absolute-address cells + anything
+    /// folded into the ambient escaped component). Callers join the
+    /// resolved escape into their own ambient component at the call
+    /// site, so a secret parked in memory by a callee and reloaded by
+    /// the caller keeps its label.
+    pub escape: AbsTaint,
 }
 
 impl FnSummary {
     /// The bottom summary (returns nothing tainted, reaches no sink).
     pub const BOTTOM: FnSummary = FnSummary {
         ret: [AbsTaint::EMPTY; 16],
-        sink_inputs: [0; 3],
+        sink_inputs: [0; SINK_KINDS],
+        escape: AbsTaint::EMPTY,
     };
 }
 
@@ -283,6 +445,15 @@ pub struct TaintAnalysis {
     pub summaries_computed: u64,
     /// Taint-transfer steps executed (one per instruction visit).
     pub steps: u64,
+    /// Memory cells touched (strong reads/writes plus weak-update scan
+    /// widths) — each charged [`costs::TAINT_PER_STEP`] on top of the
+    /// per-instruction charge.
+    pub cell_steps: u64,
+    /// Distinct cells ever strong-updated across the whole analysis.
+    pub spill_cells: u64,
+    /// Weak-update events (tainted stores folded into the ambient
+    /// escaped component).
+    pub weak_updates: u64,
 }
 
 impl TaintAnalysis {
@@ -347,6 +518,9 @@ impl TaintAnalysis {
             steps: 0,
             pops: 0,
             summaries_computed: 0,
+            cell_steps: 0,
+            weak_updates: 0,
+            written_cells: BTreeSet::new(),
         };
 
         // ---- bottom-up summary fixpoint -------------------------------
@@ -375,8 +549,8 @@ impl TaintAnalysis {
                 sources: TaintSet::from_bits(bits),
             })
             .collect();
-        let cost =
-            pass.steps * costs::TAINT_PER_STEP + pass.summaries_computed * costs::TAINT_PER_SUMMARY;
+        let cost = (pass.steps + pass.cell_steps) * costs::TAINT_PER_STEP
+            + pass.summaries_computed * costs::TAINT_PER_SUMMARY;
         (
             TaintAnalysis {
                 findings,
@@ -385,17 +559,20 @@ impl TaintAnalysis {
                 fixpoint_iterations: pass.pops,
                 summaries_computed: pass.summaries_computed,
                 steps: pass.steps,
+                cell_steps: pass.cell_steps,
+                spill_cells: pass.written_cells.len() as u64,
+                weak_updates: pass.weak_updates,
             },
             cost,
         )
     }
 
-    /// Findings that leak data out of the enclave (out-of-enclave
-    /// writes and exit operands).
+    /// Findings that definitely leak data out of the enclave
+    /// (out-of-enclave writes and exit operands).
     pub fn leaks(&self) -> impl Iterator<Item = &TaintFinding> {
         self.findings
             .iter()
-            .filter(|f| f.kind != SinkKind::TaintedBranch)
+            .filter(|f| matches!(f.kind, SinkKind::OutOfEnclaveWrite | SinkKind::ExitOperand))
     }
 
     /// Secret-dependent branch findings.
@@ -403,6 +580,15 @@ impl TaintAnalysis {
         self.findings
             .iter()
             .filter(|f| f.kind == SinkKind::TaintedBranch)
+    }
+
+    /// Sink-candidate findings: tainted stores through unresolved
+    /// addresses (strict policies reject these; lenient ones only
+    /// count them).
+    pub fn unresolved_stores(&self) -> impl Iterator<Item = &TaintFinding> {
+        self.findings
+            .iter()
+            .filter(|f| f.kind == SinkKind::UnresolvedStore)
     }
 
     /// Human-readable description of a finding's source classes, e.g.
@@ -428,6 +614,9 @@ impl TaintAnalysis {
             tainted_branches: self.branch_findings().count() as u64,
             scc_count: self.scc_count,
             fixpoint_iterations: self.fixpoint_iterations,
+            spill_cells: self.spill_cells,
+            weak_updates: self.weak_updates,
+            unresolved_store_sinks: self.unresolved_stores().count() as u64,
             cycles_charged,
         }
     }
@@ -439,9 +628,14 @@ impl TaintAnalysis {
 struct TaintState {
     regs: [AbsTaint; 16],
     flags: AbsTaint,
-    /// `%rbp`-relative stack slots, keyed by displacement. Absent =
-    /// untainted.
-    slots: BTreeMap<i32, AbsTaint>,
+    /// The abstract memory environment (tracked cells + ambient
+    /// escaped component).
+    mem: MemEnv,
+    /// `%rsp`'s offset from its function-entry value, when every write
+    /// to it so far was a tracked adjustment (`push`/`pop`,
+    /// `add`/`sub $imm`). `None` = not constant-resolved; stack cells
+    /// widen to weak reads/updates.
+    sp: Option<i64>,
     /// The constant lattice, used to resolve effective addresses.
     consts: RegState,
 }
@@ -455,7 +649,8 @@ impl TaintState {
         TaintState {
             regs,
             flags: AbsTaint::EMPTY,
-            slots: BTreeMap::new(),
+            mem: MemEnv::new(),
+            sp: Some(0),
             consts: RegState::unknown(),
         }
     }
@@ -466,8 +661,12 @@ impl TaintState {
             changed |= slot.join_in(v);
         }
         changed |= self.flags.join_in(other.flags);
-        for (k, v) in &other.slots {
-            changed |= self.slots.entry(*k).or_insert(AbsTaint::EMPTY).join_in(*v);
+        changed |= self.mem.join(&other.mem);
+        if self.sp != other.sp && self.sp.is_some() {
+            // Conservative widening: disagreeing stack-pointer offsets
+            // degrade every stack cell to weak access.
+            self.sp = None;
+            changed = true;
         }
         changed |= self.consts.join(&other.consts);
         changed
@@ -479,6 +678,10 @@ impl TaintState {
 
     fn set_reg(&mut self, r: Reg, t: AbsTaint) {
         self.regs[r as usize] = t;
+        if r == Reg::Rsp {
+            // Any untracked write to %rsp loses the offset.
+            self.sp = None;
+        }
     }
 
     fn join_all_regs(&self) -> AbsTaint {
@@ -491,6 +694,10 @@ impl TaintState {
 
 fn is_rbp_slot(mem: &MemOperand) -> bool {
     mem.base == Some(Reg::Rbp) && mem.index.is_none() && !mem.rip_relative
+}
+
+fn is_rsp_slot(mem: &MemOperand) -> bool {
+    mem.base == Some(Reg::Rsp) && mem.index.is_none() && !mem.rip_relative
 }
 
 fn resolve_ea(mem: &MemOperand, insn: &Insn, consts: &RegState) -> Option<u64> {
@@ -524,11 +731,51 @@ struct Pass<'a> {
     steps: u64,
     pops: u64,
     summaries_computed: u64,
+    /// Memory cells touched (metered at [`costs::TAINT_PER_STEP`]
+    /// each).
+    cell_steps: u64,
+    /// Weak-update events (tainted store, unnameable target cell).
+    weak_updates: u64,
+    /// Every cell a strong update ever wrote, analysis-wide.
+    written_cells: BTreeSet<CellKey>,
 }
 
 impl Pass<'_> {
+    /// A metered strong cell read: the cell's label joined with the
+    /// ambient escaped component.
+    fn read_cell(&mut self, st: &TaintState, key: CellKey) -> AbsTaint {
+        self.cell_steps += 1;
+        st.mem.read(key)
+    }
+
+    /// A metered strong cell write.
+    fn write_cell(&mut self, st: &mut TaintState, key: CellKey, t: AbsTaint) {
+        self.cell_steps += 1;
+        self.written_cells.insert(key);
+        st.mem.write_strong(key, t);
+    }
+
+    /// A metered weak update: `t` was stored somewhere we cannot name,
+    /// so it escapes into the ambient component (every cell is weakly
+    /// updated at once — charged as a scan over the tracked cells).
+    fn weak_store(&mut self, st: &mut TaintState, t: AbsTaint) {
+        if t.is_empty() {
+            return;
+        }
+        self.weak_updates += 1;
+        self.cell_steps += st.mem.cell_count() as u64 + 1;
+        st.mem.escape(t);
+    }
+
+    /// A metered widened stack read (the `%rsp` offset is unknown):
+    /// joins every tracked stack cell plus the ambient component.
+    fn widened_stack_read(&mut self, st: &TaintState) -> AbsTaint {
+        self.cell_steps += st.mem.cell_count() as u64;
+        st.mem.frame_read()
+    }
+
     /// The taint of the value a memory read produces.
-    fn load_taint(&self, mem: &MemOperand, insn: &Insn, st: &TaintState) -> AbsTaint {
+    fn load_taint(&mut self, mem: &MemOperand, insn: &Insn, st: &TaintState) -> AbsTaint {
         if let Some(addr) = resolve_ea(mem, insn, &st.consts) {
             let mut t = AbsTaint::EMPTY;
             let mut hit = false;
@@ -541,11 +788,27 @@ impl Pass<'_> {
             if hit {
                 return t;
             }
+            if addr >= self.enclave.0 && addr < self.enclave.1 {
+                return self.read_cell(st, CellKey::Abs(addr));
+            }
+            // Resolved out-of-enclave load: untrusted data, but a
+            // previously escaped secret may sit behind it.
+            return st.mem.escaped();
         }
         if is_rbp_slot(mem) {
-            return st.slots.get(&mem.disp).copied().unwrap_or(AbsTaint::EMPTY);
+            return self.read_cell(st, CellKey::Rbp(mem.disp));
         }
-        AbsTaint::EMPTY
+        if is_rsp_slot(mem) {
+            return match st.sp {
+                Some(sp) => {
+                    self.read_cell(st, CellKey::Frame(sp.wrapping_add(i64::from(mem.disp))))
+                }
+                None => self.widened_stack_read(st),
+            };
+        }
+        // Fully unresolved pointer: only the ambient component is
+        // observable.
+        st.mem.escaped()
     }
 
     /// Records a tainted value reaching a sink: concrete sources become
@@ -557,8 +820,10 @@ impl Pass<'_> {
         summary.sink_inputs[kind as usize] |= t.inputs;
     }
 
-    /// A store to `mem`: out-of-enclave sink check, then the slot
-    /// update for tracked `%rbp` frames.
+    /// A store of value-taint `t` to `mem`: out-of-enclave sink check
+    /// for resolved targets, strong update for nameable cells, weak
+    /// update + [`SinkKind::UnresolvedStore`] flag for everything else
+    /// — a tainted store never silently drops its label.
     fn store(
         &mut self,
         mem: &MemOperand,
@@ -568,12 +833,35 @@ impl Pass<'_> {
         summary: &mut FnSummary,
     ) {
         if let Some(addr) = resolve_ea(mem, insn, &st.consts) {
-            if (addr < self.enclave.0 || addr >= self.enclave.1) && !t.is_empty() {
-                self.sink(SinkKind::OutOfEnclaveWrite, insn.addr, t, summary);
+            if addr < self.enclave.0 || addr >= self.enclave.1 {
+                if !t.is_empty() {
+                    self.sink(SinkKind::OutOfEnclaveWrite, insn.addr, t, summary);
+                }
+                return;
             }
+            self.write_cell(st, CellKey::Abs(addr), t);
+            return;
         }
         if is_rbp_slot(mem) {
-            st.slots.insert(mem.disp, t);
+            self.write_cell(st, CellKey::Rbp(mem.disp), t);
+            return;
+        }
+        if is_rsp_slot(mem) {
+            match st.sp {
+                Some(sp) => {
+                    self.write_cell(st, CellKey::Frame(sp.wrapping_add(i64::from(mem.disp))), t)
+                }
+                // A stack slot at an unknown offset: stays in-frame,
+                // but we no longer know which cell — weak update.
+                None => self.weak_store(st, t),
+            }
+            return;
+        }
+        if !t.is_empty() {
+            // Unresolved target: flag as a sink candidate *and* keep
+            // the label alive ambiently.
+            self.sink(SinkKind::UnresolvedStore, insn.addr, t, summary);
+            self.weak_store(st, t);
         }
     }
 
@@ -597,11 +885,23 @@ impl Pass<'_> {
             SinkKind::OutOfEnclaveWrite,
             SinkKind::ExitOperand,
             SinkKind::TaintedBranch,
+            SinkKind::UnresolvedStore,
         ] {
             let reached = resolve(callee_summary.sink_inputs[kind as usize], st);
             if !reached.is_empty() {
                 self.sink(kind, insn.addr, reached, summary);
             }
+        }
+        // The callee's spill escape, resolved against the caller's
+        // registers, lands in the caller's ambient memory: a secret
+        // the callee parked in memory is observable by any later load.
+        let escape = AbsTaint {
+            concrete: callee_summary.escape.concrete,
+            inputs: 0,
+        }
+        .join(resolve(callee_summary.escape.inputs, st));
+        if !escape.is_empty() {
+            self.weak_store(st, escape);
         }
         let mut new_regs = [AbsTaint::EMPTY; 16];
         for (r, slot) in new_regs.iter_mut().enumerate() {
@@ -617,9 +917,13 @@ impl Pass<'_> {
     }
 
     /// An unknown callee (indirect call or direct call outside the
-    /// function set): assume it may move any argument anywhere.
-    fn smear_call(&self, st: &mut TaintState) {
+    /// function set): assume it may move any argument anywhere —
+    /// including into memory, so the argument join escapes ambiently.
+    fn smear_call(&mut self, st: &mut TaintState) {
         let all = st.join_all_regs();
+        if !all.is_empty() {
+            self.weak_store(st, all);
+        }
         st.regs = [all; 16];
         st.flags = AbsTaint::EMPTY;
     }
@@ -633,9 +937,9 @@ impl Pass<'_> {
                 let t = st.reg(src);
                 self.store(mem, insn, t, st, summary);
             }
-            // An untainted store: clears a tracked slot, never sinks.
-            InsnKind::MovImmToMem { ref mem, .. } if is_rbp_slot(mem) => {
-                st.slots.insert(mem.disp, AbsTaint::EMPTY);
+            // An untainted store: clears a nameable cell, never sinks.
+            InsnKind::MovImmToMem { ref mem, .. } => {
+                self.store(mem, insn, AbsTaint::EMPTY, st, summary);
             }
             InsnKind::MovMemToReg { dest, ref mem, .. } => {
                 let t = self.load_taint(mem, insn, st);
@@ -646,9 +950,30 @@ impl Pass<'_> {
             }
             InsnKind::MovImmToReg { dest, .. }
             | InsnKind::LeaRipRel { dest, .. }
-            | InsnKind::MovFsToReg { dest, .. }
-            | InsnKind::PopReg { reg: dest } => {
+            | InsnKind::MovFsToReg { dest, .. } => {
                 st.set_reg(dest, AbsTaint::EMPTY);
+            }
+            InsnKind::PushReg { reg } => {
+                let t = st.reg(reg);
+                match st.sp {
+                    Some(sp) => {
+                        let slot = sp.wrapping_sub(8);
+                        self.write_cell(st, CellKey::Frame(slot), t);
+                        st.sp = Some(slot);
+                    }
+                    None => self.weak_store(st, t),
+                }
+            }
+            InsnKind::PopReg { reg } => {
+                let t = match st.sp {
+                    Some(sp) => {
+                        let t = self.read_cell(st, CellKey::Frame(sp));
+                        st.sp = Some(sp.wrapping_add(8));
+                        t
+                    }
+                    None => self.widened_stack_read(st),
+                };
+                st.set_reg(reg, t);
             }
             InsnKind::Lea { dest, ref mem } => {
                 let mut t = AbsTaint::EMPTY;
@@ -673,13 +998,22 @@ impl Pass<'_> {
                     }
                 }
             }
-            InsnKind::AluImmReg { op, dest, .. } => {
+            InsnKind::AluImmReg { op, dest, imm, .. } => {
                 let t = st.reg(dest);
                 st.flags = t;
-                if op == AluOp::Cmp {
-                    // flags only
-                } else {
+                if op != AluOp::Cmp {
+                    // `add`/`sub $imm, %rsp` are tracked stack
+                    // adjustments; compute the new offset before
+                    // `set_reg` conservatively drops it.
+                    let sp = match (dest, op, st.sp) {
+                        (Reg::Rsp, AluOp::Sub, Some(sp)) => Some(sp.wrapping_sub(imm)),
+                        (Reg::Rsp, AluOp::Add, Some(sp)) => Some(sp.wrapping_add(imm)),
+                        _ => None,
+                    };
                     st.set_reg(dest, t);
+                    if dest == Reg::Rsp {
+                        st.sp = sp;
+                    }
                 }
             }
             InsnKind::AluMemReg {
@@ -703,8 +1037,8 @@ impl Pass<'_> {
             InsnKind::AluImmMem { op, ref mem, .. } => {
                 let t = self.load_taint(mem, insn, st);
                 st.flags = t;
-                if op != AluOp::Cmp && is_rbp_slot(mem) {
-                    st.slots.insert(mem.disp, t);
+                if op != AluOp::Cmp {
+                    self.store(mem, insn, t, st, summary);
                 }
             }
             InsnKind::CondJmp { .. } => {
@@ -739,6 +1073,15 @@ impl Pass<'_> {
                 for (slot, v) in summary.ret.iter_mut().zip(st.regs) {
                     slot.join_in(v);
                 }
+                // Caller-visible spill escape: absolute-address cells
+                // outlive the frame (stack cells die with it).
+                summary.escape.join_in(st.mem.abs_escape());
+            }
+            // Unclassified semantics may adjust %rsp (xchg, leave, …):
+            // widen the stack-pointer offset. Register taint is left
+            // alone, matching the constant lattice's clobber.
+            InsnKind::Other => {
+                st.sp = None;
             }
             _ => {}
         }

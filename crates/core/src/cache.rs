@@ -104,7 +104,7 @@ impl CachedVerdict {
     }
 
     /// Serializes the verdict to the versioned on-disk byte layout
-    /// (`ECV1`): little-endian integers, length-prefixed strings, one
+    /// (`ECV2`): little-endian integers, length-prefixed strings, one
     /// flag byte for the optional taint block. The layout is pinned
     /// byte-for-byte by `cached_verdict_byte_layout_is_pinned` — the
     /// sealed verdict store depends on it.
@@ -131,6 +131,9 @@ impl CachedVerdict {
                     t.tainted_branches,
                     t.scc_count,
                     t.fixpoint_iterations,
+                    t.spill_cells,
+                    t.weak_updates,
+                    t.unresolved_store_sinks,
                     t.cycles_charged,
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
@@ -186,6 +189,9 @@ impl CachedVerdict {
                 tainted_branches: r.u64("tainted branches")?,
                 scc_count: r.u64("scc count")?,
                 fixpoint_iterations: r.u64("fixpoint iterations")?,
+                spill_cells: r.u64("spill cells")?,
+                weak_updates: r.u64("weak updates")?,
+                unresolved_store_sinks: r.u64("unresolved store sinks")?,
                 cycles_charged: r.u64("cycles charged")?,
             }),
             flag => return Err(CodecError::BadFlag { flag }),
@@ -207,8 +213,12 @@ impl CachedVerdict {
     }
 }
 
-/// Version tag leading every serialized [`CachedVerdict`].
-const CODEC_MAGIC: &[u8] = b"ECV1";
+/// Version tag leading every serialized [`CachedVerdict`]. `ECV2`
+/// extended the taint block with the memory-domain counters
+/// (`spill_cells`/`weak_updates`/`unresolved_store_sinks`); `ECV1`
+/// records from older stores fail closed with [`CodecError::BadMagic`]
+/// and the store layer degrades to a cold start.
+const CODEC_MAGIC: &[u8] = b"ECV2";
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -218,7 +228,8 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
 /// Typed failure decoding a serialized [`CachedVerdict`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum CodecError {
-    /// The input does not start with the `ECV1` version tag.
+    /// The input does not start with the current `ECV2` version tag
+    /// (older `ECV1` records land here too — fail closed, re-inspect).
     BadMagic,
     /// The input ended inside a field.
     UnexpectedEof {
@@ -255,7 +266,7 @@ pub enum CodecError {
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CodecError::BadMagic => write!(f, "verdict bytes lack the ECV1 magic"),
+            CodecError::BadMagic => write!(f, "verdict bytes lack the ECV2 magic"),
             CodecError::UnexpectedEof { field } => {
                 write!(f, "verdict bytes truncated inside {field}")
             }
@@ -636,18 +647,21 @@ mod tests {
                 tainted_branches: 2,
                 scc_count: 3,
                 fixpoint_iterations: 4,
-                cycles_charged: 5,
+                spill_cells: 5,
+                weak_updates: 6,
+                unresolved_store_sinks: 7,
+                cycles_charged: 8,
             }),
         }
     }
 
-    /// The exact `ECV1` wire bytes for [`full_verdict`], spelled out
+    /// The exact `ECV2` wire bytes for [`full_verdict`], spelled out
     /// field by field. Reordering a struct field, changing an integer
     /// width, or touching endianness breaks this vector — and with it
     /// every sealed verdict already on disk.
     fn pinned_encoding() -> Vec<u8> {
         let mut b = Vec::new();
-        b.extend_from_slice(b"ECV1"); // magic
+        b.extend_from_slice(b"ECV2"); // magic
         b.push(1); // compliant = true
         b.extend_from_slice(&[2, 0, 0, 0]); // detail len (u32 LE)
         b.extend_from_slice(b"ok");
@@ -665,10 +679,20 @@ mod tests {
         b.extend_from_slice(&[42, 0, 0, 0, 0, 0, 0, 0]); // policy cycles
         b.extend_from_slice(&[0xE8, 3, 0, 0, 0, 0, 0, 0]); // instructions
         b.push(1); // taint present
-        for v in [1u8, 2, 3, 4, 5] {
+        for v in [1u8, 2, 3, 4, 5, 6, 7, 8] {
             b.extend_from_slice(&[v, 0, 0, 0, 0, 0, 0, 0]);
         }
         b
+    }
+
+    #[test]
+    fn ecv1_records_fail_closed_with_bad_magic() {
+        // A pre-memory-domain store record (5-u64 taint block under the
+        // old magic) must not half-parse: the version tag rejects it
+        // outright and the store layer re-inspects from scratch.
+        let mut old = pinned_encoding();
+        old[..4].copy_from_slice(b"ECV1");
+        assert_eq!(CachedVerdict::from_bytes(&old), Err(CodecError::BadMagic));
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl PolicyModule for SecretDependentBranch {
     }
 
     fn descriptor(&self) -> Vec<u8> {
-        let mut d = b"secret-dependent-branch:v1".to_vec();
+        // v2: branch taint now flows through spilled stack slots (the
+        // memory domain), which changes what this module can find —
+        // the measurement must say so.
+        let mut d = b"secret-dependent-branch:v2".to_vec();
         d.push(u8::from(self.deny));
         d.extend_from_slice(&descriptor_ranges(&self.declared_sources));
         d

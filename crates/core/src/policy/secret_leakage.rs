@@ -28,15 +28,23 @@ pub struct SecretLeakage {
     /// of reading the shared memo (the ablation path, mirroring
     /// [`super::CodeReachability`]).
     pub use_shared_analysis: bool,
+    /// When true (the default), a tainted store through an address the
+    /// constant lattice cannot resolve is itself a violation: the
+    /// analysis cannot prove the write stays inside the enclave, so a
+    /// mutually-suspicious verifier must reject rather than guess.
+    /// `lenient()` preserves the pre-memory-domain behavior for
+    /// ablation and for pinning the old false-PASS as a regression.
+    pub strict_unresolved_stores: bool,
     declared_sources: Vec<SecretRange>,
 }
 
 impl SecretLeakage {
     /// The standard configuration: shared analysis, loader-known
-    /// sources only.
+    /// sources only, strict about unresolved tainted stores.
     pub fn new() -> Self {
         SecretLeakage {
             use_shared_analysis: true,
+            strict_unresolved_stores: true,
             declared_sources: Vec::new(),
         }
     }
@@ -45,7 +53,18 @@ impl SecretLeakage {
     pub fn without_shared_analysis() -> Self {
         SecretLeakage {
             use_shared_analysis: false,
-            declared_sources: Vec::new(),
+            ..SecretLeakage::new()
+        }
+    }
+
+    /// Lenient configuration: unresolved-address tainted stores are
+    /// tracked (they still weak-update the memory environment and are
+    /// counted in [`TaintStats`](crate::analysis::TaintStats)) but do
+    /// not reject on their own — the pre-spill-fix policy surface.
+    pub fn lenient() -> Self {
+        SecretLeakage {
+            strict_unresolved_stores: false,
+            ..SecretLeakage::new()
         }
     }
 
@@ -119,7 +138,11 @@ impl PolicyModule for SecretLeakage {
     }
 
     fn descriptor(&self) -> Vec<u8> {
-        let mut d = b"secret-leakage:v1".to_vec();
+        // v2: the spill-aware memory domain plus the strictness flag
+        // are part of what the provider agrees to run, so both are
+        // bound into the measurement.
+        let mut d = b"secret-leakage:v2".to_vec();
+        d.push(self.strict_unresolved_stores as u8);
         d.extend_from_slice(&descriptor_ranges(&self.declared_sources));
         d
     }
@@ -137,12 +160,31 @@ impl PolicyModule for SecretLeakage {
                 ),
             });
         }
+        if self.strict_unresolved_stores {
+            if let Some(f) = taint.unresolved_stores().next() {
+                return Err(EngardeError::PolicyViolation {
+                    policy: "secret-leakage",
+                    reason: format!(
+                        "{} at {:#x} writes {} data through an address the \
+                         analysis cannot bound to enclave memory",
+                        f.kind.name(),
+                        f.addr,
+                        taint.describe_sources(f.sources)
+                    ),
+                });
+            }
+        }
         Ok(PolicyReport {
             policy: "secret-leakage",
             items_checked: taint.steps as usize,
             detail: format!(
-                "{} summaries over {} SCCs, {} fixpoint visits, 0 leaks",
-                taint.summaries_computed, taint.scc_count, taint.fixpoint_iterations
+                "{} summaries over {} SCCs, {} fixpoint visits, {} spill cells, \
+                 {} weak updates, 0 leaks",
+                taint.summaries_computed,
+                taint.scc_count,
+                taint.fixpoint_iterations,
+                taint.spill_cells,
+                taint.weak_updates,
             ),
         })
     }

@@ -8,7 +8,7 @@
 //! and pinned with `.regressions(&[..])`.
 
 use engarde_core::analysis::{
-    AbsTaint, ProgramAnalysis, SecretClass, SecretRange, TaintAnalysis, TaintSet,
+    AbsTaint, CellKey, MemEnv, ProgramAnalysis, SecretClass, SecretRange, TaintAnalysis, TaintSet,
 };
 use engarde_core::loader::{load, LoadedBinary, LoaderConfig};
 use engarde_elf::build::ElfBuilder;
@@ -172,13 +172,131 @@ fn taint_join_is_monotone_idempotent_and_commutative() {
         });
 }
 
+fn random_abs_taint(rng: &mut ChaChaRng) -> AbsTaint {
+    AbsTaint {
+        concrete: TaintSet::from_bits(rng.gen::<u64>() & 0xff),
+        inputs: rng.gen::<u16>(),
+    }
+}
+
+fn random_cell_key(rng: &mut ChaChaRng) -> CellKey {
+    match rng.gen_range(0u32..3) {
+        0 => CellKey::Rbp(rng.gen_range(0i64..32) as i32 - 16),
+        1 => CellKey::Frame(rng.gen_range(0i64..32) - 16),
+        _ => CellKey::Abs(0x10000 + 8 * rng.gen_range(0u64..16)),
+    }
+}
+
+fn random_mem_env(rng: &mut ChaChaRng) -> MemEnv {
+    let mut env = MemEnv::new();
+    for _ in 0..rng.gen_range(0usize..6) {
+        env.write_strong(random_cell_key(rng), random_abs_taint(rng));
+    }
+    if rng.gen_range(0u32..2) == 0 {
+        env.escape(random_abs_taint(rng));
+    }
+    env
+}
+
+/// `a ⊑ b` on the abstract-taint lattice.
+fn taint_leq(a: AbsTaint, b: AbsTaint) -> bool {
+    a.concrete.is_subset(b.concrete) && (a.inputs & b.inputs) == a.inputs
+}
+
+#[test]
+fn mem_env_join_is_a_lattice_join() {
+    Property::new("mem_env_join_is_a_lattice_join")
+        .cases(50)
+        .regressions(&[])
+        .run(|rng| {
+            let a = random_mem_env(rng);
+            let b = random_mem_env(rng);
+            let c = random_mem_env(rng);
+            // Idempotent: a ⊔ a = a, and the change flag agrees.
+            let mut aa = a.clone();
+            assert!(!aa.join(&a), "self-join must report no growth");
+            assert_eq!(aa, a, "idempotent");
+            // Commutative and associative on the cell maps.
+            let mut ab = a.clone();
+            ab.join(&b);
+            let mut ba = b.clone();
+            ba.join(&a);
+            assert_eq!(ab, ba, "commutative");
+            let mut ab_c = ab.clone();
+            ab_c.join(&c);
+            let mut bc = b.clone();
+            bc.join(&c);
+            let mut a_bc = a.clone();
+            a_bc.join(&bc);
+            assert_eq!(ab_c, a_bc, "associative");
+            // Upper bound: joining an operand into the join is a no-op,
+            // and every observable read is monotone.
+            let mut ab2 = ab.clone();
+            assert!(!ab2.join(&a), "join is an upper bound of a");
+            assert!(!ab2.join(&b), "join is an upper bound of b");
+            for _ in 0..8 {
+                let k = random_cell_key(rng);
+                assert!(taint_leq(a.read(k), ab.read(k)), "reads grow monotonically");
+                assert!(taint_leq(b.read(k), ab.read(k)), "reads grow monotonically");
+            }
+            assert!(taint_leq(a.frame_read(), ab.frame_read()));
+            assert!(taint_leq(b.abs_escape(), ab.abs_escape()));
+        });
+}
+
+#[test]
+fn weak_updates_over_approximate_strong_updates() {
+    Property::new("weak_updates_over_approximate_strong_updates")
+        .cases(50)
+        .regressions(&[])
+        .run(|rng| {
+            let env = random_mem_env(rng);
+            let key = random_cell_key(rng);
+            let t = random_abs_taint(rng);
+            // The analyzer strong-updates when it can name the cell and
+            // escapes (weak-updates) when it cannot. Soundness of that
+            // degradation: the weak environment observes at least as
+            // much as the strong one at EVERY cell — including the one
+            // the strong update (correctly) overwrote.
+            let mut strong = env.clone();
+            strong.write_strong(key, t);
+            let mut weak = env.clone();
+            weak.escape(t);
+            for _ in 0..8 {
+                let probe = random_cell_key(rng);
+                assert!(
+                    taint_leq(strong.read(probe), weak.read(probe)),
+                    "weak update must over-approximate the strong update"
+                );
+            }
+            assert!(taint_leq(strong.read(key), weak.read(key)));
+            // A strong update is exact: the cell observes the written
+            // label joined with the ambient component, nothing else.
+            assert_eq!(strong.read(key), t.join(env.escaped()));
+            // A weak update never loses what was already there.
+            for _ in 0..8 {
+                let probe = random_cell_key(rng);
+                assert!(taint_leq(env.read(probe), weak.read(probe)));
+            }
+            assert!(taint_leq(t, weak.read(random_cell_key(rng))));
+        });
+}
+
 /// Builds a random interprocedural binary: `n` bundle-aligned functions
 /// whose bodies mix secret loads, register shuffles, out-of-enclave
 /// stores, and calls to arbitrary functions — self-calls and backward
 /// calls included, so the call graph has recursion and non-trivial
 /// SCCs.
 fn random_call_graph_image(rng: &mut ChaChaRng) -> Vec<u8> {
+    random_call_graph_image_with(rng, false)
+}
+
+/// Like [`random_call_graph_image`], but `spills` adds the memory-domain
+/// shapes: stack spills/reloads, push/pop traffic, in-enclave scratch
+/// stores, and tainted stores through unresolvable pointers.
+fn random_call_graph_image_with(rng: &mut ChaChaRng, spills: bool) -> Vec<u8> {
     let n = rng.gen_range(3usize..8);
+    let ops = if spills { 11 } else { 6 };
     let mut asm = Assembler::new();
     let labels: Vec<_> = (0..n).map(|_| asm.label()).collect();
     let mut offsets = Vec::with_capacity(n);
@@ -187,7 +305,7 @@ fn random_call_graph_image(rng: &mut ChaChaRng) -> Vec<u8> {
         offsets.push(asm.offset());
         asm.bind(*label);
         for _ in 0..rng.gen_range(1usize..4) {
-            match rng.gen_range(0u32..6) {
+            match rng.gen_range(0u32..ops) {
                 0 => {
                     asm.movabs(Reg::Rbx, SECRET_A);
                     asm.mov_mem_to_reg64(Reg::Rax, Reg::Rbx);
@@ -202,7 +320,32 @@ fn random_call_graph_image(rng: &mut ChaChaRng) -> Vec<u8> {
                     asm.mov_reg_to_mem64(Reg::Rax, Reg::Rdx);
                 }
                 4 => asm.xor_rr32(Reg::Rax, Reg::Rax),
-                _ => asm.mov_rr64(Reg::Rsi, Reg::Rcx),
+                5 => asm.mov_rr64(Reg::Rsi, Reg::Rcx),
+                // Spill shapes (only with `spills`): launder through a
+                // frame slot, push/pop, an in-enclave scratch cell, and
+                // a store the constant lattice cannot resolve.
+                6 => {
+                    asm.mov_reg_to_rsp_disp8(Reg::Rax, 8);
+                    asm.xor_rr32(Reg::Rax, Reg::Rax);
+                    asm.mov_rsp_disp8_to_reg(Reg::Rax, 8);
+                }
+                7 => {
+                    asm.push_reg(Reg::Rcx);
+                    asm.pop_reg(Reg::Rdi);
+                }
+                8 => {
+                    asm.movabs(Reg::Rdx, 0x10900);
+                    asm.mov_reg_to_mem64(Reg::Rax, Reg::Rdx);
+                }
+                9 => {
+                    asm.movabs(Reg::Rdx, 0x10900);
+                    asm.mov_mem_to_reg64(Reg::Rsi, Reg::Rdx);
+                }
+                _ => {
+                    asm.movabs(Reg::Rdx, 0x10a00);
+                    asm.mov_mem_to_reg64(Reg::Rdx, Reg::Rdx);
+                    asm.mov_reg_to_mem64(Reg::Rcx, Reg::Rdx);
+                }
             }
         }
         for _ in 0..rng.gen_range(0usize..3) {
@@ -304,5 +447,50 @@ fn removing_a_source_never_adds_a_leak() {
                     "finding {f:?} appeared only after REMOVING a source"
                 );
             }
+        });
+}
+
+#[test]
+fn removing_a_source_never_adds_a_leak_through_spills() {
+    Property::new("removing_a_source_never_adds_a_leak_through_spills")
+        .cases(15)
+        .regressions(&[])
+        .run(|rng| {
+            // Same monotonicity, but over binaries whose flows are
+            // laundered through frame slots, push/pop traffic, scratch
+            // cells, and unresolved stores — the memory domain must not
+            // invent findings for sources that are not declared.
+            let image = random_call_graph_image_with(rng, true);
+            let (_, loaded) = loaded_case(&image);
+            let (analysis, _) = ProgramAnalysis::compute(&loaded);
+            let full = sources_full();
+            let reduced = vec![full[0]];
+            let (with_full, _) = TaintAnalysis::compute(&loaded, &analysis, &full);
+            let (with_reduced, _) = TaintAnalysis::compute(&loaded, &analysis, &reduced);
+            let full_sites: std::collections::BTreeSet<_> = with_full
+                .findings
+                .iter()
+                .map(|f| (f.kind, f.addr))
+                .collect();
+            for f in &with_reduced.findings {
+                assert!(
+                    full_sites.contains(&(f.kind, f.addr)),
+                    "finding {f:?} appeared only after REMOVING a source"
+                );
+            }
+            // With no sources at all, the memory domain must go
+            // completely quiet: no concrete label exists to spill,
+            // escape, or flag.
+            let (with_none, _) = TaintAnalysis::compute(&loaded, &analysis, &[]);
+            assert!(
+                with_none.findings.is_empty(),
+                "sourceless analysis found {:?}",
+                with_none.findings
+            );
+            // Determinism with the memory domain in play.
+            let (again, _) = TaintAnalysis::compute(&loaded, &analysis, &full);
+            assert_eq!(with_full.findings, again.findings);
+            assert_eq!(with_full.spill_cells, again.spill_cells);
+            assert_eq!(with_full.weak_updates, again.weak_updates);
         });
 }

@@ -181,6 +181,9 @@ struct TaintCounters {
     tainted_branches: AtomicU64,
     scc_count: AtomicU64,
     fixpoint_iterations: AtomicU64,
+    spill_cells: AtomicU64,
+    weak_updates: AtomicU64,
+    unresolved_store_sinks: AtomicU64,
     cycles_charged: AtomicU64,
 }
 
@@ -197,6 +200,12 @@ pub struct TaintSnapshot {
     pub scc_count: u64,
     /// Fixpoint block visits, summed.
     pub fixpoint_iterations: u64,
+    /// Distinct memory cells the spill domain tracked, summed.
+    pub spill_cells: u64,
+    /// Weak-update events (unnameable tainted stores), summed.
+    pub weak_updates: u64,
+    /// Unresolved-store sink candidates flagged, summed.
+    pub unresolved_store_sinks: u64,
     /// Native cycles charged for taint analyses, summed.
     pub cycles_charged: u64,
 }
@@ -235,6 +244,35 @@ pub struct SchedSnapshot {
     pub batch_size_highwater: u64,
     /// Deepest any single home deque ever got at admission.
     pub deque_depth_highwater: u64,
+}
+
+/// Threaded-backend contention counters: the subset of scheduler
+/// activity performed by real OS worker threads, split out from the
+/// aggregate [`SchedCounters`] so CI can watch contention on real
+/// cores separately from the deterministic virtual-time scheduler.
+#[derive(Default)]
+struct ThreadedCounters {
+    steals: AtomicU64,
+    stolen_sessions: AtomicU64,
+    drained_from_dead: AtomicU64,
+    batches: AtomicU64,
+    batched_sessions: AtomicU64,
+}
+
+/// Snapshot of the threaded-backend scheduler counters, as plain
+/// numbers. Always a (possibly zero) subset of [`SchedSnapshot`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ThreadedSnapshot {
+    /// Work items an idle OS worker stole from a peer's deque.
+    pub steals: u64,
+    /// Sessions that moved in those steals.
+    pub stolen_sessions: u64,
+    /// ... of which came off a dead worker's deque.
+    pub drained_from_dead: u64,
+    /// Batches formed on the threaded admission path.
+    pub batches: u64,
+    /// Follower sessions admitted into an existing threaded item.
+    pub batched_sessions: u64,
 }
 
 /// Per-fault-kind lifecycle counters: how many faults the layer
@@ -321,6 +359,7 @@ pub struct ServeMetrics {
     workers_died: AtomicU64,
     faults: FaultCounters,
     sched: SchedCounters,
+    threaded: ThreadedCounters,
     queue_depth_highwater: AtomicUsize,
     stage_cycles: StageTotals,
     cache: CacheCounters,
@@ -465,6 +504,15 @@ impl ServeMetrics {
             .fixpoint_iterations
             .fetch_add(stats.fixpoint_iterations, Ordering::Relaxed);
         self.taint
+            .spill_cells
+            .fetch_add(stats.spill_cells, Ordering::Relaxed);
+        self.taint
+            .weak_updates
+            .fetch_add(stats.weak_updates, Ordering::Relaxed);
+        self.taint
+            .unresolved_store_sinks
+            .fetch_add(stats.unresolved_store_sinks, Ordering::Relaxed);
+        self.taint
             .cycles_charged
             .fetch_add(stats.cycles_charged, Ordering::Relaxed);
     }
@@ -477,6 +525,9 @@ impl ServeMetrics {
             tainted_branches: self.taint.tainted_branches.load(Ordering::Relaxed),
             scc_count: self.taint.scc_count.load(Ordering::Relaxed),
             fixpoint_iterations: self.taint.fixpoint_iterations.load(Ordering::Relaxed),
+            spill_cells: self.taint.spill_cells.load(Ordering::Relaxed),
+            weak_updates: self.taint.weak_updates.load(Ordering::Relaxed),
+            unresolved_store_sinks: self.taint.unresolved_store_sinks.load(Ordering::Relaxed),
             cycles_charged: self.taint.cycles_charged.load(Ordering::Relaxed),
         }
     }
@@ -555,6 +606,44 @@ impl ServeMetrics {
         self.sched
             .deque_depth_highwater
             .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one steal performed by a real OS worker thread: feeds
+    /// the aggregate scheduler counters *and* the threaded-only block.
+    pub fn record_threaded_steal(&self, sessions: u64, from_dead: bool) {
+        self.record_steal(sessions, from_dead);
+        self.threaded.steals.fetch_add(1, Ordering::Relaxed);
+        self.threaded
+            .stolen_sessions
+            .fetch_add(sessions, Ordering::Relaxed);
+        if from_dead {
+            self.threaded
+                .drained_from_dead
+                .fetch_add(sessions, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a batch join on the threaded admission path: feeds the
+    /// aggregate scheduler counters *and* the threaded-only block.
+    pub fn record_threaded_batch_join(&self, batch_len: u64) {
+        self.record_batch_join(batch_len);
+        self.threaded
+            .batched_sessions
+            .fetch_add(1, Ordering::Relaxed);
+        if batch_len == 2 {
+            self.threaded.batches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the threaded-backend scheduler counters.
+    pub fn threaded_stats(&self) -> ThreadedSnapshot {
+        ThreadedSnapshot {
+            steals: self.threaded.steals.load(Ordering::Relaxed),
+            stolen_sessions: self.threaded.stolen_sessions.load(Ordering::Relaxed),
+            drained_from_dead: self.threaded.drained_from_dead.load(Ordering::Relaxed),
+            batches: self.threaded.batches.load(Ordering::Relaxed),
+            batched_sessions: self.threaded.batched_sessions.load(Ordering::Relaxed),
+        }
     }
 
     /// Snapshot of the work-stealing scheduler counters.
@@ -777,12 +866,15 @@ impl ServeMetrics {
         ));
         let t = self.taint_stats();
         out.push_str(&format!(
-            "  \"taint\": {{\"sessions\": {}, \"leaks_found\": {}, \"tainted_branches\": {}, \"scc_count\": {}, \"fixpoint_iterations\": {}, \"cycles_charged\": {}}},\n",
+            "  \"taint\": {{\"sessions\": {}, \"leaks_found\": {}, \"tainted_branches\": {}, \"scc_count\": {}, \"fixpoint_iterations\": {}, \"spill_cells\": {}, \"weak_updates\": {}, \"unresolved_store_sinks\": {}, \"cycles_charged\": {}}},\n",
             t.sessions,
             t.leaks_found,
             t.tainted_branches,
             t.scc_count,
             t.fixpoint_iterations,
+            t.spill_cells,
+            t.weak_updates,
+            t.unresolved_store_sinks,
             t.cycles_charged,
         ));
         let fstats = self.fault_stats();
@@ -813,6 +905,15 @@ impl ServeMetrics {
             sc.batched_sessions,
             sc.batch_size_highwater,
             sc.deque_depth_highwater,
+        ));
+        let th = self.threaded_stats();
+        out.push_str(&format!(
+            "  \"threaded\": {{\"steals\": {}, \"stolen_sessions\": {}, \"drained_from_dead\": {}, \"batches\": {}, \"batched_sessions\": {}}},\n",
+            th.steals,
+            th.stolen_sessions,
+            th.drained_from_dead,
+            th.batches,
+            th.batched_sessions,
         ));
         out.push_str(&format!(
             "  \"latency_cycles\": {{\"samples\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
@@ -994,6 +1095,39 @@ mod tests {
              \"drained_from_dead\": 0, \"batches\": 0, \"batched_sessions\": 0, \
              \"batch_size_highwater\": 0, \"deque_depth_highwater\": 0}"
         ));
+        // The threaded block is likewise always present, so jq gates
+        // can assert on it even for virtual-time runs.
+        assert!(m.to_json().contains(
+            "\"threaded\": {\"steals\": 0, \"stolen_sessions\": 0, \
+             \"drained_from_dead\": 0, \"batches\": 0, \"batched_sessions\": 0}"
+        ));
+    }
+
+    #[test]
+    fn threaded_counters_feed_both_blocks() {
+        let m = ServeMetrics::new();
+        // A virtual-time steal touches only the aggregate block...
+        m.record_steal(2, false);
+        // ...while threaded steals and joins feed both.
+        m.record_threaded_steal(3, false);
+        m.record_threaded_steal(1, true);
+        m.record_threaded_batch_join(2);
+        m.record_threaded_batch_join(3);
+        let th = m.threaded_stats();
+        assert_eq!(th.steals, 2);
+        assert_eq!(th.stolen_sessions, 4);
+        assert_eq!(th.drained_from_dead, 1);
+        assert_eq!(th.batches, 1);
+        assert_eq!(th.batched_sessions, 2);
+        let s = m.sched_stats();
+        assert_eq!(s.steals, 3, "aggregate includes the virtual steal");
+        assert_eq!(s.stolen_sessions, 6);
+        assert_eq!(s.batched_sessions, 2);
+        assert_eq!(s.batch_size_highwater, 3);
+        assert!(m.to_json().contains(
+            "\"threaded\": {\"steals\": 2, \"stolen_sessions\": 4, \
+             \"drained_from_dead\": 1, \"batches\": 1, \"batched_sessions\": 2}"
+        ));
     }
 
     #[test]
@@ -1143,6 +1277,9 @@ mod tests {
             tainted_branches: 1,
             scc_count: 4,
             fixpoint_iterations: 30,
+            spill_cells: 6,
+            weak_updates: 2,
+            unresolved_store_sinks: 1,
             cycles_charged: 10_000,
         };
         let b = engarde_core::analysis::TaintStats {
@@ -1150,6 +1287,9 @@ mod tests {
             tainted_branches: 0,
             scc_count: 3,
             fixpoint_iterations: 12,
+            spill_cells: 4,
+            weak_updates: 1,
+            unresolved_store_sinks: 0,
             cycles_charged: 5_000,
         };
         m.record_taint(&a);
@@ -1160,11 +1300,15 @@ mod tests {
         assert_eq!(t.tainted_branches, 1);
         assert_eq!(t.scc_count, 7);
         assert_eq!(t.fixpoint_iterations, 42);
+        assert_eq!(t.spill_cells, 10);
+        assert_eq!(t.weak_updates, 3);
+        assert_eq!(t.unresolved_store_sinks, 1);
         assert_eq!(t.cycles_charged, 15_000);
         let json = m.to_json();
         assert!(json.contains(
             "\"taint\": {\"sessions\": 2, \"leaks_found\": 2, \"tainted_branches\": 1, \
-             \"scc_count\": 7, \"fixpoint_iterations\": 42, \"cycles_charged\": 15000}"
+             \"scc_count\": 7, \"fixpoint_iterations\": 42, \"spill_cells\": 10, \
+             \"weak_updates\": 3, \"unresolved_store_sinks\": 1, \"cycles_charged\": 15000}"
         ));
         // The block is present (zeroed) even with no taint-backed
         // policies loaded.

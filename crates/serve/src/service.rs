@@ -593,7 +593,8 @@ impl ProvisioningService {
                     if let Some(item) = work.find_joinable(key, policy) {
                         if let Some(qs) = pending.take() {
                             item.sessions.push(qs);
-                            self.metrics.record_batch_join(item.sessions.len() as u64);
+                            self.metrics
+                                .record_threaded_batch_join(item.sessions.len() as u64);
                         }
                     }
                 }
@@ -1037,7 +1038,7 @@ fn worker_loop(
                     if let Some(victim) = victim {
                         if let Some(item) = work.steal_from(victim) {
                             let from_dead = shared.dead[victim].load(Ordering::SeqCst);
-                            metrics.record_steal(item.sessions.len() as u64, from_dead);
+                            metrics.record_threaded_steal(item.sessions.len() as u64, from_dead);
                             break Some(item);
                         }
                     }

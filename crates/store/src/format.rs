@@ -4,7 +4,7 @@
 //! segment file  = header ‖ record*
 //! header        = magic "ENGSTOR1" (8) ‖ segment index u64 LE (8) ‖ header MAC (32)
 //! record        = ciphertext len u32 LE (4) ‖ seq u64 LE (8) ‖ ciphertext ‖ record MAC (32)
-//! plaintext     = cache key (32) ‖ CachedVerdict ECV1 bytes
+//! plaintext     = cache key (32) ‖ CachedVerdict ECV2 bytes
 //! ```
 //!
 //! The ciphertext is AES-256-CTR under a nonce derived from the
@@ -38,7 +38,9 @@ pub(crate) const MAC_LEN: usize = 32;
 pub const MAX_RECORD_LEN: usize = 1 << 20;
 
 /// Smallest possible plaintext: a 32-byte cache key plus the minimum
-/// `ECV1` encoding. Shorter ciphertexts are structurally impossible.
+/// `ECV2` encoding. Shorter ciphertexts are structurally impossible.
+/// (Records written by the retired `ECV1` codec authenticate but fail
+/// decode with `BadMagic` — the store drops them and re-inspects.)
 pub(crate) const MIN_RECORD_LEN: usize = 32 + 4;
 
 const ENC_LABEL: &[u8] = b"ENGARDE-STORE-ENC-V1";
@@ -204,9 +206,10 @@ impl StoreKeys {
                 key: CacheKey::from_bytes(key_bytes),
                 verdict,
             },
-            // Authenticated but undecodable: can only happen if a
-            // different (buggy or future-versioned) writer produced the
-            // record. Fail closed, same as corruption.
+            // Authenticated but undecodable: a different codec version
+            // (e.g. retired ECV1 records) or a buggy writer produced
+            // the record. Fail closed, same as corruption — the
+            // affected binary simply re-inspects.
             Err(_) => RecordParse::Corrupt { seq },
         }
     }

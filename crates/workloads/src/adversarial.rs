@@ -197,6 +197,140 @@ pub fn interprocedural_leak(secret: u64, sink: u64) -> Vec<u8> {
         .build()
 }
 
+// ---- spill-laundering fixtures ----------------------------------------
+//
+// The PR-10 soundness fixtures: secrets parked in memory and reloaded,
+// the flows a register-only taint pass loses. Each leaking shape has a
+// compliant near-miss twin so the tests pin both directions of the
+// memory-domain fix.
+
+/// A register leak laundered through a stack spill: the secret is
+/// spilled to `8(%rsp)`, the register is destroyed with the zeroing
+/// idiom, and the reload feeds the store to `sink`. A register-only
+/// taint pass sees the xor kill the label and signs a false PASS; the
+/// spill-aware memory domain restores it at the reload. Out-of-enclave
+/// `sink` leaks; in-enclave `sink` is the compliant twin.
+pub fn stack_spill_leak(secret: u64, sink: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.movabs(Reg::Rbx, secret);
+    asm.mov_mem_to_reg64(Reg::Rax, Reg::Rbx); // rax = *secret
+    asm.mov_reg_to_rsp_disp8(Reg::Rax, 8); // spill
+    asm.xor_rr32(Reg::Rax, Reg::Rax); // launder the register
+    asm.mov_rsp_disp8_to_reg(Reg::Rcx, 8); // reload
+    asm.movabs(Reg::Rdx, sink);
+    asm.mov_reg_to_mem64(Reg::Rcx, Reg::Rdx); // *sink = rcx
+    asm.ret();
+    wrap(asm.finish())
+}
+
+/// A secret-dependent branch on a **reloaded spill**: same laundering
+/// shape as [`stack_spill_leak`], but the reloaded value feeds a
+/// compare + `jne` instead of a store — the side-channel twin of the
+/// spill leak.
+pub fn spill_branch(secret: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.movabs(Reg::Rbx, secret);
+    asm.mov_mem_to_reg64(Reg::Rax, Reg::Rbx); // rax = *secret
+    asm.mov_reg_to_rsp_disp8(Reg::Rax, 8);
+    asm.xor_rr32(Reg::Rax, Reg::Rax);
+    asm.mov_rsp_disp8_to_reg(Reg::Rcx, 8);
+    asm.xor_rr32(Reg::Rdx, Reg::Rdx);
+    asm.cmp_rr64(Reg::Rcx, Reg::Rdx);
+    let done = asm.label();
+    asm.jne_label(done);
+    asm.nop();
+    asm.bind(done);
+    asm.ret();
+    wrap(asm.finish())
+}
+
+/// The compliant twin of [`spill_branch`]: identical spill/reload
+/// choreography, but the spilled value is a constant — the reload
+/// carries no taint into the flags.
+pub fn constant_spill_branch() -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.mov_ri32(Reg::Rax, 0x5a);
+    asm.mov_reg_to_rsp_disp8(Reg::Rax, 8);
+    asm.xor_rr32(Reg::Rax, Reg::Rax);
+    asm.mov_rsp_disp8_to_reg(Reg::Rcx, 8);
+    asm.xor_rr32(Reg::Rdx, Reg::Rdx);
+    asm.cmp_rr64(Reg::Rcx, Reg::Rdx);
+    let done = asm.label();
+    asm.jne_label(done);
+    asm.nop();
+    asm.bind(done);
+    asm.ret();
+    wrap(asm.finish())
+}
+
+/// An interprocedural spill escape: `f` loads the secret, parks it at
+/// the in-enclave `scratch` address, and **zeroes every register it
+/// touched** before returning — its register-level summary is clean.
+/// `_start` then reloads `scratch` and stores to `sink`. Only the
+/// caller-visible spill-escape component of `f`'s summary connects the
+/// flow; a register-only pass signs a false PASS. In-enclave `sink`
+/// yields the compliant twin.
+pub fn interprocedural_spill_escape(secret: u64, scratch: u64, sink: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    let f = asm.label();
+    // _start
+    asm.call_label(f);
+    asm.movabs(Reg::Rbx, scratch);
+    asm.mov_mem_to_reg64(Reg::Rcx, Reg::Rbx); // rcx = *scratch (the parked secret)
+    asm.movabs(Reg::Rdx, sink);
+    asm.mov_reg_to_mem64(Reg::Rcx, Reg::Rdx); // *sink = rcx
+    asm.ret();
+    asm.align_to(BUNDLE_SIZE);
+    let f_off = asm.offset();
+    asm.bind(f);
+    asm.movabs(Reg::Rbx, secret);
+    asm.mov_mem_to_reg64(Reg::Rax, Reg::Rbx); // rax = *secret
+    asm.movabs(Reg::Rcx, scratch);
+    asm.mov_reg_to_mem64(Reg::Rax, Reg::Rcx); // *scratch = rax
+    asm.xor_rr32(Reg::Rax, Reg::Rax); // scrub the registers:
+    asm.xor_rr32(Reg::Rbx, Reg::Rbx); // the *only* surviving copy
+    asm.xor_rr32(Reg::Rcx, Reg::Rcx); // lives in memory
+    asm.ret();
+    let text = asm.finish();
+    let len = text.len() as u64;
+    ElfBuilder::new()
+        .text(text)
+        .function("_start", 0, f_off)
+        .function("f", f_off, len - f_off)
+        .entry(0)
+        .build()
+}
+
+/// A tainted store through a pointer the constant lattice cannot
+/// resolve: the pointer itself is loaded from memory, so the analysis
+/// cannot bound the write to enclave memory. Strict secret-leakage
+/// rejects it as an unresolved-store sink candidate; the pre-fix
+/// (lenient) surface silently dropped the label — the pinned false
+/// PASS.
+pub fn unresolved_pointer_store(secret: u64, ptr: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.movabs(Reg::Rbx, secret);
+    asm.mov_mem_to_reg64(Reg::Rax, Reg::Rbx); // rax = *secret
+    asm.movabs(Reg::Rcx, ptr);
+    asm.mov_mem_to_reg64(Reg::Rdx, Reg::Rcx); // rdx = *ptr (unresolvable)
+    asm.mov_reg_to_mem64(Reg::Rax, Reg::Rdx); // *rdx = rax
+    asm.ret();
+    wrap(asm.finish())
+}
+
+/// The compliant twin of [`unresolved_pointer_store`]: the same
+/// unresolved pointer is written through, but the stored value is a
+/// constant — nothing secret is at risk, so even strict mode passes.
+pub fn unresolved_pointer_store_clean(ptr: u64) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.mov_ri32(Reg::Rax, 0x5a);
+    asm.movabs(Reg::Rcx, ptr);
+    asm.mov_mem_to_reg64(Reg::Rdx, Reg::Rcx); // rdx = *ptr (unresolvable)
+    asm.mov_reg_to_mem64(Reg::Rax, Reg::Rdx); // *rdx = constant
+    asm.ret();
+    wrap(asm.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +391,33 @@ mod tests {
             interprocedural_leak(0x10100, 0x10800),
         ] {
             loads_cleanly(&image);
+        }
+    }
+
+    #[test]
+    fn spill_fixtures_pass_load_time_validation() {
+        for image in [
+            stack_spill_leak(0x10100, 0x20000),
+            stack_spill_leak(0x10100, 0x10800),
+            spill_branch(0x10100),
+            constant_spill_branch(),
+            interprocedural_spill_escape(0x10100, 0x10900, 0x20000),
+            interprocedural_spill_escape(0x10100, 0x10900, 0x10800),
+            unresolved_pointer_store(0x10100, 0x10a00),
+            unresolved_pointer_store_clean(0x10a00),
+        ] {
+            loads_cleanly(&image);
+        }
+    }
+
+    #[test]
+    fn spill_escape_fixture_has_two_function_symbols() {
+        let image = interprocedural_spill_escape(0x10100, 0x10900, 0x20000);
+        let elf = ElfFile::parse(&image).expect("parses");
+        let names: Vec<String> = elf.function_symbols().map(|s| s.name.to_string()).collect();
+        assert_eq!(names, ["_start", "f"]);
+        for sym in elf.function_symbols().skip(1) {
+            assert_eq!(sym.symbol.st_value % BUNDLE_SIZE, 0);
         }
     }
 

@@ -337,6 +337,19 @@ impl Assembler {
         self.emit(&[rex, 0x8b, modrm(1, dest.low3(), 5), disp as u8]);
     }
 
+    /// `mov %src, disp8(%rsp)` — spill to a stack slot (SIB with
+    /// `%rsp` base, the frame-pointer-omitted spill shape).
+    pub fn mov_reg_to_rsp_disp8(&mut self, src: Reg, disp: i8) {
+        let rex = if src.needs_rex_bit() { 0x4c } else { REX_W };
+        self.emit(&[rex, 0x89, modrm(1, src.low3(), 4), 0x24, disp as u8]);
+    }
+
+    /// `mov disp8(%rsp), %dest` — reload from a stack slot.
+    pub fn mov_rsp_disp8_to_reg(&mut self, dest: Reg, disp: i8) {
+        let rex = if dest.needs_rex_bit() { 0x4c } else { REX_W };
+        self.emit(&[rex, 0x8b, modrm(1, dest.low3(), 4), 0x24, disp as u8]);
+    }
+
     fn rex_mem(&self, reg: Reg, base: Reg) -> u8 {
         let mut rex = REX_W;
         if reg.needs_rex_bit() {
@@ -670,6 +683,32 @@ mod tests {
             InsnKind::MovMemToReg { dest, mem, .. } => {
                 assert_eq!(dest, Reg::Rax);
                 assert_eq!(mem.disp, -8);
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+    }
+
+    #[test]
+    fn rsp_stack_slots_round_trip() {
+        let insns = roundtrip(|asm| {
+            asm.mov_reg_to_rsp_disp8(Reg::Rax, 8);
+            asm.mov_rsp_disp8_to_reg(Reg::R9, 8);
+            asm.ret();
+        });
+        match insns[0].kind {
+            InsnKind::MovRegToMem { src, mem, .. } => {
+                assert_eq!(src, Reg::Rax);
+                assert_eq!(mem.base, Some(Reg::Rsp));
+                assert_eq!(mem.index, None);
+                assert_eq!(mem.disp, 8);
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+        match insns[1].kind {
+            InsnKind::MovMemToReg { dest, mem, .. } => {
+                assert_eq!(dest, Reg::R9);
+                assert_eq!(mem.base, Some(Reg::Rsp));
+                assert_eq!(mem.disp, 8);
             }
             k => panic!("unexpected {k:?}"),
         }

@@ -27,7 +27,7 @@ echo "== smoke: bench_serve_throughput (bounded) =="
 # the defaults; this one is sized to finish in seconds.
 smoke_out=target/BENCH_serve_smoke.json
 cargo run --release --offline -q -p engarde-bench --bin bench_serve_throughput -- \
-    --sessions 6 --shards 1,2 --scale 3 --capacity 64 --skip-threaded \
+    --sessions 6 --shards 1,2 --scale 3 --capacity 64 \
     --out "$smoke_out"
 jq -e '
     .deterministic == true
@@ -49,6 +49,13 @@ jq -e '
     and (.skewed.speedup_steal_batch_cache >= .skewed.speedup_steal)
     and ([.skewed.runs[] | select(.steal) | .steals] | add > 0)
     and ([.skewed.runs[] | select(.batch) | .batches] | add > 0)
+    and (.threaded | type == "object")
+    and (.threaded.completed > 0)
+    and (.threaded.wall_throughput_per_sec > 0)
+    and ([.threaded.steals, .threaded.stolen_sessions,
+          .threaded.drained_from_dead, .threaded.batches,
+          .threaded.batched_sessions] | all(type == "number" and . >= 0))
+    and (.threaded.stolen_sessions >= .threaded.drained_from_dead)
 ' "$smoke_out" > /dev/null \
     || { echo "FAIL: $smoke_out missing required keys/invariants" >&2; exit 1; }
 echo "OK: $smoke_out schema + invariants hold"
@@ -115,9 +122,15 @@ jq -e '
         and (.propagation_steps > 0)
         and (.sccs == .functions)
         and (.leaks == 0)))
-    and (.memo.memo_speedup > 1)
+    and (.memo.memo_speedup >= 1.5)
     and (.memo.shared_two_policy_cycles
          < .memo.single_leakage_cycles + .memo.single_branch_cycles)
+    and (.memory_domain | type == "object")
+    and (.memory_domain.spill_cells >= 1)
+    and (.memory_domain.cell_steps > 0)
+    and (.memory_domain.spill_chain_cycles > .memory_domain.plain_chain_cycles)
+    and ([.memory_domain.weak_updates, .memory_domain.unresolved_store_sinks]
+         | all(type == "number" and . >= 0))
 ' "$taint_out" > /dev/null \
     || { echo "FAIL: $taint_out missing required keys/invariants" >&2; exit 1; }
 echo "OK: $taint_out schema + invariants hold"
@@ -156,6 +169,7 @@ echo "== gate: no unwrap/expect in hostile-input/serve non-test code =="
 # #[cfg(test)] module, then refuse any unwrap()/expect( left.
 panic_free_files=(
     crates/elf/src/parse.rs
+    crates/core/src/cache.rs
     crates/core/src/exec.rs
     crates/core/src/analysis/*.rs
     crates/core/src/policy/*.rs

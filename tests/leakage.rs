@@ -152,6 +152,74 @@ fn provider_view_is_only_verdict_and_code_pages() {
 }
 
 #[test]
+fn spill_laundered_leak_is_rejected_end_to_end_with_aggregate_stats_only() {
+    // The PR-10 soundness fixture, run through the full protocol: a
+    // secret spilled to the stack, laundered out of its register, and
+    // reloaded into an out-of-enclave store must yield a non-compliant
+    // verdict — and the provider's view of the rejection stays
+    // aggregate counters, never finding addresses.
+    use engarde::policy::{SecretDependentBranch, SecretLeakage};
+    use engarde::workloads::adversarial;
+    fn taint_policies() -> Vec<Box<dyn PolicyModule>> {
+        vec![
+            Box::new(SecretLeakage::new()),
+            Box::new(SecretDependentBranch::new()),
+        ]
+    }
+    let spec = BootstrapSpec::new(
+        "EnGarde-1.0",
+        LoaderConfig::default(),
+        &taint_policies(),
+        64,
+        512,
+    );
+    let mut provider = CloudProvider::new(MachineConfig {
+        epc_pages: 1_024,
+        version: SgxVersion::V2,
+        device_key_bits: 512,
+        seed: 0x1EAE,
+    });
+    // The provisioning enclave's channel-key state lives at base+0x100;
+    // 0x200000 is outside anything this spec can map.
+    let leak = adversarial::stack_spill_leak(DEFAULT_ENCLAVE_BASE + 0x100, 0x0020_0000);
+    let twin =
+        adversarial::stack_spill_leak(DEFAULT_ENCLAVE_BASE + 0x100, DEFAULT_ENCLAVE_BASE + 0x108);
+    let mut views = Vec::new();
+    for image in [leak, twin] {
+        let enclave = provider
+            .create_engarde_enclave(spec.clone(), taint_policies())
+            .expect("create");
+        let mut client = Client::new(
+            image,
+            &spec,
+            DEFAULT_ENCLAVE_BASE,
+            provider.device_public_key(),
+            9,
+        );
+        let nonce = client.challenge();
+        let quote = provider.attest(enclave, nonce).expect("attest");
+        let key = provider.enclave_public_key(enclave).expect("key");
+        client.verify_quote(&quote, &key).expect("quote");
+        let wrapped = client.establish_channel(&key).expect("channel");
+        provider.open_channel(enclave, &wrapped).expect("open");
+        for block in client.content_blocks().expect("blocks") {
+            provider.deliver(enclave, &block).expect("deliver");
+        }
+        let view = provider.inspect_and_provision(enclave).expect("inspect");
+        provider.close_session(enclave).expect("close");
+        views.push(view);
+    }
+    let (rejected, passed) = (&views[0], &views[1]);
+    assert!(!rejected.compliant, "the spill-laundered leak must reject");
+    let stats = rejected.taint.as_ref().expect("taint ran");
+    assert!(stats.leaks_found >= 1);
+    assert!(stats.spill_cells >= 1, "the spill slot was tracked");
+    assert_eq!(stats.unresolved_store_sinks, 0);
+    assert!(passed.compliant, "the in-enclave twin must provision");
+    assert_eq!(passed.taint.as_ref().expect("taint ran").leaks_found, 0);
+}
+
+#[test]
 fn distinct_clients_produce_unlinkable_wire_traffic() {
     // The same binary provisioned twice produces different ciphertexts
     // (fresh session keys), so the provider cannot correlate content.
